@@ -1,0 +1,333 @@
+// Command midas-bench regenerates every table and figure of the MIDAS
+// paper's evaluation (§5) as text series: CDFs as "x<TAB>F(x)" rows,
+// scalar results as labelled summaries. See DESIGN.md for the experiment
+// index and EXPERIMENTS.md for recorded paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	midas-bench [-figure all|3|7|8|9|10|11|12|13|14|15|16|ht|decomp|ablations]
+//	            [-topos N] [-seed S] [-simtime D] [-points N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+var (
+	figure  = flag.String("figure", "all", "which figure to regenerate")
+	topos   = flag.Int("topos", 60, "topologies per experiment")
+	seed    = flag.Int64("seed", 2014, "root random seed")
+	simTime = flag.Duration("simtime", 300*time.Millisecond, "simulated airtime per end-to-end run")
+	points  = flag.Int("points", 20, "rows per printed CDF")
+)
+
+func main() {
+	flag.Parse()
+	want := strings.Split(*figure, ",")
+	ran := 0
+	for _, e := range experiments() {
+		if !selected(want, e.name) {
+			continue
+		}
+		fmt.Printf("==== %s ====\n", e.name)
+		if err := e.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+}
+
+func selected(want []string, name string) bool {
+	for _, w := range want {
+		if w == "all" || w == name || strings.HasPrefix(name, "fig"+w+"-") ||
+			(w == "ht" && strings.HasPrefix(name, "ht-")) ||
+			(w == "decomp" && strings.HasPrefix(name, "decomp-")) {
+			return true
+		}
+	}
+	return false
+}
+
+type experiment struct {
+	name string
+	fn   func() error
+}
+
+// experiments lists the runners in paper order.
+func experiments() []experiment {
+	return []experiment{
+		{"fig3-naive-scaling-drop", fig3},
+		{"fig7-link-snr", fig7},
+		{"fig8-office-a", func() error { return fig89(sim.OfficeA) }},
+		{"fig9-office-b", func() error { return fig89(sim.OfficeB) }},
+		{"fig10-smart-precoding", fig10},
+		{"fig11-optimal-gap", fig11},
+		{"fig12-spatial-reuse", fig12},
+		{"fig13-deadzones", fig13},
+		{"ht-hidden-terminals", hiddenTerminals},
+		{"fig14-packet-tagging", fig14},
+		{"fig15-end-to-end", fig15},
+		{"fig16-large-scale", fig16},
+		{"decomp-gain-breakdown", decomp},
+		{"ablations", ablations},
+		{"ext-beamforming", extBeamforming},
+		{"ext-placement", extPlacement},
+	}
+}
+
+func printCDF(label string, s *stats.Sample) {
+	med, _ := s.Median()
+	fmt.Printf("-- %s (n=%d, median %.2f)\n", label, s.N(), med)
+	fmt.Print(s.ECDF().Table(*points))
+}
+
+func fig3() error {
+	cas, das, err := sim.Fig3NaiveScalingDrop(*topos, *seed)
+	if err != nil {
+		return err
+	}
+	printCDF("CAS capacity drop (bit/s/Hz)", cas)
+	printCDF("DAS capacity drop (bit/s/Hz)", das)
+	return nil
+}
+
+func fig7() error {
+	cas, das := sim.Fig7LinkSNR(*topos, *seed)
+	printCDF("CAS link SNR (dB)", cas)
+	printCDF("DAS link SNR (dB)", das)
+	mc, md := cas.MustMedian(), das.MustMedian()
+	fmt.Printf("median DAS link gain: %.1f dB (paper: ≈5 dB)\n", md-mc)
+	return nil
+}
+
+func fig89(o sim.Office) error {
+	for _, nAnt := range []int{2, 4} {
+		cas, midas, err := sim.FigCapacityCDF(o, nAnt, *topos, *seed)
+		if err != nil {
+			return err
+		}
+		printCDF(fmt.Sprintf("%v %dx%d CAS capacity (bit/s/Hz)", o, nAnt, nAnt), cas)
+		printCDF(fmt.Sprintf("%v %dx%d MIDAS capacity (bit/s/Hz)", o, nAnt, nAnt), midas)
+		_, _, gain := sim.SummarizeGain(cas, midas)
+		fmt.Printf("%v %dx%d median gain: %.0f%%\n", o, nAnt, nAnt, gain*100)
+	}
+	return nil
+}
+
+func fig10() error {
+	c, err := sim.Fig10SmartPrecoding(*topos, *seed)
+	if err != nil {
+		return err
+	}
+	printCDF("CAS w/o MIDAS precoding", c.CASNaive)
+	printCDF("CAS w/ MIDAS precoding", c.CASBalanced)
+	printCDF("DAS w/o MIDAS precoding", c.DASNaive)
+	printCDF("DAS w/ MIDAS precoding", c.DASBalanced)
+	cg, _ := stats.MedianGain(c.CASBalanced, c.CASNaive)
+	dg, _ := stats.MedianGain(c.DASBalanced, c.DASNaive)
+	fmt.Printf("median precoding gain: CAS %.0f%%, DAS %.0f%% (paper: 12%%, 30%%)\n", cg*100, dg*100)
+	return nil
+}
+
+func fig11() error {
+	for _, testbed := range []bool{false, true} {
+		label := "simulation"
+		if testbed {
+			label = "testbed (stale optimum)"
+		}
+		pts, err := sim.Fig11OptimalGap(20, *seed, testbed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- %s: topology\tMIDAS\toptimal\n", label)
+		var sm, so float64
+		for _, p := range pts {
+			fmt.Printf("%d\t%.2f\t%.2f\n", p.Topology, p.MIDAS, p.Optimal)
+			sm += p.MIDAS
+			so += p.Optimal
+		}
+		fmt.Printf("aggregate MIDAS/optimal = %.3f\n", sm/so)
+	}
+	return nil
+}
+
+func fig12() error {
+	res := sim.Fig12SpatialReuse(*topos/2, *seed)
+	ratios := stats.NewSample()
+	for _, r := range res {
+		ratios.Add(r.Ratio)
+	}
+	printCDF("simultaneous-stream ratio MIDAS/CAS", ratios)
+	fmt.Printf("median ratio: %.2f (paper: ≈1.5)\n", ratios.MustMedian())
+	return nil
+}
+
+func fig13() error {
+	res := sim.Fig13Deadzones(10, *seed)
+	fmt.Printf("spots measured: %d\nCAS deadspots: %d\nDAS deadspots: %d\nreduction: %.0f%% (paper: 91%%)\n",
+		res.Spots, res.CASDeadspots, res.DASDeadspots,
+		100*(1-float64(res.DASDeadspots)/float64(res.CASDeadspots)))
+	fmt.Println("-- example map (CAS left, DAS right; '#' = deadspot)")
+	printMaps(res)
+	return nil
+}
+
+// printMaps renders the Fig 13 deadzone maps side by side, downsampled.
+func printMaps(res sim.DeadzoneResult) {
+	if res.MapCols == 0 {
+		return
+	}
+	rows := len(res.CASMap) / res.MapCols
+	const step = 3
+	for r := 0; r < rows; r += step {
+		var left, right strings.Builder
+		for c := 0; c < res.MapCols; c += step {
+			i := r*res.MapCols + c
+			if i >= len(res.CASMap) {
+				break
+			}
+			left.WriteByte(cell(res.CASMap[i]))
+			right.WriteByte(cell(res.DASMap[i]))
+		}
+		fmt.Printf("%s   %s\n", left.String(), right.String())
+	}
+}
+
+func cell(dead bool) byte {
+	if dead {
+		return '#'
+	}
+	return '.'
+}
+
+func hiddenTerminals() error {
+	res := sim.HiddenTerminals(10, *seed)
+	fmt.Printf("spots measured: %d\nCAS hidden-terminal spots: %d\nDAS hidden-terminal spots: %d\nreduction: %.0f%% (paper: 94%%)\n",
+		res.Spots, res.CASSpots, res.DASSpots,
+		100*(1-float64(res.DASSpots)/float64(res.CASSpots)))
+	return nil
+}
+
+func fig14() error {
+	random, tagged, err := sim.Fig14PacketTagging(*topos, *seed)
+	if err != nil {
+		return err
+	}
+	printCDF("random client pair (bit/s/Hz)", random)
+	printCDF("tag-driven client pair (bit/s/Hz)", tagged)
+	_, _, gain := sim.SummarizeGain(random, tagged)
+	fmt.Printf("median tagging gain: %.0f%% (paper: ≈50%%)\n", gain*100)
+	return nil
+}
+
+func e2eOpts() sim.E2EOpts {
+	return sim.E2EOpts{Topologies: *topos, SimTime: *simTime, Seed: *seed}
+}
+
+func fig15() error {
+	cas, midas := sim.Fig15EndToEnd(e2eOpts())
+	printCDF("CAS network capacity (bit/s/Hz)", cas)
+	printCDF("MIDAS network capacity (bit/s/Hz)", midas)
+	_, _, gain := sim.SummarizeGain(cas, midas)
+	fmt.Printf("median end-to-end gain: %.0f%% (paper: ≈200%%)\n", gain*100)
+	return nil
+}
+
+func fig16() error {
+	o := e2eOpts()
+	if o.Topologies > 20 {
+		o.Topologies = 20 // 8-AP DES is costly; 20 topologies suffice for the CDF shape
+	}
+	cas, midas, err := sim.Fig16LargeScale(o)
+	if err != nil {
+		return err
+	}
+	printCDF("CAS 8-AP capacity (bit/s/Hz)", cas)
+	printCDF("MIDAS 8-AP capacity (bit/s/Hz)", midas)
+	_, _, gain := sim.SummarizeGain(cas, midas)
+	fmt.Printf("median large-scale gain: %.0f%% (paper: >150%%)\n", gain*100)
+	return nil
+}
+
+func decomp() error {
+	o := e2eOpts()
+	if o.Topologies > 20 {
+		o.Topologies = 20
+	}
+	res := sim.Decomposition(o)
+	fmt.Printf("median capacities (bit/s/Hz):\n")
+	fmt.Printf("  CAS baseline:        %.2f\n", res.CAS.MustMedian())
+	fmt.Printf("  + smart precoding:   %.2f\n", res.CASPlusPrecoding.MustMedian())
+	fmt.Printf("  + DAS deployment:    %.2f\n", res.DASPlusPrecoding.MustMedian())
+	fmt.Printf("  + DAS-aware MAC:     %.2f (full MIDAS)\n", res.FullMIDAS.MustMedian())
+	return nil
+}
+
+func ablations() error {
+	o := e2eOpts()
+	if o.Topologies > 12 {
+		o.Topologies = 12
+	}
+	fmt.Println("-- tag width (antennas tagged per packet)")
+	for _, w := range []int{1, 2, 3, 4} {
+		res := sim.AblationTagWidth([]int{w}, o)
+		fmt.Printf("  width %d: median %.2f bit/s/Hz\n", w, res[w].MustMedian())
+	}
+	fmt.Println("-- opportunistic wait window")
+	for _, w := range []time.Duration{0, 34 * time.Microsecond, 68 * time.Microsecond} {
+		res := sim.AblationWaitWindow([]time.Duration{w}, o)
+		fmt.Printf("  window %v: median %.2f bit/s/Hz\n", w, res[w].MustMedian())
+	}
+	fmt.Println("-- client-selection scheduler")
+	res := sim.AblationScheduler(o)
+	for _, name := range []string{"drr", "rr", "random"} {
+		fmt.Printf("  %s: median %.2f bit/s/Hz\n", name, res[name].MustMedian())
+	}
+	fmt.Println("-- CAS antenna correlation (single-AP capacity)")
+	corr := sim.AblationCorrelation([]float64{0, 0.3, 0.6, 0.9}, 40, *seed)
+	for _, rho := range []float64{0, 0.3, 0.6, 0.9} {
+		fmt.Printf("  rho %.1f: median %.2f bit/s/Hz\n", rho, corr[rho].MustMedian())
+	}
+	return nil
+}
+
+// extBeamforming quantifies §7's localized single-user beamforming.
+func extBeamforming() error {
+	for _, win := range []float64{6, 12, 30} {
+		res := sim.BeamformingStudy(*topos, win, *seed)
+		fmt.Printf("window %2.0f dB: SNR %.1f→%.1f dB, silenced area %.0f%%→%.0f%%\n",
+			win, res.SNRFull.MustMedian(), res.SNRLocal.MustMedian(),
+			res.SilencedFull.MustMedian()*100, res.SilencedLocal.MustMedian()*100)
+	}
+	return nil
+}
+
+// extPlacement quantifies the §7 open problem of optimising antenna
+// placement.
+func extPlacement() error {
+	res, err := sim.PlacementStudy(*topos/2, 30, *seed)
+	if err != nil {
+		return err
+	}
+	printCDF("random placement coverage objective (dB)", res.RandomCoverage)
+	printCDF("optimized placement coverage objective (dB)", res.OptimizedCoverage)
+	printCDF("random placement capacity (bit/s/Hz)", res.RandomCapacity)
+	printCDF("optimized placement capacity (bit/s/Hz)", res.OptimizedCapacity)
+	fmt.Printf("median coverage gain: %.1f dB; capacity ratio %.2f\n",
+		res.OptimizedCoverage.MustMedian()-res.RandomCoverage.MustMedian(),
+		res.OptimizedCapacity.MustMedian()/res.RandomCapacity.MustMedian())
+	return nil
+}

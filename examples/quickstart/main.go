@@ -1,0 +1,55 @@
+// Quickstart: build one DAS topology, precode a 4×4 MU-MIMO downlink
+// transmission with MIDAS's power-balanced precoder, and compare it with
+// the conventional baseline — the library's core loop in ~50 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/channel"
+	"repro/internal/precoding"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func main() {
+	// One AP at the origin; four antennas distributed 5–10 m out over RF
+	// cable; four clients dropped in the coverage area.
+	dep := topology.SingleAP(topology.DefaultConfig(topology.DAS), rng.New(42))
+
+	// The indoor 5 GHz channel: path loss, walls, Rayleigh fading.
+	params := channel.Default()
+	model := dep.Model(params, rng.New(43))
+
+	// The MU-MIMO precoding problem: channel matrix H (clients ×
+	// antennas), 802.11ac's per-antenna power constraint, receiver noise.
+	prob := precoding.Problem{
+		H:               model.Matrix(nil, nil),
+		PerAntennaPower: params.TxPowerLinear(),
+		Noise:           params.NoiseLinear(),
+	}
+
+	// Baseline: zero-forcing with one global power back-off (§5.1).
+	naive, err := precoding.NaiveScaled(prob)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// MIDAS: zero-forcing with per-row reverse water-filling (§3.1.2).
+	balanced, err := precoding.PowerBalanced(prob)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("4x4 MU-MIMO over a distributed antenna system")
+	fmt.Printf("  naive-scaled ZFBF:    %6.2f bit/s/Hz\n",
+		precoding.SumRate(prob.H, naive, prob.Noise))
+	fmt.Printf("  power-balanced (MIDAS): %6.2f bit/s/Hz  (%d balancing rounds)\n",
+		precoding.SumRate(prob.H, balanced.V, prob.Noise), balanced.Iterations)
+
+	for j, r := range precoding.RatePerStream(prob.H, balanced.V, prob.Noise) {
+		d := dep.Clients[j].Dist(dep.APs[0])
+		fmt.Printf("  stream %d → client at %4.1f m: %5.2f bit/s/Hz\n", j, d, r)
+	}
+}

@@ -1,0 +1,364 @@
+// Package channel models the indoor 5 GHz wireless channel that the MIDAS
+// testbed measured: log-distance path loss, log-normal shadow fading and
+// Rayleigh small-scale fading, with spatial correlation across co-located
+// (CAS) antennas and independent fading across distributed (DAS) antennas.
+//
+// The paper's WARP testbed is replaced by this statistical model (see
+// DESIGN.md §2): every MIDAS mechanism consumes only the complex gains
+// h_jk from antenna k to client j, and the model reproduces the two
+// structural properties those mechanisms exploit — the large path-loss
+// disparity across distributed antennas, and the higher-rank channel
+// matrices that uncorrelated DAS fading produces.
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/matrix"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Params configures the propagation model. ParamsDefault matches the
+// calibration targets in DESIGN.md §6 (CAS SISO median SNR ≈ 10–15 dB at
+// enterprise-office distances; DAS median gain ≈ +5 dB).
+type Params struct {
+	// CarrierGHz is the carrier frequency; 802.11ac operates at 5 GHz.
+	CarrierGHz float64
+	// RefLossDB is the path loss at the 1 m reference distance.
+	RefLossDB float64
+	// PathLossExp is the log-distance path loss exponent (≈3 indoors).
+	PathLossExp float64
+	// ShadowSigmaDB is the log-normal shadowing standard deviation.
+	ShadowSigmaDB float64
+	// TxPowerDBm is the per-antenna transmit power (802.11ac per-antenna
+	// power constraint P, §3.1.1).
+	TxPowerDBm float64
+	// NoiseFloorDBm is the receiver noise plus interference floor.
+	NoiseFloorDBm float64
+	// CASCorrelation is the fading correlation coefficient between
+	// adjacent co-located antennas (exponential model); 0 for DAS.
+	CASCorrelation float64
+	// WallDB, RoomW, RoomH and MaxWallDB override the obstruction field's
+	// defaults when non-zero, letting environments differ (the enterprise
+	// office has larger rooms than the crowded lab, §5.2.2).
+	WallDB    float64
+	RoomW     float64
+	RoomH     float64
+	MaxWallDB float64
+	// Doppler controls Gauss–Markov channel evolution between frames:
+	// h' = sqrt(1-a²)·h + a·innovation, with a = Doppler. 0 freezes the
+	// channel within a topology.
+	Doppler float64
+}
+
+// Default returns the calibrated parameter set used by all experiments.
+func Default() Params {
+	return Params{
+		CarrierGHz:     5.24,
+		RefLossDB:      46.7, // free-space loss at 1 m, 5.24 GHz
+		PathLossExp:    3.5,
+		ShadowSigmaDB:  4.0,
+		TxPowerDBm:     24.0,
+		NoiseFloorDBm:  -75.0,
+		CASCorrelation: 0.6,
+		Doppler:        0.05,
+	}
+}
+
+// NewField builds the obstruction field for these parameters and seed,
+// applying any room/wall overrides.
+func (p Params) NewField(seed int64) *ShadowField {
+	f := NewShadowField(seed, p.ShadowSigmaDB)
+	if p.WallDB > 0 {
+		f.WallDB = p.WallDB
+	}
+	if p.RoomW > 0 {
+		f.RoomW = p.RoomW
+		f.offX = hashToUnit(seed, 0, 0, 2) * f.RoomW
+	}
+	if p.RoomH > 0 {
+		f.RoomH = p.RoomH
+		f.offY = hashToUnit(seed, 0, 0, 3) * f.RoomH
+	}
+	if p.MaxWallDB > 0 {
+		f.MaxWallDB = p.MaxWallDB
+	}
+	return f
+}
+
+// PathLossDB returns the distance-dependent path loss in dB at distance
+// d metres. Distances below 1 m clamp to the reference distance.
+func (p Params) PathLossDB(d float64) float64 {
+	if d < 1 {
+		d = 1
+	}
+	return p.RefLossDB + 10*p.PathLossExp*math.Log10(d)
+}
+
+// MeanRxPowerDBm returns the shadowing- and fading-averaged receive power
+// at distance d for a single transmit antenna at full per-antenna power.
+func (p Params) MeanRxPowerDBm(d float64) float64 {
+	return p.TxPowerDBm - p.PathLossDB(d)
+}
+
+// MeanSNRdB returns the average link SNR at distance d.
+func (p Params) MeanSNRdB(d float64) float64 {
+	return p.MeanRxPowerDBm(d) - p.NoiseFloorDBm
+}
+
+// NoiseLinear returns the noise floor in linear milliwatt units.
+func (p Params) NoiseLinear() float64 { return stats.Milliwatt(p.NoiseFloorDBm) }
+
+// TxPowerLinear returns the per-antenna power constraint in linear
+// milliwatt units.
+func (p Params) TxPowerLinear() float64 { return stats.Milliwatt(p.TxPowerDBm) }
+
+// RangeAt returns the distance at which the mean SNR falls to snrDB — the
+// nominal coverage (or carrier-sense) range for that threshold.
+func (p Params) RangeAt(snrDB float64) float64 {
+	// TxPower - RefLoss - 10·n·log10(d) - Noise = snr  =>  solve for d.
+	budget := p.TxPowerDBm - p.RefLossDB - p.NoiseFloorDBm - snrDB
+	return math.Pow(10, budget/(10*p.PathLossExp))
+}
+
+// Antenna is a transmit antenna position together with the AP (co-location
+// group) it belongs to. Antennas of one CAS AP share correlated fading;
+// all other pairs fade independently.
+type Antenna struct {
+	Pos   geom.Point
+	AP    int // AP index; antennas with the same AP and CAS deployment correlate
+	Local int // index within the AP's array (spacing order for correlation)
+}
+
+// Model generates channel realisations for a fixed set of antennas and
+// clients. Shadowing is drawn once per (antenna, client) pair at
+// construction — it models obstacles, which do not change across frames —
+// while small-scale fading can be redrawn or evolved per frame.
+type Model struct {
+	P        Params
+	antennas []Antenna
+	clients  []geom.Point
+	field    *ShadowField
+	shadow   [][]float64 // [client][antenna] linear shadowing factor (cache)
+	correl   bool        // apply CAS correlation within AP groups
+	src      *rng.Source
+	// fading state for Evolve: [client][antenna] normalised CN(0,1) gains
+	fading [][]complex128
+}
+
+// NewModel builds a channel model. correlated selects CAS-style antenna
+// correlation within each AP group (set true for co-located arrays).
+// The source is split internally; the caller's stream is not advanced.
+func NewModel(p Params, antennas []Antenna, clients []geom.Point, correlated bool, src *rng.Source) *Model {
+	m := &Model{
+		P:        p,
+		antennas: antennas,
+		clients:  clients,
+		correl:   correlated,
+		src:      src.Split("channel"),
+	}
+	m.field = p.NewField(src.Split("shadow").Seed())
+	m.shadow = make([][]float64, len(clients))
+	for j := range clients {
+		m.shadow[j] = make([]float64, len(antennas))
+		for k := range antennas {
+			m.shadow[j][k] = m.field.Shadow(antennas[k].Pos, clients[j])
+		}
+	}
+	m.redraw()
+	return m
+}
+
+// Field returns the shadow-fading field underlying this model, so the
+// medium (mac.Air) can sense through the same walls the data plane fades
+// through.
+func (m *Model) Field() *ShadowField { return m.field }
+
+// NumAntennas returns the number of transmit antennas.
+func (m *Model) NumAntennas() int { return len(m.antennas) }
+
+// NumClients returns the number of client positions.
+func (m *Model) NumClients() int { return len(m.clients) }
+
+// redraw resamples all small-scale fading from scratch.
+func (m *Model) redraw() {
+	m.fading = make([][]complex128, len(m.clients))
+	for j := range m.clients {
+		m.fading[j] = m.drawFadingRow()
+	}
+}
+
+// drawFadingRow returns CN(0,1) fading for one client across all antennas,
+// applying intra-AP correlation when configured.
+func (m *Model) drawFadingRow() []complex128 {
+	f := make([]complex128, len(m.antennas))
+	for k := range f {
+		f[k] = m.src.ComplexCircular(1)
+	}
+	if !m.correl || m.P.CASCorrelation == 0 {
+		return f
+	}
+	// Group antennas by AP and correlate within each group using the
+	// exponential correlation model R_ik = ρ^{|i-k|} via Cholesky.
+	groups := map[int][]int{}
+	for idx, a := range m.antennas {
+		groups[a.AP] = append(groups[a.AP], idx)
+	}
+	for _, idxs := range groups {
+		if len(idxs) < 2 {
+			continue
+		}
+		l := choleskyExpCorr(m.P.CASCorrelation, len(idxs))
+		raw := make([]complex128, len(idxs))
+		for i, idx := range idxs {
+			raw[i] = f[idx]
+		}
+		for i, idx := range idxs {
+			var s complex128
+			for q := 0; q <= i; q++ {
+				s += complex(l[i][q], 0) * raw[q]
+			}
+			f[idx] = s
+		}
+	}
+	return f
+}
+
+// choleskyExpCorr returns the lower Cholesky factor of the n×n exponential
+// correlation matrix R_ik = rho^{|i-k|}.
+func choleskyExpCorr(rho float64, n int) [][]float64 {
+	r := make([][]float64, n)
+	for i := range r {
+		r[i] = make([]float64, n)
+		for k := range r[i] {
+			d := i - k
+			if d < 0 {
+				d = -d
+			}
+			r[i][k] = math.Pow(rho, float64(d))
+		}
+	}
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k <= i; k++ {
+			s := r[i][k]
+			for q := 0; q < k; q++ {
+				s -= l[i][q] * l[k][q]
+			}
+			if i == k {
+				if s <= 0 {
+					panic(fmt.Sprintf("channel: correlation matrix not PD (rho=%v)", rho))
+				}
+				l[i][i] = math.Sqrt(s)
+			} else {
+				l[i][k] = s / l[k][k]
+			}
+		}
+	}
+	return l
+}
+
+// Evolve advances the small-scale fading by one coherence step using the
+// Gauss–Markov model with the configured Doppler. With Doppler 0 this is
+// a no-op.
+func (m *Model) Evolve() {
+	a := m.P.Doppler
+	if a == 0 {
+		return
+	}
+	keep := complex(math.Sqrt(1-a*a), 0)
+	for j := range m.fading {
+		innov := m.drawFadingRow()
+		for k := range m.fading[j] {
+			m.fading[j][k] = keep*m.fading[j][k] + complex(a, 0)*innov[k]
+		}
+	}
+}
+
+// Resample draws a completely fresh fading realisation (new frame far
+// beyond the coherence time).
+func (m *Model) Resample() { m.redraw() }
+
+// Gain returns the instantaneous complex channel gain h_jk from antenna k
+// to client j, in sqrt-milliwatt units per unit transmit amplitude: the
+// received power from power P on antenna k is |h_jk|²·P.
+func (m *Model) Gain(j, k int) complex128 {
+	d := m.antennas[k].Pos.Dist(m.clients[j])
+	pl := stats.Linear(-m.P.PathLossDB(d)) * m.shadow[j][k]
+	return complex(math.Sqrt(pl), 0) * m.fading[j][k]
+}
+
+// Matrix returns the |clients|×|antennas| channel matrix H with entries
+// h_jk for the given client subset (nil means all clients) and antenna
+// subset (nil means all antennas). Rows are clients, columns antennas, as
+// in Eq. 4 of the paper.
+func (m *Model) Matrix(clientIdx, antennaIdx []int) *matrix.Mat {
+	if clientIdx == nil {
+		clientIdx = identityIndex(len(m.clients))
+	}
+	if antennaIdx == nil {
+		antennaIdx = identityIndex(len(m.antennas))
+	}
+	h := matrix.New(len(clientIdx), len(antennaIdx))
+	for r, j := range clientIdx {
+		for c, k := range antennaIdx {
+			h.Set(r, c, m.Gain(j, k))
+		}
+	}
+	return h
+}
+
+func identityIndex(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// MeanRxPower returns the shadowed (but fading-averaged) receive power in
+// linear mW at client j from antenna k at full per-antenna power. This is
+// the long-term RSSI that MIDAS's virtual packet tagging ranks antennas by
+// (§3.2.4).
+func (m *Model) MeanRxPower(j, k int) float64 {
+	d := m.antennas[k].Pos.Dist(m.clients[j])
+	return m.P.TxPowerLinear() * stats.Linear(-m.P.PathLossDB(d)) * m.shadow[j][k]
+}
+
+// SNRdB returns the instantaneous single-antenna link SNR in dB from
+// antenna k to client j at full per-antenna power.
+func (m *Model) SNRdB(j, k int) float64 {
+	g := m.Gain(j, k)
+	p := (real(g)*real(g) + imag(g)*imag(g)) * m.P.TxPowerLinear()
+	return stats.DB(p / m.P.NoiseLinear())
+}
+
+// BestAntennaSNRdB returns the best instantaneous single-antenna SNR for
+// client j across the given antenna subset (nil = all), and the antenna.
+func (m *Model) BestAntennaSNRdB(j int, antennaIdx []int) (int, float64) {
+	if antennaIdx == nil {
+		antennaIdx = identityIndex(len(m.antennas))
+	}
+	best, bestSNR := -1, math.Inf(-1)
+	for _, k := range antennaIdx {
+		if s := m.SNRdB(j, k); s > bestSNR {
+			best, bestSNR = k, s
+		}
+	}
+	return best, bestSNR
+}
+
+// PowerAtPoint returns the received power (linear mW) at an arbitrary
+// point from a transmitter at txPos sending with txPowerDBm, using path
+// loss only (no shadowing or fading) — used for carrier-sense and
+// coverage-map calculations where deterministic geometry is wanted.
+func (p Params) PowerAtPoint(txPos, rxPos geom.Point, txPowerDBm float64) float64 {
+	d := txPos.Dist(rxPos)
+	return stats.Milliwatt(txPowerDBm - p.PathLossDB(d))
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"repro/internal/mac"
+)
+
+// 802.11e/ac traffic-class integration (§3.3): 802.11ac re-purposes the
+// four EDCA queues for MU-MIMO — when a class wins channel access it
+// becomes the *primary* access class, and if it cannot fill the MU group,
+// clients from *secondary* classes top it up. MIDAS's client selection
+// runs within each class in priority order.
+
+// acOrder lists access categories from highest to lowest priority.
+var acOrder = []mac.AccessCategory{
+	mac.ACVoice, mac.ACVideo, mac.ACBestEffort, mac.ACBackground,
+}
+
+// BackloggedByAC partitions the queue's backlogged clients by the access
+// category of their head-of-line packet.
+func (q *Queue) BackloggedByAC() map[mac.AccessCategory][]int {
+	out := map[mac.AccessCategory][]int{}
+	for _, c := range q.Backlogged() {
+		p, _ := q.Head(c)
+		ac := mac.ACOfTID(p.TID)
+		out[ac] = append(out[ac], c)
+	}
+	return out
+}
+
+// PrimaryAC returns the highest-priority access category with backlog —
+// the class that would win the AP's internal EDCA contention, hence the
+// primary access class of the next TXOP. ok is false when the queue is
+// empty.
+func (q *Queue) PrimaryAC() (mac.AccessCategory, bool) {
+	byAC := q.BackloggedByAC()
+	for _, ac := range acOrder {
+		if len(byAC[ac]) > 0 {
+			return ac, true
+		}
+	}
+	return mac.ACBestEffort, false
+}
+
+// eligibleForWithAC returns the backlogged clients whose head packet tags
+// the antenna AND belongs to the access category.
+func (q *Queue) eligibleForWithAC(antenna int, ac mac.AccessCategory) []int {
+	var out []int
+	for _, c := range q.EligibleFor(antenna) {
+		p, _ := q.Head(c)
+		if mac.ACOfTID(p.TID) == ac {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SelectClientsEDCA is SelectClients with §3.3's class structure: for
+// each available antenna the scheduler first considers the primary
+// class's tagged clients, then falls back through secondary classes in
+// priority order. Antenna order and distinctness rules are unchanged.
+func (c *Controller) SelectClientsEDCA(antennas []int, primary mac.AccessCategory) []int {
+	chosen := map[int]bool{}
+	var clients []int
+	classes := make([]mac.AccessCategory, 0, len(acOrder))
+	classes = append(classes, primary)
+	for _, ac := range acOrder {
+		if ac != primary {
+			classes = append(classes, ac)
+		}
+	}
+	for _, a := range antennas {
+		picked := false
+		for _, ac := range classes {
+			eligible := c.Queue.eligibleForWithAC(a, ac)
+			filtered := eligible[:0:0]
+			for _, cl := range eligible {
+				if !chosen[cl] {
+					filtered = append(filtered, cl)
+				}
+			}
+			if len(filtered) == 0 {
+				continue
+			}
+			pick := c.Cfg.Scheduler.Pick(filtered)
+			chosen[pick] = true
+			clients = append(clients, pick)
+			picked = true
+			break
+		}
+		_ = picked
+	}
+	return clients
+}
+
+// SelectClientsEDCA is the CAS baseline's class-aware selection: fill the
+// group from the primary class's backlog, then secondary classes, with no
+// antenna affinity (the 802.11ac behaviour §3.3 describes).
+func (c *CASController) SelectClientsEDCA(primary mac.AccessCategory) []int {
+	classes := make([]mac.AccessCategory, 0, len(acOrder))
+	classes = append(classes, primary)
+	for _, ac := range acOrder {
+		if ac != primary {
+			classes = append(classes, ac)
+		}
+	}
+	chosen := map[int]bool{}
+	var clients []int
+	byAC := c.Queue.BackloggedByAC()
+	for _, ac := range classes {
+		for len(clients) < c.maxStream {
+			var eligible []int
+			for _, cl := range byAC[ac] {
+				if !chosen[cl] {
+					eligible = append(eligible, cl)
+				}
+			}
+			if len(eligible) == 0 {
+				break
+			}
+			pick := c.Scheduler.Pick(eligible)
+			chosen[pick] = true
+			clients = append(clients, pick)
+		}
+	}
+	return clients
+}

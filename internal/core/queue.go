@@ -1,0 +1,116 @@
+// Package core implements the MIDAS access point's MAC-layer logic — the
+// paper's §3.2 contribution — and the conventional CAS baseline it is
+// evaluated against:
+//
+//   - virtual packet tagging: every queued packet carries its client's two
+//     best antennas by long-term RSSI (§3.2.4);
+//   - opportunistic antenna selection: when one antenna wins the channel,
+//     wait up to a DIFS for other antennas whose NAVs are about to expire
+//     (§3.2.3);
+//   - antenna-specific, fairness-driven client selection with deficit
+//     round robin (§3.2.5);
+//   - the per-TXOP MU-MIMO pipeline of §3.2.1 (sounding → power-balanced
+//     precoding → counter updates) expressed as a testable policy layer
+//     that the network simulator (internal/sim) drives with events.
+package core
+
+import (
+	"time"
+)
+
+// Packet is one queued downlink MPDU.
+type Packet struct {
+	Client   int
+	TID      uint8
+	Size     int   // payload bytes
+	Tags     []int // preferred antennas (global indices), §3.2.4
+	Enqueued time.Duration
+	Seq      uint16
+}
+
+// Queue is the AP's downlink packet store: per-client FIFOs, with the
+// 802.11e access-category split handled by the caller keeping one Queue
+// per AC if desired. It supports the tag-filtered peeks MIDAS's client
+// selection needs.
+type Queue struct {
+	fifos map[int][]Packet
+	size  int
+	seq   uint16
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue { return &Queue{fifos: map[int][]Packet{}} }
+
+// Push appends a packet to its client's FIFO, assigning a sequence number.
+func (q *Queue) Push(p Packet) {
+	p.Seq = q.seq
+	q.seq = (q.seq + 1) & 0x0fff
+	q.fifos[p.Client] = append(q.fifos[p.Client], p)
+	q.size++
+}
+
+// Len returns the total number of queued packets.
+func (q *Queue) Len() int { return q.size }
+
+// LenFor returns the number of packets queued for one client.
+func (q *Queue) LenFor(client int) int { return len(q.fifos[client]) }
+
+// Head returns the head-of-line packet for a client without removing it.
+func (q *Queue) Head(client int) (Packet, bool) {
+	f := q.fifos[client]
+	if len(f) == 0 {
+		return Packet{}, false
+	}
+	return f[0], true
+}
+
+// Pop removes and returns the head-of-line packet for a client.
+func (q *Queue) Pop(client int) (Packet, bool) {
+	f := q.fifos[client]
+	if len(f) == 0 {
+		return Packet{}, false
+	}
+	p := f[0]
+	q.fifos[client] = f[1:]
+	q.size--
+	return p, true
+}
+
+// Backlogged returns the clients with at least one queued packet, in
+// ascending client order (deterministic).
+func (q *Queue) Backlogged() []int {
+	var out []int
+	max := -1
+	for c, f := range q.fifos {
+		if len(f) > 0 && c > max {
+			max = c
+		}
+	}
+	for c := 0; c <= max; c++ {
+		if len(q.fifos[c]) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// EligibleFor returns the backlogged clients whose head-of-line packet is
+// tagged with the given antenna — the tag filter of §3.2.4. A packet with
+// no tags is eligible on every antenna (the CAS behaviour).
+func (q *Queue) EligibleFor(antenna int) []int {
+	var out []int
+	for _, c := range q.Backlogged() {
+		p, _ := q.Head(c)
+		if len(p.Tags) == 0 {
+			out = append(out, c)
+			continue
+		}
+		for _, tag := range p.Tags {
+			if tag == antenna {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}

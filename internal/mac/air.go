@@ -1,0 +1,385 @@
+package mac
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+// Sensing thresholds. With the default channel parameters these give a
+// carrier-sense/decode range of ≈20 m, matching the inter-AP distances of
+// the paper's testbed (three APs 15 m apart overhear each other; the 8-AP
+// layout caps overhearing at 3 APs).
+const (
+	// DefaultCSThresholdDBm is the energy level above which an antenna
+	// senses the medium busy (preamble/energy detection reaches below
+	// the decode sensitivity).
+	DefaultCSThresholdDBm = -82.0
+	// DefaultDecodeMinDBm is the minimum receive power for a frame's
+	// contents (headers, Duration) to be decodable.
+	DefaultDecodeMinDBm = -69.0
+	// DefaultCaptureSINRdB is the minimum SINR for a control frame to
+	// survive overlapping transmissions (capture effect).
+	DefaultCaptureSINRdB = 6.0
+)
+
+// Rx describes one frame arrival at a listener.
+type Rx struct {
+	Data     []byte  // encoded frame bytes
+	PowerDBm float64 // strongest-antenna receive power
+	SINRdB   float64 // against the worst-case overlap interference
+	// Decodable is false when the frame was below sensitivity or
+	// collided; such frames still raised energy on the medium.
+	Decodable bool
+	From      int // transmission ID
+	Start     time.Duration
+	End       time.Duration
+}
+
+// Listener receives every transmission that ends while it is registered.
+type Listener struct {
+	Pos geom.Point
+	Fn  func(Rx)
+}
+
+// Tx describes one transmission: a set of transmitting antenna positions
+// (one for SISO control frames; several for an MU PPDU), a per-antenna
+// power, a duration and the encoded frame.
+type Tx struct {
+	Antennas []geom.Point
+	PowerDBm float64
+	Airtime  time.Duration
+	Data     []byte
+}
+
+// Air is the shared radio medium: it tracks active transmissions, answers
+// physical carrier-sense queries at arbitrary positions, and delivers
+// frames to listeners with a geometric (path-loss) link budget. Fading is
+// deliberately excluded from the control plane — sensing in the paper's
+// analysis is a property of positions — while the data plane computes
+// SINRs from the full fading channel (see internal/sim).
+type Air struct {
+	Eng            *Engine
+	P              channel.Params
+	CSThresholdDBm float64
+	DecodeMinDBm   float64
+	CaptureSINRdB  float64
+	// Shadow, when non-nil, applies the deployment's shadow-fading field
+	// to every sensing and control-frame link, making carrier sensing as
+	// local (and as irregular) as the paper's office walls make it.
+	Shadow *channel.ShadowField
+
+	listeners map[int]*Listener
+	nextLis   int
+	active    map[int]*activeTx
+	nextTx    int
+	watchers  map[int]*watcher
+	nextWatch int
+}
+
+// watcher tracks physical carrier-sense edges at one position.
+type watcher struct {
+	pos  geom.Point
+	fn   func(busy bool)
+	busy bool
+}
+
+type activeTx struct {
+	id      int
+	tx      Tx
+	start   time.Duration
+	end     time.Duration
+	overlap map[int]overlapSpan // transmissions that overlapped this one
+}
+
+// overlapSpan records an interfering transmission and the interval over
+// which it overlaps the owner.
+type overlapSpan struct {
+	tx       Tx
+	from, to time.Duration
+}
+
+// NewAir creates a medium bound to the engine with the given propagation
+// parameters and default thresholds.
+func NewAir(eng *Engine, p channel.Params) *Air {
+	return &Air{
+		Eng:            eng,
+		P:              p,
+		CSThresholdDBm: DefaultCSThresholdDBm,
+		DecodeMinDBm:   DefaultDecodeMinDBm,
+		CaptureSINRdB:  DefaultCaptureSINRdB,
+		listeners:      map[int]*Listener{},
+		active:         map[int]*activeTx{},
+		watchers:       map[int]*watcher{},
+	}
+}
+
+// Watch registers a physical carrier-sense watcher at pos: fn fires on
+// every busy/idle transition as transmissions start and end. The initial
+// state is reported immediately. Returns the watcher id.
+func (a *Air) Watch(pos geom.Point, fn func(busy bool)) int {
+	id := a.nextWatch
+	a.nextWatch++
+	w := &watcher{pos: pos, fn: fn, busy: a.Busy(pos)}
+	a.watchers[id] = w
+	fn(w.busy)
+	return id
+}
+
+// Unwatch removes a watcher.
+func (a *Air) Unwatch(id int) { delete(a.watchers, id) }
+
+// notifyWatchers re-evaluates every watcher after a medium change, in
+// registration order.
+func (a *Air) notifyWatchers() {
+	ids := make([]int, 0, len(a.watchers))
+	for id := range a.watchers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		w := a.watchers[id]
+		if b := a.Busy(w.pos); b != w.busy {
+			w.busy = b
+			w.fn(b)
+		}
+	}
+}
+
+// activeIDs returns the active transmission ids in ascending order, so
+// float summation and delivery order are deterministic.
+func (a *Air) activeIDs() []int {
+	ids := make([]int, 0, len(a.active))
+	for id := range a.active {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Listen registers a listener and returns its id.
+func (a *Air) Listen(l Listener) int {
+	id := a.nextLis
+	a.nextLis++
+	a.listeners[id] = &l
+	return id
+}
+
+// Unlisten removes a listener.
+func (a *Air) Unlisten(id int) { delete(a.listeners, id) }
+
+// powerFrom returns the strongest-antenna receive power (linear mW) at pos
+// from the given transmission.
+func (a *Air) powerFrom(tx Tx, pos geom.Point) float64 {
+	best := 0.0
+	for _, ant := range tx.Antennas {
+		if p := a.linkPower(ant, pos, tx.PowerDBm); p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+// linkPower is the control-plane link budget: path loss plus the shared
+// shadow field.
+func (a *Air) linkPower(from, to geom.Point, powerDBm float64) float64 {
+	return a.P.PowerAtPoint(from, to, powerDBm) * a.Shadow.Shadow(from, to)
+}
+
+// sumPowerFrom returns the total receive power at pos from all antennas of
+// the transmission (interference adds across antennas).
+func (a *Air) sumPowerFrom(tx Tx, pos geom.Point) float64 {
+	sum := 0.0
+	for _, ant := range tx.Antennas {
+		sum += a.linkPower(ant, pos, tx.PowerDBm)
+	}
+	return sum
+}
+
+// PowerAt returns the aggregate active transmit power (linear mW) at pos,
+// excluding transmission id exclude (-1 for none).
+func (a *Air) PowerAt(pos geom.Point, exclude int) float64 {
+	sum := 0.0
+	for _, id := range a.activeIDs() {
+		if id == exclude {
+			continue
+		}
+		sum += a.sumPowerFrom(a.active[id].tx, pos)
+	}
+	return sum
+}
+
+// Busy reports whether the medium is physically sensed busy at pos.
+func (a *Air) Busy(pos geom.Point) bool {
+	return a.PowerAt(pos, -1) >= stats.Milliwatt(a.CSThresholdDBm)
+}
+
+// ActiveCount returns the number of in-flight transmissions.
+func (a *Air) ActiveCount() int { return len(a.active) }
+
+// StartTx begins a transmission. Delivery to every listener is scheduled
+// at the end of the airtime; the SINR each listener sees uses the
+// worst-case set of transmissions that overlapped anywhere in the frame's
+// lifetime, which is conservative in the same way real preamble/payload
+// collisions are. It returns the transmission id.
+func (a *Air) StartTx(tx Tx) (int, error) {
+	if len(tx.Antennas) == 0 {
+		return 0, fmt.Errorf("mac: transmission with no antennas")
+	}
+	if tx.Airtime <= 0 {
+		return 0, fmt.Errorf("mac: non-positive airtime %v", tx.Airtime)
+	}
+	id := a.nextTx
+	a.nextTx++
+	now := a.Eng.Now()
+	at := &activeTx{
+		id:      id,
+		tx:      tx,
+		start:   now,
+		end:     now + tx.Airtime,
+		overlap: map[int]overlapSpan{},
+	}
+	// Mutual overlap bookkeeping with everything currently active.
+	for _, oid := range a.activeIDs() {
+		other := a.active[oid]
+		to := at.end
+		if other.end < to {
+			to = other.end
+		}
+		other.overlap[id] = overlapSpan{tx: tx, from: now, to: to}
+		at.overlap[oid] = overlapSpan{tx: other.tx, from: now, to: to}
+	}
+	a.active[id] = at
+	a.Eng.Schedule(tx.Airtime, func() { a.endTx(at) })
+	a.notifyWatchers()
+	return id, nil
+}
+
+func (a *Air) endTx(at *activeTx) {
+	delete(a.active, at.id)
+	a.notifyWatchers()
+	noise := a.P.NoiseLinear()
+	minPower := stats.Milliwatt(a.DecodeMinDBm)
+	lisIDs := make([]int, 0, len(a.listeners))
+	for id := range a.listeners {
+		lisIDs = append(lisIDs, id)
+	}
+	sort.Ints(lisIDs)
+	oids := make([]int, 0, len(at.overlap))
+	for oid := range at.overlap {
+		oids = append(oids, oid)
+	}
+	sort.Ints(oids)
+	for _, lid := range lisIDs {
+		l := a.listeners[lid]
+		sig := a.powerFrom(at.tx, l.Pos)
+		interf := 0.0
+		for _, oid := range oids {
+			interf += a.sumPowerFrom(at.overlap[oid].tx, l.Pos)
+		}
+		sinr := stats.DB(sig / (noise + interf))
+		rx := Rx{
+			Data:      at.tx.Data,
+			PowerDBm:  stats.DBm(sig),
+			SINRdB:    sinr,
+			Decodable: sig >= minPower && sinr >= a.CaptureSINRdB,
+			From:      at.id,
+			Start:     at.start,
+			End:       at.end,
+		}
+		l.Fn(rx)
+	}
+}
+
+// DecodeRange returns the free-space distance at which a single antenna
+// at full per-antenna power falls to the decode threshold — the nominal
+// overhearing range of the medium (walls shorten it per link).
+func (a *Air) DecodeRange() float64 {
+	return a.P.RangeAt(a.DecodeMinDBm - a.P.NoiseFloorDBm)
+}
+
+// CSRange returns the free-space distance at which transmissions stop
+// being sensed.
+func (a *Air) CSRange() float64 {
+	return a.P.RangeAt(a.CSThresholdDBm - a.P.NoiseFloorDBm)
+}
+
+// OverlapInterference returns, for an active transmission id, the total
+// power (linear mW) at pos from the transmissions that have overlapped it
+// so far. The MU-MIMO data plane samples this just before a burst ends to
+// include other-cell interference in its stream SINRs.
+func (a *Air) OverlapInterference(id int, pos geom.Point) float64 {
+	at, ok := a.active[id]
+	if !ok {
+		return 0
+	}
+	sum := 0.0
+	for _, oid := range overlapIDs(at) {
+		sum += a.sumPowerFrom(at.overlap[oid].tx, pos)
+	}
+	return sum
+}
+
+// overlapIDs returns an active transmission's overlapper ids in order.
+func overlapIDs(at *activeTx) []int {
+	ids := make([]int, 0, len(at.overlap))
+	for id := range at.overlap {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// WeightedInterference returns the time-averaged interference power
+// (linear mW) at pos over the active transmission id's airtime: each
+// overlapping transmission contributes its power scaled by the fraction
+// of the frame it actually overlapped. This is the right average for a
+// long data burst's Shannon rate; control-frame decoding keeps the
+// worst-case OverlapInterference.
+func (a *Air) WeightedInterference(id int, pos geom.Point) float64 {
+	at, ok := a.active[id]
+	if !ok {
+		return 0
+	}
+	dur := at.end - at.start
+	if dur <= 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, oid := range overlapIDs(at) {
+		sp := at.overlap[oid]
+		frac := float64(sp.to-sp.from) / float64(dur)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		sum += a.sumPowerFrom(sp.tx, pos) * frac
+	}
+	return sum
+}
+
+// OverlapCount returns the number of transmissions that have overlapped
+// the active transmission id so far.
+func (a *Air) OverlapCount(id int) int {
+	at, ok := a.active[id]
+	if !ok {
+		return 0
+	}
+	return len(at.overlap)
+}
+
+// TxSignalAt returns the strongest-antenna receive power (linear mW) at
+// pos from the active transmission id, or 0 if it is not active.
+func (a *Air) TxSignalAt(id int, pos geom.Point) float64 {
+	at, ok := a.active[id]
+	if !ok {
+		return 0
+	}
+	return a.powerFrom(at.tx, pos)
+}

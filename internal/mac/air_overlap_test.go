@@ -1,0 +1,136 @@
+package mac
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/geom"
+)
+
+func TestWatchEdges(t *testing.T) {
+	e, a := newTestAir()
+	var edges []bool
+	id := a.Watch(geom.Pt(5, 0), func(busy bool) { edges = append(edges, busy) })
+	if len(edges) != 1 || edges[0] {
+		t.Fatalf("initial watch state = %v, want [false]", edges)
+	}
+	a.StartTx(Tx{Antennas: []geom.Point{geom.Pt(0, 0)}, PowerDBm: 20, Airtime: 50 * time.Microsecond})
+	e.Run(time.Second)
+	if len(edges) != 3 || !edges[1] || edges[2] {
+		t.Fatalf("edges = %v, want [false true false]", edges)
+	}
+	a.Unwatch(id)
+	a.StartTx(Tx{Antennas: []geom.Point{geom.Pt(0, 0)}, PowerDBm: 20, Airtime: 50 * time.Microsecond})
+	e.Run(2 * time.Second)
+	if len(edges) != 3 {
+		t.Error("unwatched watcher still notified")
+	}
+}
+
+func TestWatchNoEdgeWhenAlreadyBusy(t *testing.T) {
+	// Two overlapping transmissions near the watcher: only one busy edge.
+	e, a := newTestAir()
+	var edges []bool
+	a.Watch(geom.Pt(5, 0), func(busy bool) { edges = append(edges, busy) })
+	a.StartTx(Tx{Antennas: []geom.Point{geom.Pt(0, 0)}, PowerDBm: 20, Airtime: 100 * time.Microsecond})
+	e.Schedule(20*time.Microsecond, func() {
+		a.StartTx(Tx{Antennas: []geom.Point{geom.Pt(1, 0)}, PowerDBm: 20, Airtime: 100 * time.Microsecond})
+	})
+	e.Run(time.Second)
+	// initial(false), busy at t=0, idle when the second tx ends.
+	if len(edges) != 3 {
+		t.Fatalf("edges = %v, want exactly 3", edges)
+	}
+}
+
+func TestOverlapQueriesDuringFlight(t *testing.T) {
+	e, a := newTestAir()
+	pos := geom.Pt(10, 0)
+	id1, _ := a.StartTx(Tx{Antennas: []geom.Point{geom.Pt(0, 0)}, PowerDBm: 20, Airtime: 100 * time.Microsecond})
+	if got := a.OverlapCount(id1); got != 0 {
+		t.Errorf("fresh tx overlap count = %d", got)
+	}
+	if got := a.OverlapInterference(id1, pos); got != 0 {
+		t.Errorf("fresh tx interference = %v", got)
+	}
+	sig := a.TxSignalAt(id1, pos)
+	if sig <= 0 {
+		t.Error("active tx should have positive signal")
+	}
+	var id2 int
+	e.Schedule(50*time.Microsecond, func() {
+		id2, _ = a.StartTx(Tx{Antennas: []geom.Point{geom.Pt(20, 0)}, PowerDBm: 20, Airtime: 100 * time.Microsecond})
+	})
+	e.Schedule(99*time.Microsecond, func() {
+		if got := a.OverlapCount(id1); got != 1 {
+			t.Errorf("overlap count = %d, want 1", got)
+		}
+		oi := a.OverlapInterference(id1, pos)
+		if oi <= 0 {
+			t.Error("overlap interference should be positive")
+		}
+		// Weighted interference scales by the 50% overlap fraction.
+		wi := a.WeightedInterference(id1, pos)
+		if wi <= 0 || wi >= oi {
+			t.Errorf("weighted %v should be positive and below worst-case %v", wi, oi)
+		}
+		if ratio := wi / oi; math.Abs(ratio-0.5) > 0.02 {
+			t.Errorf("weighted/worst-case = %v, want ≈0.5 (50µs of 100µs)", ratio)
+		}
+		// And from id2's perspective the whole overlap window is within
+		// its own airtime start..id1End — fraction (100-50)/100 = 0.5.
+		if a.OverlapCount(id2) != 1 {
+			t.Errorf("id2 overlap count = %d", a.OverlapCount(id2))
+		}
+	})
+	e.Run(time.Second)
+}
+
+func TestOverlapQueriesAfterEnd(t *testing.T) {
+	e, a := newTestAir()
+	id, _ := a.StartTx(Tx{Antennas: []geom.Point{geom.Pt(0, 0)}, PowerDBm: 20, Airtime: time.Microsecond})
+	e.Run(time.Second)
+	if a.OverlapCount(id) != 0 || a.OverlapInterference(id, geom.Pt(1, 0)) != 0 ||
+		a.WeightedInterference(id, geom.Pt(1, 0)) != 0 || a.TxSignalAt(id, geom.Pt(1, 0)) != 0 {
+		t.Error("ended tx should answer zero to all overlap queries")
+	}
+}
+
+func TestAirWithShadowField(t *testing.T) {
+	// The same link budget query through a field must differ from the
+	// free-space one, and Busy must follow the field.
+	e := NewEngine()
+	p := channel.Default()
+	free := NewAir(e, p)
+	walled := NewAir(e, p)
+	walled.Shadow = p.NewField(12345)
+	tx := Tx{Antennas: []geom.Point{geom.Pt(0, 0)}, PowerDBm: 20, Airtime: time.Second}
+	free.StartTx(tx)
+	walled.StartTx(tx)
+	pos := geom.Pt(25, 0)
+	pf := free.PowerAt(pos, -1)
+	pw := walled.PowerAt(pos, -1)
+	if pf == pw {
+		t.Error("shadow field should change the link budget")
+	}
+	if w := walled.Shadow.Walls(geom.Pt(0, 0), pos); w > 0 && pw >= pf {
+		t.Errorf("power through %d walls (%v) should be below free space (%v)", w, pw, pf)
+	}
+}
+
+func TestNAVExpiryAccessor(t *testing.T) {
+	var n NAV
+	n.Update(77 * time.Microsecond)
+	if n.Expiry() != 77*time.Microsecond {
+		t.Errorf("Expiry = %v", n.Expiry())
+	}
+}
+
+func TestCSRangeOrdering(t *testing.T) {
+	_, a := newTestAir()
+	if a.CSRange() <= a.DecodeRange() {
+		t.Errorf("CS range %v should exceed decode range %v", a.CSRange(), a.DecodeRange())
+	}
+}

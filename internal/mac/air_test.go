@@ -1,0 +1,272 @@
+package mac
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/frames"
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+func newTestAir() (*Engine, *Air) {
+	e := NewEngine()
+	return e, NewAir(e, channel.Default())
+}
+
+func TestBusyReflectsActiveTx(t *testing.T) {
+	e, a := newTestAir()
+	pos := geom.Pt(5, 0)
+	if a.Busy(pos) {
+		t.Fatal("medium should start idle")
+	}
+	_, err := a.StartTx(Tx{
+		Antennas: []geom.Point{geom.Pt(0, 0)},
+		PowerDBm: 20,
+		Airtime:  100 * time.Microsecond,
+		Data:     frames.Encode(&frames.CTS{RA: frames.MkAddr(1, 1)}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Busy(pos) {
+		t.Error("medium near an active tx should be busy")
+	}
+	far := geom.Pt(500, 0)
+	if a.Busy(far) {
+		t.Error("medium 500 m away should be idle")
+	}
+	e.Run(time.Second)
+	if a.Busy(pos) {
+		t.Error("medium should be idle after tx ends")
+	}
+	if a.ActiveCount() != 0 {
+		t.Error("no active tx expected")
+	}
+}
+
+func TestStartTxValidation(t *testing.T) {
+	_, a := newTestAir()
+	if _, err := a.StartTx(Tx{PowerDBm: 20, Airtime: time.Microsecond}); err == nil {
+		t.Error("no antennas should error")
+	}
+	if _, err := a.StartTx(Tx{Antennas: []geom.Point{{}}, Airtime: 0}); err == nil {
+		t.Error("zero airtime should error")
+	}
+}
+
+func TestDeliveryToListener(t *testing.T) {
+	e, a := newTestAir()
+	var got []Rx
+	a.Listen(Listener{Pos: geom.Pt(10, 0), Fn: func(rx Rx) { got = append(got, rx) }})
+	payload := frames.Encode(&frames.RTS{
+		Duration: 300 * time.Microsecond,
+		RA:       frames.MkAddr(1, 1), TA: frames.MkAddr(2, 2),
+	})
+	a.StartTx(Tx{
+		Antennas: []geom.Point{geom.Pt(0, 0)},
+		PowerDBm: 20,
+		Airtime:  50 * time.Microsecond,
+		Data:     payload,
+	})
+	e.Run(time.Second)
+	if len(got) != 1 {
+		t.Fatalf("got %d deliveries", len(got))
+	}
+	rx := got[0]
+	if !rx.Decodable {
+		t.Errorf("frame at 10 m should decode: power %v dBm, sinr %v dB", rx.PowerDBm, rx.SINRdB)
+	}
+	if rx.Start != 0 || rx.End != 50*time.Microsecond {
+		t.Errorf("timing %v–%v", rx.Start, rx.End)
+	}
+	f, err := frames.Decode(rx.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Dur() != 300*time.Microsecond {
+		t.Errorf("decoded NAV duration %v", f.Dur())
+	}
+}
+
+func TestFarListenerCannotDecode(t *testing.T) {
+	e, a := newTestAir()
+	var got []Rx
+	a.Listen(Listener{Pos: geom.Pt(100, 0), Fn: func(rx Rx) { got = append(got, rx) }})
+	a.StartTx(Tx{
+		Antennas: []geom.Point{geom.Pt(0, 0)},
+		PowerDBm: 20,
+		Airtime:  50 * time.Microsecond,
+	})
+	e.Run(time.Second)
+	if len(got) != 1 {
+		t.Fatalf("got %d deliveries", len(got))
+	}
+	if got[0].Decodable {
+		t.Errorf("frame at 100 m decodable (power %v dBm)", got[0].PowerDBm)
+	}
+}
+
+func TestCollisionDestroysBothFrames(t *testing.T) {
+	e, a := newTestAir()
+	var got []Rx
+	// Listener midway between two simultaneous transmitters.
+	a.Listen(Listener{Pos: geom.Pt(10, 0), Fn: func(rx Rx) { got = append(got, rx) }})
+	a.StartTx(Tx{Antennas: []geom.Point{geom.Pt(0, 0)}, PowerDBm: 20, Airtime: 50 * time.Microsecond})
+	a.StartTx(Tx{Antennas: []geom.Point{geom.Pt(20, 0)}, PowerDBm: 20, Airtime: 50 * time.Microsecond})
+	e.Run(time.Second)
+	if len(got) != 2 {
+		t.Fatalf("got %d deliveries", len(got))
+	}
+	for i, rx := range got {
+		if rx.Decodable {
+			t.Errorf("frame %d should collide (sinr %v dB)", i, rx.SINRdB)
+		}
+	}
+}
+
+func TestCaptureEffect(t *testing.T) {
+	e, a := newTestAir()
+	var got []Rx
+	// Listener right next to tx A; tx B far away → A captures.
+	a.Listen(Listener{Pos: geom.Pt(2, 0), Fn: func(rx Rx) { got = append(got, rx) }})
+	a.StartTx(Tx{Antennas: []geom.Point{geom.Pt(0, 0)}, PowerDBm: 20, Airtime: 50 * time.Microsecond})
+	a.StartTx(Tx{Antennas: []geom.Point{geom.Pt(40, 0)}, PowerDBm: 20, Airtime: 50 * time.Microsecond})
+	e.Run(time.Second)
+	var nearDecodable, farDecodable bool
+	for _, rx := range got {
+		if rx.From == 0 {
+			nearDecodable = rx.Decodable
+		} else {
+			farDecodable = rx.Decodable
+		}
+	}
+	if !nearDecodable {
+		t.Error("near frame should capture")
+	}
+	if farDecodable {
+		t.Error("far frame should be jammed at this listener")
+	}
+}
+
+func TestOverlapIsConservative(t *testing.T) {
+	// A frame that overlaps only briefly with another still counts the
+	// interferer for its whole airtime (worst-case rule).
+	e, a := newTestAir()
+	var got []Rx
+	a.Listen(Listener{Pos: geom.Pt(10, 0), Fn: func(rx Rx) { got = append(got, rx) }})
+	a.StartTx(Tx{Antennas: []geom.Point{geom.Pt(0, 0)}, PowerDBm: 20, Airtime: 100 * time.Microsecond})
+	e.Schedule(90*time.Microsecond, func() {
+		a.StartTx(Tx{Antennas: []geom.Point{geom.Pt(20, 0)}, PowerDBm: 20, Airtime: 100 * time.Microsecond})
+	})
+	e.Run(time.Second)
+	if len(got) != 2 {
+		t.Fatalf("got %d deliveries", len(got))
+	}
+	if got[0].Decodable {
+		t.Error("first frame overlapped and should be counted as collided")
+	}
+}
+
+func TestSequentialTxDoNotInterfere(t *testing.T) {
+	e, a := newTestAir()
+	var got []Rx
+	a.Listen(Listener{Pos: geom.Pt(10, 0), Fn: func(rx Rx) { got = append(got, rx) }})
+	a.StartTx(Tx{Antennas: []geom.Point{geom.Pt(0, 0)}, PowerDBm: 20, Airtime: 50 * time.Microsecond})
+	e.Schedule(60*time.Microsecond, func() {
+		a.StartTx(Tx{Antennas: []geom.Point{geom.Pt(20, 0)}, PowerDBm: 20, Airtime: 50 * time.Microsecond})
+	})
+	e.Run(time.Second)
+	if len(got) != 2 {
+		t.Fatalf("got %d deliveries", len(got))
+	}
+	for i, rx := range got {
+		if !rx.Decodable {
+			t.Errorf("frame %d should decode cleanly (sinr %v)", i, rx.SINRdB)
+		}
+	}
+}
+
+func TestMultiAntennaTxPower(t *testing.T) {
+	_, a := newTestAir()
+	tx := Tx{
+		Antennas: []geom.Point{geom.Pt(0, 0), geom.Pt(10, 10)},
+		PowerDBm: 20,
+	}
+	pos := geom.Pt(1, 0)
+	best := a.powerFrom(tx, pos)
+	sum := a.sumPowerFrom(tx, pos)
+	if best >= sum {
+		t.Error("sum power should exceed best-antenna power")
+	}
+	wantBest := a.P.PowerAtPoint(geom.Pt(0, 0), pos, 20)
+	if math.Abs(best-wantBest) > 1e-15 {
+		t.Errorf("best = %v, want %v", best, wantBest)
+	}
+}
+
+func TestDecodeRangeConsistent(t *testing.T) {
+	e, a := newTestAir()
+	r := a.DecodeRange()
+	if r < 10 || r > 40 {
+		t.Errorf("decode range %v m outside the testbed-like band", r)
+	}
+	_ = r
+	// A frame from just inside the range decodes; outside does not.
+	var in, out Rx
+	a.Listen(Listener{Pos: geom.Pt(r*0.9, 0), Fn: func(rx Rx) { in = rx }})
+	a.Listen(Listener{Pos: geom.Pt(r*1.2, 0), Fn: func(rx Rx) { out = rx }})
+	a.StartTx(Tx{Antennas: []geom.Point{geom.Pt(0, 0)}, PowerDBm: a.P.TxPowerDBm, Airtime: 10 * time.Microsecond})
+	e.Run(time.Second)
+	if !in.Decodable {
+		t.Errorf("inside range should decode (power %v dBm, thr %v)", in.PowerDBm, a.CSThresholdDBm)
+	}
+	if out.Decodable {
+		t.Errorf("outside range should not decode (power %v dBm)", out.PowerDBm)
+	}
+}
+
+func TestUnlisten(t *testing.T) {
+	e, a := newTestAir()
+	calls := 0
+	id := a.Listen(Listener{Pos: geom.Pt(1, 0), Fn: func(Rx) { calls++ }})
+	a.Unlisten(id)
+	a.StartTx(Tx{Antennas: []geom.Point{geom.Pt(0, 0)}, PowerDBm: 20, Airtime: time.Microsecond})
+	e.Run(time.Second)
+	if calls != 0 {
+		t.Error("unlistened listener received a frame")
+	}
+}
+
+func TestPowerAtExclusion(t *testing.T) {
+	_, a := newTestAir()
+	id, _ := a.StartTx(Tx{Antennas: []geom.Point{geom.Pt(0, 0)}, PowerDBm: 20, Airtime: time.Second})
+	pos := geom.Pt(5, 0)
+	if p := a.PowerAt(pos, id); p != 0 {
+		t.Errorf("excluding the only tx should give 0, got %v", p)
+	}
+	if p := a.PowerAt(pos, -1); p <= 0 {
+		t.Error("including the tx should give positive power")
+	}
+}
+
+func TestCSThresholdUnits(t *testing.T) {
+	// Internal consistency: Busy flips exactly at the CS-range distance,
+	// which exceeds the decode range (energy detect is more sensitive).
+	e, a := newTestAir()
+	a.StartTx(Tx{Antennas: []geom.Point{geom.Pt(0, 0)}, PowerDBm: a.P.TxPowerDBm, Airtime: time.Second})
+	r := a.CSRange()
+	if r <= a.DecodeRange() {
+		t.Error("CS range should exceed decode range")
+	}
+	if !a.Busy(geom.Pt(r*0.95, 0)) {
+		t.Error("just inside CS range should be busy")
+	}
+	if a.Busy(geom.Pt(r*1.3, 0)) {
+		t.Error("well outside CS range should be idle")
+	}
+	_ = e
+	_ = stats.DB // keep import for clarity of threshold units
+}

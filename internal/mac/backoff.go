@@ -1,0 +1,126 @@
+package mac
+
+import (
+	"repro/internal/rng"
+)
+
+// Backoff implements the 802.11 EDCA contention state machine for one
+// contender (an AP's access category, or one MIDAS antenna): AIFS idle
+// wait, slotted random backoff that freezes while the medium is busy, and
+// binary-exponential contention-window growth on collision.
+//
+// The owner drives it with medium busy/idle transitions; Backoff calls
+// `granted` when it wins a transmit opportunity.
+type Backoff struct {
+	Params EDCAParams
+
+	eng     *Engine
+	src     *rng.Source
+	granted func()
+
+	cw        int
+	slotsLeft int
+	timer     *Timer
+	running   bool
+	busy      bool
+}
+
+// NewBackoff creates a contender. `granted` fires when backoff completes.
+func NewBackoff(eng *Engine, params EDCAParams, src *rng.Source, granted func()) *Backoff {
+	return &Backoff{
+		Params:  params,
+		eng:     eng,
+		src:     src,
+		granted: granted,
+		cw:      params.CWMin,
+	}
+}
+
+// Start begins a contention cycle: draw a backoff counter and, if the
+// medium is currently idle, start counting down after AIFS.
+func (b *Backoff) Start() {
+	if b.running {
+		return
+	}
+	b.running = true
+	b.slotsLeft = b.src.Intn(b.cw + 1)
+	b.resume()
+}
+
+// Running reports whether a contention cycle is active.
+func (b *Backoff) Running() bool { return b.running }
+
+// MediumBusy must be called when the contender's medium becomes busy
+// (physical or virtual carrier sense); it freezes the countdown.
+func (b *Backoff) MediumBusy() {
+	b.busy = true
+	if b.timer != nil {
+		b.timer.Cancel()
+		b.timer = nil
+	}
+}
+
+// MediumIdle must be called when the medium becomes idle again; the
+// countdown resumes after a fresh AIFS.
+func (b *Backoff) MediumIdle() {
+	b.busy = false
+	if b.running {
+		b.resume()
+	}
+}
+
+// resume restarts the countdown after an idle transition: a full AIFS,
+// then one decrement per idle slot. Progress through the backoff counter
+// is preserved across busy periods (the standard freeze/resume rule), so
+// every contender eventually drains its counter and wins.
+func (b *Backoff) resume() {
+	if b.busy {
+		return
+	}
+	if b.timer != nil {
+		b.timer.Cancel()
+	}
+	b.timer = b.eng.Schedule(b.Params.AIFS(), b.tick)
+}
+
+// tick consumes one idle backoff slot, granting at zero.
+func (b *Backoff) tick() {
+	if b.busy || !b.running {
+		return
+	}
+	if b.slotsLeft <= 0 {
+		b.running = false
+		b.timer = nil
+		b.granted()
+		return
+	}
+	b.slotsLeft--
+	b.timer = b.eng.Schedule(SlotTime, b.tick)
+}
+
+// Collision doubles the contention window (up to CWMax) and starts a new
+// cycle, as after a failed transmission.
+func (b *Backoff) Collision() {
+	b.cw = b.cw*2 + 1
+	if b.cw > b.Params.CWMax {
+		b.cw = b.Params.CWMax
+	}
+	b.running = false
+	b.Start()
+}
+
+// Success resets the contention window to CWMin after a delivered
+// transmission.
+func (b *Backoff) Success() { b.cw = b.Params.CWMin }
+
+// CW exposes the current contention window (for tests and stats).
+func (b *Backoff) CW() int { return b.cw }
+
+// Stop aborts the current cycle.
+func (b *Backoff) Stop() {
+	b.running = false
+	if b.timer != nil {
+		b.timer.Cancel()
+		b.timer = nil
+	}
+}

@@ -1,0 +1,125 @@
+// Package mac provides the 802.11 medium-access substrate the MIDAS and
+// CAS access points are built on: a deterministic discrete-event engine,
+// a radio medium with per-position physical carrier sensing and frame
+// delivery, per-antenna NAV (virtual carrier sense) tables, and EDCA
+// backoff state machines (§3.2.2–3.2.3, §3.3 of the paper).
+package mac
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Engine is a deterministic discrete-event simulator. Events scheduled at
+// the same instant fire in scheduling order.
+type Engine struct {
+	now time.Duration
+	pq  eventQueue
+	seq uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Schedule runs fn after delay (relative to the current time). A negative
+// delay is treated as zero. It returns a handle that can cancel the event.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t (clamped to now).
+func (e *Engine) At(t time.Duration, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return &Timer{ev: ev}
+}
+
+// Run processes events until the queue is empty or the clock would pass
+// `until`. It returns the number of events executed.
+func (e *Engine) Run(until time.Duration) int {
+	n := 0
+	for len(e.pq) > 0 {
+		next := e.pq[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.pq)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.at
+		next.fn()
+		n++
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return n
+}
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Timer is a handle to a scheduled event.
+type Timer struct{ ev *event }
+
+// Cancel prevents the event from firing. Safe to call multiple times and
+// after the event has fired.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel was called.
+func (t *Timer) Cancelled() bool { return t != nil && t.ev != nil && t.ev.cancelled }
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,137 @@
+package mac
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30*time.Microsecond, func() { order = append(order, 3) })
+	e.Schedule(10*time.Microsecond, func() { order = append(order, 1) })
+	e.Schedule(20*time.Microsecond, func() { order = append(order, 2) })
+	n := e.Run(time.Second)
+	if n != 3 {
+		t.Fatalf("ran %d events", n)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(time.Microsecond, func() { order = append(order, i) })
+	}
+	e.Run(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant order = %v", order)
+		}
+	}
+}
+
+func TestEngineClockAdvances(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.Schedule(42*time.Microsecond, func() { at = e.Now() })
+	e.Run(time.Second)
+	if at != 42*time.Microsecond {
+		t.Errorf("event saw clock %v", at)
+	}
+	if e.Now() != time.Second {
+		t.Errorf("Run should leave clock at `until`, got %v", e.Now())
+	}
+}
+
+func TestEngineRunUntilBoundary(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(100*time.Microsecond, func() { fired = true })
+	e.Run(50 * time.Microsecond)
+	if fired {
+		t.Error("event beyond `until` must not fire")
+	}
+	e.Run(200 * time.Microsecond)
+	if !fired {
+		t.Error("event should fire on the second Run")
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var log []time.Duration
+	e.Schedule(10*time.Microsecond, func() {
+		log = append(log, e.Now())
+		e.Schedule(5*time.Microsecond, func() {
+			log = append(log, e.Now())
+		})
+	})
+	e.Run(time.Second)
+	if len(log) != 2 || log[0] != 10*time.Microsecond || log[1] != 15*time.Microsecond {
+		t.Errorf("log = %v", log)
+	}
+}
+
+func TestEngineNegativeDelayClamps(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(-5*time.Microsecond, func() { fired = true })
+	e.Run(time.Microsecond)
+	if !fired {
+		t.Error("negative delay should fire immediately")
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.Schedule(10*time.Microsecond, func() { fired = true })
+	tm.Cancel()
+	if !tm.Cancelled() {
+		t.Error("Cancelled() should be true")
+	}
+	e.Run(time.Second)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	tm.Cancel() // idempotent
+	var nilTimer *Timer
+	nilTimer.Cancel() // safe on nil
+}
+
+func TestEnginePending(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Microsecond, func() {})
+	e.Schedule(time.Microsecond, func() {})
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	e.Run(time.Second)
+	if e.Pending() != 0 {
+		t.Errorf("Pending after run = %d", e.Pending())
+	}
+}
+
+func TestEngineManyEvents(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var recur func()
+	recur = func() {
+		count++
+		if count < 10000 {
+			e.Schedule(time.Microsecond, recur)
+		}
+	}
+	e.Schedule(0, recur)
+	e.Run(time.Second)
+	if count != 10000 {
+		t.Errorf("count = %d", count)
+	}
+}

@@ -1,0 +1,101 @@
+package mac
+
+import "time"
+
+// NAV is a network allocation vector — the 802.11 virtual carrier-sense
+// timer. A conventional CAS AP keeps exactly one; a MIDAS AP provisions
+// one per distributed antenna (§3.2.2) so each antenna tracks the medium
+// occupancy in its own neighbourhood.
+type NAV struct {
+	until time.Duration
+}
+
+// Update extends the NAV to `until` if it is later than the current
+// reservation (the standard NAV update rule).
+func (n *NAV) Update(until time.Duration) {
+	if until > n.until {
+		n.until = until
+	}
+}
+
+// Busy reports whether the NAV is set at time now.
+func (n *NAV) Busy(now time.Duration) bool { return now < n.until }
+
+// Expiry returns the absolute time the NAV runs out.
+func (n *NAV) Expiry() time.Duration { return n.until }
+
+// Clear resets the NAV (used when a CF-End-like release is heard).
+func (n *NAV) Clear() { n.until = 0 }
+
+// Table is a set of per-antenna NAVs plus per-antenna physical sensing
+// hooks — the MIDAS AP's fine-grained channel state (§3.2.2).
+type Table struct {
+	navs []NAV
+}
+
+// NewTable returns a table with n independent NAVs.
+func NewTable(n int) *Table { return &Table{navs: make([]NAV, n)} }
+
+// Len returns the number of antennas tracked.
+func (t *Table) Len() int { return len(t.navs) }
+
+// Update extends antenna k's NAV.
+func (t *Table) Update(k int, until time.Duration) { t.navs[k].Update(until) }
+
+// UpdateAll extends every NAV — the CAS behaviour of coupling all
+// antennas to a single channel state.
+func (t *Table) UpdateAll(until time.Duration) {
+	for k := range t.navs {
+		t.navs[k].Update(until)
+	}
+}
+
+// Busy reports antenna k's virtual carrier-sense state.
+func (t *Table) Busy(k int, now time.Duration) bool { return t.navs[k].Busy(now) }
+
+// Expiry returns antenna k's NAV expiry.
+func (t *Table) Expiry(k int) time.Duration { return t.navs[k].Expiry() }
+
+// Idle returns the antennas whose NAVs are clear at now.
+func (t *Table) Idle(now time.Duration) []int {
+	var idle []int
+	for k := range t.navs {
+		if !t.navs[k].Busy(now) {
+			idle = append(idle, k)
+		}
+	}
+	return idle
+}
+
+// ExpiringWithin returns the antennas whose NAVs are busy at now but
+// expire within the window — the candidates MIDAS's opportunistic antenna
+// selection waits for (§3.2.3).
+func (t *Table) ExpiringWithin(now, window time.Duration) []int {
+	var soon []int
+	for k := range t.navs {
+		if t.navs[k].Busy(now) && t.navs[k].Expiry() <= now+window {
+			soon = append(soon, k)
+		}
+	}
+	return soon
+}
+
+// ByExpiry returns the given antennas ordered by NAV expiry (earliest
+// first, ties by index) — the order MIDAS considers antennas for client
+// selection (§3.2.5).
+func (t *Table) ByExpiry(antennas []int) []int {
+	out := append([]int(nil), antennas...)
+	// insertion sort: antenna counts are tiny
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if t.navs[a].Expiry() > t.navs[b].Expiry() ||
+				(t.navs[a].Expiry() == t.navs[b].Expiry() && a > b) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}

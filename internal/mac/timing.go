@@ -1,0 +1,87 @@
+package mac
+
+import "time"
+
+// 802.11ac (5 GHz OFDM) MAC timing constants.
+const (
+	// SlotTime is one backoff slot.
+	SlotTime = 9 * time.Microsecond
+	// SIFS separates frames within one exchange.
+	SIFS = 16 * time.Microsecond
+	// DIFS = SIFS + 2·slot, the baseline idle period before access — and
+	// the wait window MIDAS uses for opportunistic antenna selection
+	// (§3.2.3).
+	DIFS = SIFS + 2*SlotTime
+)
+
+// AccessCategory is an 802.11e EDCA traffic class (§3.3: 802.11ac reuses
+// the four 802.11e queues for MU-MIMO and selects a primary access class).
+type AccessCategory int
+
+// The four EDCA access categories.
+const (
+	ACBackground AccessCategory = iota
+	ACBestEffort
+	ACVideo
+	ACVoice
+	numAC
+)
+
+// String implements fmt.Stringer.
+func (ac AccessCategory) String() string {
+	switch ac {
+	case ACBackground:
+		return "AC_BK"
+	case ACBestEffort:
+		return "AC_BE"
+	case ACVideo:
+		return "AC_VI"
+	case ACVoice:
+		return "AC_VO"
+	default:
+		return "AC_?"
+	}
+}
+
+// ACOfTID maps an 802.11e TID (0–7) to its access category.
+func ACOfTID(tid uint8) AccessCategory {
+	switch tid {
+	case 1, 2:
+		return ACBackground
+	case 0, 3:
+		return ACBestEffort
+	case 4, 5:
+		return ACVideo
+	case 6, 7:
+		return ACVoice
+	default:
+		return ACBestEffort
+	}
+}
+
+// EDCAParams are the per-AC contention parameters.
+type EDCAParams struct {
+	AIFSN     int // AIFS = SIFS + AIFSN·slot
+	CWMin     int
+	CWMax     int
+	TXOPLimit time.Duration
+}
+
+// DefaultEDCA returns the standard 802.11 EDCA parameter set for 5 GHz.
+func DefaultEDCA(ac AccessCategory) EDCAParams {
+	switch ac {
+	case ACVoice:
+		return EDCAParams{AIFSN: 2, CWMin: 3, CWMax: 7, TXOPLimit: 1504 * time.Microsecond}
+	case ACVideo:
+		return EDCAParams{AIFSN: 2, CWMin: 7, CWMax: 15, TXOPLimit: 3008 * time.Microsecond}
+	case ACBestEffort:
+		return EDCAParams{AIFSN: 3, CWMin: 15, CWMax: 1023, TXOPLimit: 2528 * time.Microsecond}
+	default: // background
+		return EDCAParams{AIFSN: 7, CWMin: 15, CWMax: 1023, TXOPLimit: 2528 * time.Microsecond}
+	}
+}
+
+// AIFS returns the arbitration inter-frame space for the parameters.
+func (p EDCAParams) AIFS() time.Duration {
+	return SIFS + time.Duration(p.AIFSN)*SlotTime
+}

@@ -1,0 +1,211 @@
+package phy
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"time"
+
+	"repro/internal/matrix"
+	"repro/internal/rng"
+)
+
+func TestSelectMCS(t *testing.T) {
+	cases := []struct {
+		sinr float64
+		want int
+		ok   bool
+	}{
+		{-5, 0, false},
+		{2, 0, true},
+		{5, 1, true},
+		{10, 2, true},
+		{19, 5, true},
+		{40, 9, true},
+	}
+	for _, tc := range cases {
+		m, ok := Select(tc.sinr)
+		if ok != tc.ok {
+			t.Errorf("Select(%v) ok = %v", tc.sinr, ok)
+			continue
+		}
+		if ok && m.Index != tc.want {
+			t.Errorf("Select(%v) = MCS%d, want MCS%d", tc.sinr, m.Index, tc.want)
+		}
+	}
+}
+
+func TestMCSTableMonotone(t *testing.T) {
+	for i := 1; i < len(Table); i++ {
+		if Table[i].MinSINRdB <= Table[i-1].MinSINRdB {
+			t.Errorf("MCS thresholds not increasing at %d", i)
+		}
+		if Table[i].BitsPerSymbol <= Table[i-1].BitsPerSymbol {
+			t.Errorf("MCS rates not increasing at %d", i)
+		}
+		if Table[i].Index != i {
+			t.Errorf("MCS index mismatch at %d", i)
+		}
+	}
+}
+
+func TestShannonRate(t *testing.T) {
+	if got := ShannonRate(3); math.Abs(got-2) > 1e-12 {
+		t.Errorf("ShannonRate(3) = %v, want 2", got)
+	}
+	if got := ShannonRate(0); got != 0 {
+		t.Errorf("ShannonRate(0) = %v", got)
+	}
+}
+
+func TestAirtime(t *testing.T) {
+	m := Table[7] // 64-QAM 5/6
+	d, err := Airtime(1500, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= VHTPreamble {
+		t.Errorf("airtime %v should exceed preamble", d)
+	}
+	// More streams → shorter airtime.
+	d4, err := Airtime(1500, m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d4 >= d {
+		t.Errorf("4-stream airtime %v should beat 1-stream %v", d4, d)
+	}
+	// Longer payload → longer airtime.
+	dBig, _ := Airtime(15000, m, 1)
+	if dBig <= d {
+		t.Errorf("larger payload should take longer: %v vs %v", dBig, d)
+	}
+}
+
+func TestAirtimeErrors(t *testing.T) {
+	if _, err := Airtime(100, Table[0], 0); err == nil {
+		t.Error("nss=0 should error")
+	}
+	if _, err := Airtime(100, MCS{}, 1); err == nil {
+		t.Error("zero-rate MCS should error")
+	}
+}
+
+func TestAirtimeSymbolQuantised(t *testing.T) {
+	m := Table[0]
+	d, _ := Airtime(10, m, 1)
+	if (d-VHTPreamble)%SymbolDuration != 0 {
+		t.Errorf("airtime %v not symbol-aligned", d)
+	}
+	if d < VHTPreamble+SymbolDuration {
+		t.Errorf("airtime %v too short", d)
+	}
+}
+
+func TestEffectiveRateMbps(t *testing.T) {
+	// MCS9 x4 streams on 80 MHz should be in the gigabit class.
+	got := EffectiveRateMbps(Table[9], 4)
+	if got < 1000 || got > 2000 {
+		t.Errorf("MCS9x4 = %v Mb/s, want ~1560", got)
+	}
+	one := EffectiveRateMbps(Table[0], 1)
+	if math.Abs(one-29.25) > 0.01 { // 0.5*234/4 = 29.25 Mb/s
+		t.Errorf("MCS0x1 = %v Mb/s, want 29.25", one)
+	}
+}
+
+func mkH(s *rng.Source, r, c int) *matrix.Mat {
+	h := matrix.New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			h.Set(i, j, s.ComplexCircular(1))
+		}
+	}
+	return h
+}
+
+func TestFeedbackCloseToTruth(t *testing.T) {
+	s := rng.New(1)
+	h := mkH(s, 4, 4)
+	fb := DefaultSounding().Feedback(h, s)
+	if fb.Rows() != 4 || fb.Cols() != 4 {
+		t.Fatal("bad shape")
+	}
+	// Relative error should be small but nonzero.
+	errNorm := fb.Sub(h).FrobeniusNorm() / h.FrobeniusNorm()
+	if errNorm == 0 {
+		t.Error("feedback should be lossy")
+	}
+	if errNorm > 0.25 {
+		t.Errorf("feedback error %v too large", errNorm)
+	}
+}
+
+func TestFeedbackDeterministic(t *testing.T) {
+	h := mkH(rng.New(2), 2, 4)
+	a := DefaultSounding().Feedback(h, rng.New(5))
+	b := DefaultSounding().Feedback(h, rng.New(5))
+	if !a.Equalish(b, 0) {
+		t.Error("same source should give same feedback")
+	}
+}
+
+func TestFeedbackPerfectWhenConfigured(t *testing.T) {
+	h := mkH(rng.New(3), 3, 3)
+	s := Sounding{EstimationSNRdB: math.Inf(1), PhaseBits: 0, MagBits: 0}
+	fb := s.Feedback(h, rng.New(1))
+	if !fb.Equalish(h, 1e-15) {
+		t.Error("infinite SNR + no quantisation should be lossless")
+	}
+}
+
+func TestQuantizeGridProperties(t *testing.T) {
+	s := DefaultSounding()
+	// Quantisation is idempotent.
+	v := complex(0.3, -0.7)
+	q1 := s.quantize(v)
+	q2 := s.quantize(q1)
+	if cmplx.Abs(q1-q2) > 1e-9 {
+		t.Errorf("quantize not idempotent: %v vs %v", q1, q2)
+	}
+	if s.quantize(0) != 0 {
+		t.Error("quantize(0) should be 0")
+	}
+	// Coarser quantisers are lossier on average.
+	coarse := Sounding{EstimationSNRdB: math.Inf(1), PhaseBits: 2, MagBits: 2}
+	fine := Sounding{EstimationSNRdB: math.Inf(1), PhaseBits: 10, MagBits: 10}
+	src := rng.New(7)
+	var coarseErr, fineErr float64
+	for i := 0; i < 500; i++ {
+		z := src.ComplexCircular(1)
+		coarseErr += cmplx.Abs(coarse.quantize(z) - z)
+		fineErr += cmplx.Abs(fine.quantize(z) - z)
+	}
+	if coarseErr <= fineErr {
+		t.Errorf("coarse quantiser error %v should exceed fine %v", coarseErr, fineErr)
+	}
+}
+
+func TestSoundingDegradesWithLowSNR(t *testing.T) {
+	h := mkH(rng.New(11), 4, 4)
+	relErr := func(estSNR float64) float64 {
+		s := Sounding{EstimationSNRdB: estSNR, PhaseBits: 0, MagBits: 0}
+		sum := 0.0
+		for i := 0; i < 50; i++ {
+			fb := s.Feedback(h, rng.New(int64(i)))
+			sum += fb.Sub(h).FrobeniusNorm() / h.FrobeniusNorm()
+		}
+		return sum / 50
+	}
+	if lo, hi := relErr(30), relErr(10); lo >= hi {
+		t.Errorf("estimation error at 30dB (%v) should beat 10dB (%v)", lo, hi)
+	}
+}
+
+func TestAirtimeRealistic(t *testing.T) {
+	// A 1500-byte frame at MCS7 single stream ≈ 40us preamble + ~11 symbols.
+	d, _ := Airtime(1500, Table[7], 1)
+	if d < 60*time.Microsecond || d > 150*time.Microsecond {
+		t.Errorf("airtime %v outside plausible range", d)
+	}
+}

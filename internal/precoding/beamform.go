@@ -1,0 +1,96 @@
+package precoding
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/matrix"
+)
+
+// Single-user beamforming (§7 of the paper). At low client density an AP
+// may serve one client with all antennas; the paper notes this trades the
+// linear multiplexing gain for a logarithmic SNR gain and — worse in a
+// DAS — silences distant antennas' neighbourhoods. Its recommendation is
+// to beamform only from the antennas near the client. This file provides
+// both pieces: equal-gain transmission (the optimal single-stream
+// beamformer under a per-antenna power constraint) and the localized
+// antenna-subset rule.
+
+// EGT returns the equal-gain single-user beamforming vector for channel
+// row h (length |T|): every antenna transmits at full per-antenna power
+// with its phase conjugated so contributions add coherently at the
+// client. Under the per-antenna constraint this maximises received
+// power (each antenna's amplitude is capped, so only phase is free).
+// The result is |T|×1.
+func EGT(h []complex128, perAntennaPower float64) (*matrix.Mat, error) {
+	if len(h) == 0 {
+		return nil, errors.New("precoding: EGT with no antennas")
+	}
+	if perAntennaPower <= 0 {
+		return nil, errors.New("precoding: non-positive power")
+	}
+	v := matrix.New(len(h), 1)
+	amp := complex(math.Sqrt(perAntennaPower), 0)
+	for k, hk := range h {
+		if hk == 0 {
+			// Antenna contributes nothing coherent; keep it silent so
+			// its airtime does not pollute the neighbourhood.
+			continue
+		}
+		phase := cmplx.Conj(hk) / complex(cmplx.Abs(hk), 0)
+		v.Set(k, 0, amp*phase)
+	}
+	return v, nil
+}
+
+// BeamformSNR returns the client SNR (linear) delivered by beamformer v
+// over channel row h.
+func BeamformSNR(h []complex128, v *matrix.Mat, noise float64) float64 {
+	var s complex128
+	for k := range h {
+		s += h[k] * v.At(k, 0)
+	}
+	return (real(s)*real(s) + imag(s)*imag(s)) / noise
+}
+
+// LocalizedAntennas implements §7's rule: keep only the antennas whose
+// mean channel power is within windowDB of the strongest — the client's
+// "neighbourhood" — so distant antennas stay quiet and available for
+// other APs' spatial reuse. At least one antenna is always returned.
+func LocalizedAntennas(h []complex128, windowDB float64) []int {
+	best := 0.0
+	for _, hk := range h {
+		if p := real(hk)*real(hk) + imag(hk)*imag(hk); p > best {
+			best = p
+		}
+	}
+	if best == 0 {
+		return []int{0}
+	}
+	floor := best * math.Pow(10, -windowDB/10)
+	var idx []int
+	for k, hk := range h {
+		if p := real(hk)*real(hk) + imag(hk)*imag(hk); p >= floor {
+			idx = append(idx, k)
+		}
+	}
+	return idx
+}
+
+// LocalizedEGT beamforms from only the client's neighbourhood antennas:
+// the returned vector is full length |T| with zeros on excluded antennas,
+// alongside the included antenna set.
+func LocalizedEGT(h []complex128, perAntennaPower, windowDB float64) (*matrix.Mat, []int, error) {
+	idx := LocalizedAntennas(h, windowDB)
+	v := matrix.New(len(h), 1)
+	amp := complex(math.Sqrt(perAntennaPower), 0)
+	for _, k := range idx {
+		if h[k] == 0 {
+			continue
+		}
+		phase := cmplx.Conj(h[k]) / complex(cmplx.Abs(h[k]), 0)
+		v.Set(k, 0, amp*phase)
+	}
+	return v, idx, nil
+}

@@ -1,0 +1,151 @@
+package precoding
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/rng"
+)
+
+func TestEGTCoherentCombining(t *testing.T) {
+	// Random channel: EGT must beat any single antenna and achieve the
+	// analytic EGT power (Σ|h_k|)²·P.
+	s := rng.New(1)
+	h := make([]complex128, 4)
+	for k := range h {
+		h[k] = s.ComplexCircular(1)
+	}
+	const p = 2.0
+	v, err := EGT(h, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := BeamformSNR(h, v, 1)
+	sumAbs := 0.0
+	best := 0.0
+	for _, hk := range h {
+		a := cmplx.Abs(hk)
+		sumAbs += a
+		if a*a*p > best {
+			best = a * a * p
+		}
+	}
+	want := sumAbs * sumAbs * p
+	if math.Abs(got-want) > 1e-9*want {
+		t.Errorf("EGT SNR = %v, want %v", got, want)
+	}
+	if got <= best {
+		t.Errorf("EGT %v should beat best single antenna %v", got, best)
+	}
+}
+
+func TestEGTRespectsPerAntennaPower(t *testing.T) {
+	s := rng.New(2)
+	h := make([]complex128, 4)
+	for k := range h {
+		h[k] = s.ComplexCircular(1)
+	}
+	v, err := EGT(h, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 4; k++ {
+		if pw := v.RowPower(k); pw > 3.0*(1+1e-12) {
+			t.Errorf("antenna %d power %v exceeds 3.0", k, pw)
+		}
+	}
+}
+
+func TestEGTZeroEntryStaysSilent(t *testing.T) {
+	h := []complex128{1, 0, 2i}
+	v, err := EGT(h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.At(1, 0) != 0 {
+		t.Error("zero-channel antenna should stay silent")
+	}
+}
+
+func TestEGTErrors(t *testing.T) {
+	if _, err := EGT(nil, 1); err == nil {
+		t.Error("empty channel should error")
+	}
+	if _, err := EGT([]complex128{1}, 0); err == nil {
+		t.Error("zero power should error")
+	}
+}
+
+func TestLocalizedAntennasWindow(t *testing.T) {
+	// Powers: 1, 0.5 (-3dB), 0.01 (-20dB).
+	h := []complex128{1, complex(math.Sqrt(0.5), 0), 0.1}
+	idx := LocalizedAntennas(h, 6)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Errorf("6 dB window = %v, want [0 1]", idx)
+	}
+	idx = LocalizedAntennas(h, 30)
+	if len(idx) != 3 {
+		t.Errorf("30 dB window = %v, want all", idx)
+	}
+	if got := LocalizedAntennas([]complex128{0, 0}, 6); len(got) != 1 {
+		t.Errorf("dead channel should still return one antenna: %v", got)
+	}
+}
+
+func TestLocalizedEGTSilencesFarAntennas(t *testing.T) {
+	h := []complex128{1, 1e-4} // second antenna 80 dB down
+	v, idx, err := LocalizedEGT(h, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 1 || idx[0] != 0 {
+		t.Fatalf("neighbourhood = %v", idx)
+	}
+	if v.At(1, 0) != 0 {
+		t.Error("far antenna should be silent")
+	}
+	if v.At(0, 0) == 0 {
+		t.Error("near antenna should transmit")
+	}
+}
+
+// §7's tradeoff, quantified: localized beamforming loses little SNR when
+// the excluded antennas are weak.
+func TestLocalizedEGTSNRLossSmall(t *testing.T) {
+	s := rng.New(3)
+	for trial := 0; trial < 50; trial++ {
+		h := make([]complex128, 4)
+		h[0] = s.ComplexCircular(1)
+		h[1] = s.ComplexCircular(1)
+		h[2] = s.ComplexCircular(1e-4) // two far antennas
+		h[3] = s.ComplexCircular(1e-4)
+		full, err := EGT(h, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, _, err := LocalizedEGT(h, 1, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullSNR := BeamformSNR(h, full, 1e-3)
+		localSNR := BeamformSNR(h, local, 1e-3)
+		// An excluded antenna sits ≥12 dB below the best (amplitude
+		// ratio ≤ 1/4), so even excluding one right at the window edge
+		// keeps localized/full ≥ (1/(1+1/4))² ≈ 0.64 per exclusion; the
+		// far antennas at -80 dB cost nothing measurable.
+		if localSNR < 0.55*fullSNR {
+			t.Errorf("trial %d: localized SNR %v lost too much of full %v", trial, localSNR, fullSNR)
+		}
+	}
+}
+
+func TestBeamformSNRHandMade(t *testing.T) {
+	h := []complex128{2}
+	v := matrix.New(1, 1)
+	v.Set(0, 0, 3)
+	if got := BeamformSNR(h, v, 4); got != 9 {
+		t.Errorf("SNR = %v, want 9 (|2·3|²/4)", got)
+	}
+}

@@ -1,0 +1,537 @@
+// Package precoding implements the MU-MIMO downlink precoders evaluated in
+// the MIDAS paper (§3.1):
+//
+//   - ZFBF: classic zero-forcing beamforming via the channel pseudoinverse
+//     with equal power per stream (optimal under a total power constraint,
+//     but oblivious to 802.11ac's per-antenna constraint);
+//   - NaiveScaled: the paper's baseline — ZFBF followed by one global
+//     scaling factor so the worst antenna meets the per-antenna constraint
+//     (Eq. 5), wasting power on the other antennas;
+//   - PowerBalanced: the paper's contribution — iterative per-row reverse
+//     water-filling (§3.1.2, Eq. 7–9) that scales whole columns to retain
+//     the interference-free property while minimising rate loss;
+//   - OptimalZF: a numerical reference, maximising the zero-forcing sum
+//     rate under per-antenna power constraints by dual subgradient
+//     optimisation (the role MATLAB's toolbox plays in Fig. 11).
+//
+// Conventions: the channel matrix H is |C|×|T| (rows clients, columns
+// antennas) with entries h_jk as in Eq. 4. A precoder V is |T|×|C| (rows
+// antennas, columns streams). Powers are linear (milliwatt); the received
+// power from stream j at client i is |(H·V)_{ij}|².
+package precoding
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// Problem is one MU-MIMO precoding instance.
+type Problem struct {
+	// H is the |C|×|T| downlink channel matrix.
+	H *matrix.Mat
+	// PerAntennaPower is the per-antenna power constraint P (linear mW),
+	// Eq. 3 in the paper.
+	PerAntennaPower float64
+	// Noise is the receiver noise power N0 (linear mW).
+	Noise float64
+}
+
+// Validate checks the problem is well-formed.
+func (p Problem) Validate() error {
+	if p.H == nil {
+		return errors.New("precoding: nil channel matrix")
+	}
+	if p.H.Rows() > p.H.Cols() {
+		return fmt.Errorf("precoding: %d clients exceed %d antennas", p.H.Rows(), p.H.Cols())
+	}
+	if p.PerAntennaPower <= 0 {
+		return errors.New("precoding: non-positive per-antenna power")
+	}
+	if p.Noise <= 0 {
+		return errors.New("precoding: non-positive noise power")
+	}
+	return nil
+}
+
+// totalPower is the aggregate budget |T|·P used for the equal-split step.
+func (p Problem) totalPower() float64 {
+	return float64(p.H.Cols()) * p.PerAntennaPower
+}
+
+// ZFBF computes the zero-forcing precoder with equal power per stream
+// under the *total* power constraint Σ_k Σ_j |v_kj|² = |T|·P (Eq. 1–2).
+// The result nulls all inter-stream interference but may violate the
+// per-antenna constraint (Eq. 3) on some antennas — the starting point of
+// both the naive baseline and MIDAS's power balancing.
+func ZFBF(p Problem) (*matrix.Mat, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	v, err := p.H.PseudoInverse() // |T|×|C|
+	if err != nil {
+		return nil, fmt.Errorf("precoding: ZFBF: %w", err)
+	}
+	v.NormalizeCols()
+	streamPower := p.totalPower() / float64(v.Cols())
+	for j := 0; j < v.Cols(); j++ {
+		v.ScaleCol(j, math.Sqrt(streamPower))
+	}
+	return v, nil
+}
+
+// NaiveScaled computes the baseline precoder of §5.1: ZFBF with equal
+// power, then one global scale factor chosen so the most-loaded antenna
+// (Eq. 5) exactly meets the per-antenna constraint. The interference-free
+// property is preserved, but antennas other than the worst one are left
+// underutilised — severely so in DAS, whose topology imbalance spreads
+// row powers widely (Fig. 3).
+func NaiveScaled(p Problem) (*matrix.Mat, error) {
+	v, err := ZFBF(p)
+	if err != nil {
+		return nil, err
+	}
+	_, worst := v.MaxRowPower()
+	if worst > p.PerAntennaPower {
+		scale := math.Sqrt(p.PerAntennaPower / worst)
+		for j := 0; j < v.Cols(); j++ {
+			v.ScaleCol(j, scale)
+		}
+	}
+	return v, nil
+}
+
+// Result carries a computed precoder together with diagnostics.
+type Result struct {
+	V *matrix.Mat
+	// Iterations is the number of row-restoration rounds performed
+	// (PowerBalanced) or optimisation iterations (OptimalZF).
+	Iterations int
+	// Weights are the cumulative per-stream scaling weights applied to
+	// the equal-power ZFBF solution (PowerBalanced only).
+	Weights []float64
+}
+
+// powerFloor is the smallest fraction of a stream's power that reverse
+// water-filling may leave, implementing the paper's "zero power allocation
+// is not allowed" rule (§3.1.2 requirement (i)).
+const powerFloor = 1e-4
+
+// PowerBalanced computes MIDAS's power-balanced precoder (§3.1.2):
+//
+//  1. start from the equal-power ZFBF solution;
+//  2. pick the row (antenna) k* violating the per-antenna constraint by
+//     the most;
+//  3. compute per-stream power reductions for that row by reverse
+//     water-filling (Eq. 9), which takes larger reductions from larger
+//     precoding entries because the rate cost of a weight w is log2(w²)
+//     regardless of the entry it scales;
+//  4. apply each weight to the entire column so the SINR matrix stays
+//     diagonal (Fig. 4), and repeat until every row satisfies Eq. 3.
+//
+// Because reductions are non-negative, restored rows never re-violate and
+// the loop terminates after at most |T| rounds.
+func PowerBalanced(p Problem) (*Result, error) {
+	v, err := ZFBF(p)
+	if err != nil {
+		return nil, err
+	}
+	nT, nC := v.Rows(), v.Cols()
+	weights := make([]float64, nC)
+	for j := range weights {
+		weights[j] = 1
+	}
+	const tol = 1e-12
+	iters := 0
+	for ; iters < nT+1; iters++ {
+		k, worst := v.MaxRowPower()
+		if worst <= p.PerAntennaPower*(1+tol) {
+			break
+		}
+		// Current post-ZF stream SNRs ρ_j (interference is nulled, so
+		// SINR = SNR = |h_j·v_j|²/N0).
+		rho := streamSNRs(p.H, v, p.Noise)
+		row := make([]float64, nC)
+		for j := 0; j < nC; j++ {
+			e := v.At(k, j)
+			row[j] = real(e)*real(e) + imag(e)*imag(e)
+		}
+		w, err := reverseWaterfill(row, rho, p.PerAntennaPower)
+		if err != nil {
+			return nil, fmt.Errorf("precoding: row %d: %w", k, err)
+		}
+		for j := 0; j < nC; j++ {
+			if w[j] < 1 {
+				v.ScaleCol(j, w[j])
+				weights[j] *= w[j]
+			}
+		}
+	}
+	if _, worst := v.MaxRowPower(); worst > p.PerAntennaPower*(1+1e-6) {
+		return nil, fmt.Errorf("precoding: power balancing did not converge (row power %v > %v)",
+			worst, p.PerAntennaPower)
+	}
+	return &Result{V: v, Iterations: iters, Weights: weights}, nil
+}
+
+// reverseWaterfill solves the §3.1.2 subproblem for one violating row:
+// choose per-stream power reductions Pj ≥ 0 with Σ_j (row_j − Pj) ≤ budget
+// maximising Σ_j log2(1 + w_j²ρ_j), w_j² = 1 − Pj/row_j. The KKT solution
+// is Pj = [(1+1/ρ_j)·row_j − μ]⁺ with the water level μ = 1/λ chosen to
+// meet the budget. Reductions are capped so no stream drops below
+// powerFloor of its current power ("zero power not allowed").
+//
+// It returns the per-stream amplitude weights w_j ∈ (0, 1].
+func reverseWaterfill(row, rho []float64, budget float64) ([]float64, error) {
+	n := len(row)
+	if len(rho) != n {
+		return nil, errors.New("reverse waterfill: length mismatch")
+	}
+	have := 0.0
+	for _, r := range row {
+		have += r
+	}
+	need := have - budget
+	w := make([]float64, n)
+	for j := range w {
+		w[j] = 1
+	}
+	if need <= 0 {
+		return w, nil
+	}
+	// Thresholds t_j = (1+1/ρ_j)·row_j: stream j takes reduction
+	// Pj = t_j − μ when μ < t_j. Caps c_j = (1−powerFloor)·row_j.
+	type stream struct {
+		t, cap float64
+		idx    int
+	}
+	ss := make([]stream, n)
+	maxRed := 0.0
+	for j := range ss {
+		r := rho[j]
+		if r <= 0 || math.IsNaN(r) {
+			// A dead stream costs no rate: allow taking its power first
+			// by giving it an effectively infinite threshold.
+			ss[j] = stream{t: math.Inf(1), cap: (1 - powerFloor) * row[j], idx: j}
+		} else {
+			ss[j] = stream{t: (1 + 1/r) * row[j], cap: (1 - powerFloor) * row[j], idx: j}
+		}
+		maxRed += ss[j].cap
+	}
+	if need > maxRed {
+		return nil, fmt.Errorf("reverse waterfill: need %v exceeds reducible power %v", need, maxRed)
+	}
+	// Find μ by bisection on total reduction; Σ_j min(cap_j, (t_j−μ)⁺) is
+	// non-increasing and piecewise-linear in μ.
+	total := func(mu float64) float64 {
+		s := 0.0
+		for _, st := range ss {
+			red := st.t - mu
+			if red <= 0 {
+				continue
+			}
+			if red > st.cap {
+				red = st.cap
+			}
+			s += red
+		}
+		return s
+	}
+	lo, hi := 0.0, 0.0
+	for _, st := range ss {
+		if !math.IsInf(st.t, 1) && st.t > hi {
+			hi = st.t
+		}
+	}
+	if hi == 0 {
+		hi = 1
+	}
+	// total(hi) may still exceed `need` if infinite-threshold (dead)
+	// streams alone cover it; handle by checking the fixed part first.
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if total(mid) > need {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-15*(1+hi) {
+			break
+		}
+	}
+	mu := hi
+	// Distribute: reductions at level mu may undershoot `need` slightly
+	// (bisection tolerance); spread the residual over unsaturated streams
+	// in threshold order.
+	red := make([]float64, n)
+	got := 0.0
+	for _, st := range ss {
+		r := st.t - mu
+		if r <= 0 {
+			continue
+		}
+		if r > st.cap {
+			r = st.cap
+		}
+		red[st.idx] = r
+		got += r
+	}
+	if residual := need - got; residual > 0 {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return ss[order[a]].t > ss[order[b]].t })
+		for _, j := range order {
+			if residual <= 0 {
+				break
+			}
+			room := ss[j].cap - red[ss[j].idx]
+			take := math.Min(room, residual)
+			red[ss[j].idx] += take
+			residual -= take
+		}
+		if residual > 1e-9*need {
+			return nil, fmt.Errorf("reverse waterfill: could not place residual %v", residual)
+		}
+	}
+	for j := range w {
+		if row[j] <= 0 {
+			continue
+		}
+		frac := 1 - red[j]/row[j]
+		if frac < powerFloor {
+			frac = powerFloor
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		w[j] = math.Sqrt(frac)
+	}
+	return w, nil
+}
+
+// streamSNRs returns ρ_j = |(H·V)_{jj}|²/N0 for each stream, the post-ZF
+// SNR of the desired stream at its client.
+func streamSNRs(h, v *matrix.Mat, noise float64) []float64 {
+	a := h.Mul(v)
+	out := make([]float64, a.Cols())
+	for j := range out {
+		e := a.At(j, j)
+		out[j] = (real(e)*real(e) + imag(e)*imag(e)) / noise
+	}
+	return out
+}
+
+// SINRMatrix returns the |C|×|C| matrix S of Eq. 4: s_ij is the noise-
+// normalised power of stream i received at client j. For an exact ZF
+// precoder S is diagonal.
+func SINRMatrix(h, v *matrix.Mat, noise float64) *matrix.Mat {
+	a := h.Mul(v) // a_{ji} = amplitude of stream i at client j
+	n := a.Rows()
+	s := matrix.New(a.Cols(), n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < a.Cols(); i++ {
+			e := a.At(j, i)
+			s.Set(i, j, complex((real(e)*real(e)+imag(e)*imag(e))/noise, 0))
+		}
+	}
+	return s
+}
+
+// StreamSINRs returns ρ_j for each client j per Eq. 4, including residual
+// inter-stream interference: ρ_j = s_jj / (1 + Σ_{i≠j} s_ij).
+func StreamSINRs(h, v *matrix.Mat, noise float64) []float64 {
+	s := SINRMatrix(h, v, noise)
+	n := h.Rows()
+	out := make([]float64, n)
+	for j := 0; j < n; j++ {
+		interf := 0.0
+		for i := 0; i < n; i++ {
+			if i != j {
+				interf += real(s.At(i, j))
+			}
+		}
+		out[j] = real(s.At(j, j)) / (1 + interf)
+	}
+	return out
+}
+
+// SumRate returns Σ_j log2(1+ρ_j) in bit/s/Hz — the paper's capacity
+// metric (§5.1).
+func SumRate(h, v *matrix.Mat, noise float64) float64 {
+	sum := 0.0
+	for _, r := range StreamSINRs(h, v, noise) {
+		sum += math.Log2(1 + r)
+	}
+	return sum
+}
+
+// RatePerStream returns log2(1+ρ_j) for each stream.
+func RatePerStream(h, v *matrix.Mat, noise float64) []float64 {
+	rs := StreamSINRs(h, v, noise)
+	out := make([]float64, len(rs))
+	for j, r := range rs {
+		out[j] = math.Log2(1 + r)
+	}
+	return out
+}
+
+// MaxRowPowerViolation returns by how much the precoder's most-loaded
+// antenna exceeds the per-antenna budget (0 when compliant).
+func MaxRowPowerViolation(v *matrix.Mat, perAntenna float64) float64 {
+	_, worst := v.MaxRowPower()
+	if worst <= perAntenna {
+		return 0
+	}
+	return worst - perAntenna
+}
+
+// OptimalOptions tunes the OptimalZF solver.
+type OptimalOptions struct {
+	MaxIters int
+	Step     float64 // dual subgradient step size
+	Tol      float64 // relative duality-residual tolerance
+}
+
+// DefaultOptimalOptions returns solver settings adequate for ≤8 antennas.
+func DefaultOptimalOptions() OptimalOptions {
+	return OptimalOptions{MaxIters: 6000, Step: 0.05, Tol: 1e-8}
+}
+
+// OptimalZF numerically maximises the zero-forcing sum rate under the
+// per-antenna power constraint: the beam directions are fixed to the ZF
+// directions u_j (for square systems the null-space is one-dimensional,
+// so this is the full optimum of Eq. 1–3), and the per-stream powers p_j
+// solve
+//
+//	max Σ_j log2(1 + p_j·g_j)   s.t.  Σ_j p_j·|u_kj|² ≤ P ∀k, p_j ≥ 0
+//
+// by dual subgradient iteration on the antenna multipliers λ_k, with the
+// primal waterfilling solution p_j = [1/(ln2·Σ_k λ_k|u_kj|²) − 1/g_j]⁺.
+// This is the reproduction's stand-in for the MATLAB numerical toolbox
+// the paper compares against in Fig. 11.
+func OptimalZF(p Problem, opts OptimalOptions) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	u, err := p.H.PseudoInverse()
+	if err != nil {
+		return nil, fmt.Errorf("precoding: OptimalZF: %w", err)
+	}
+	u.NormalizeCols()
+	nT, nC := u.Rows(), u.Cols()
+	// Effective gains g_j = |h_j · u_j|² / N0.
+	g := make([]float64, nC)
+	a := p.H.Mul(u)
+	for j := 0; j < nC; j++ {
+		e := a.At(j, j)
+		g[j] = (real(e)*real(e) + imag(e)*imag(e)) / p.Noise
+	}
+	// |u_kj|².
+	u2 := make([][]float64, nT)
+	for k := 0; k < nT; k++ {
+		u2[k] = make([]float64, nC)
+		for j := 0; j < nC; j++ {
+			e := u.At(k, j)
+			u2[k][j] = real(e)*real(e) + imag(e)*imag(e)
+		}
+	}
+	lambda := make([]float64, nT)
+	for k := range lambda {
+		lambda[k] = 1 / (math.Ln2 * p.PerAntennaPower * float64(nC))
+	}
+	pj := make([]float64, nC)
+	best := make([]float64, nC)
+	bestRate := math.Inf(-1)
+	iters := 0
+	for ; iters < opts.MaxIters; iters++ {
+		// Primal from duals.
+		for j := 0; j < nC; j++ {
+			c := 0.0
+			for k := 0; k < nT; k++ {
+				c += lambda[k] * u2[k][j]
+			}
+			if c <= 0 {
+				pj[j] = p.PerAntennaPower * float64(nT) // cap explosion
+				continue
+			}
+			v := 1/(math.Ln2*c) - 1/g[j]
+			if v < 0 {
+				v = 0
+			}
+			pj[j] = v
+		}
+		// Feasible projection: scale down so every antenna meets P, then
+		// score; keep the best feasible solution seen.
+		worst := 0.0
+		for k := 0; k < nT; k++ {
+			s := 0.0
+			for j := 0; j < nC; j++ {
+				s += pj[j] * u2[k][j]
+			}
+			if s > worst {
+				worst = s
+			}
+		}
+		scale := 1.0
+		if worst > p.PerAntennaPower {
+			scale = p.PerAntennaPower / worst
+		}
+		rate := 0.0
+		for j := 0; j < nC; j++ {
+			rate += math.Log2(1 + scale*pj[j]*g[j])
+		}
+		if rate > bestRate {
+			bestRate = rate
+			for j := range best {
+				best[j] = scale * pj[j]
+			}
+		}
+		// Dual subgradient step.
+		maxResidual := 0.0
+		for k := 0; k < nT; k++ {
+			s := 0.0
+			for j := 0; j < nC; j++ {
+				s += pj[j] * u2[k][j]
+			}
+			grad := s - p.PerAntennaPower
+			if r := math.Abs(grad) / p.PerAntennaPower; lambda[k] > 1e-12 && r > maxResidual {
+				maxResidual = r
+			}
+			lambda[k] += opts.Step / math.Sqrt(float64(iters+1)) * grad / p.PerAntennaPower
+			if lambda[k] < 0 {
+				lambda[k] = 0
+			}
+		}
+		if maxResidual < opts.Tol && iters > 50 {
+			break
+		}
+	}
+	v := u.Clone()
+	for j := 0; j < nC; j++ {
+		v.ScaleCol(j, math.Sqrt(best[j]))
+	}
+	return &Result{V: v, Iterations: iters}, nil
+}
+
+// ZFResidual returns the largest off-diagonal amplitude of H·V relative to
+// the largest diagonal amplitude — a dimensionless measure of how well a
+// precoder preserves the zero-interference property.
+func ZFResidual(h, v *matrix.Mat) float64 {
+	a := h.Mul(v)
+	maxDiag := 0.0
+	for i := 0; i < a.Rows() && i < a.Cols(); i++ {
+		if m := cmplx.Abs(a.At(i, i)); m > maxDiag {
+			maxDiag = m
+		}
+	}
+	if maxDiag == 0 {
+		return math.Inf(1)
+	}
+	return a.OffDiagMax() / maxDiag
+}

@@ -1,0 +1,169 @@
+// Package rng provides the deterministic random sources used by the MIDAS
+// simulator: seeded uniform/Gaussian draws, circularly-symmetric complex
+// Gaussians for Rayleigh fading, log-normal shadowing, and cheap splittable
+// sub-streams so that independent subsystems (topology, fading, MAC jitter)
+// consume independent randomness from one experiment seed.
+//
+// Every experiment in this repository takes an explicit seed; two runs with
+// the same seed produce byte-identical results.
+package rng
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// Source is a deterministic random stream. It wraps math/rand with the
+// distributions the wireless models need.
+type Source struct {
+	r    *rand.Rand
+	seed int64
+}
+
+// New returns a Source seeded with seed.
+func New(seed int64) *Source {
+	return &Source{r: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Seed returns the seed this source was created with.
+func (s *Source) Seed() int64 { return s.seed }
+
+// Split derives an independent child stream from this source's seed and a
+// label. The same (seed, label) pair always yields the same child, while
+// different labels yield decorrelated streams. Splitting never advances the
+// parent stream, so adding a new Split call site does not perturb existing
+// consumers.
+func (s *Source) Split(label string) *Source {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for i := 0; i < len(label); i++ {
+		mix(label[i])
+	}
+	u := uint64(s.seed)
+	for i := 0; i < 8; i++ {
+		mix(byte(u >> (8 * i)))
+	}
+	// Final avalanche (splitmix64 finalizer) so nearby seeds diverge.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return New(int64(h))
+}
+
+// SplitN derives the i-th child of a labelled family, e.g. one stream per
+// topology index.
+func (s *Source) SplitN(label string, i int) *Source {
+	return s.Split(label + "#" + itoa(i))
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var buf [20]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		p--
+		buf[p] = '-'
+	}
+	return string(buf[p:])
+}
+
+// Int63 returns a non-negative 63-bit integer.
+func (s *Source) Int63() int64 { return s.r.Int63() }
+
+// Intn returns an integer in [0, n).
+func (s *Source) Intn(n int) int { return s.r.Intn(n) }
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Uniform returns a uniform value in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.r.Float64()
+}
+
+// Norm returns a standard normal draw.
+func (s *Source) Norm() float64 { return s.r.NormFloat64() }
+
+// Gauss returns a normal draw with the given mean and standard deviation.
+func (s *Source) Gauss(mean, std float64) float64 {
+	return mean + std*s.r.NormFloat64()
+}
+
+// LogNormalDB returns a linear-scale multiplicative factor whose dB value
+// is N(0, sigmaDB) — the standard model for shadow fading.
+func (s *Source) LogNormalDB(sigmaDB float64) float64 {
+	return math.Pow(10, s.Gauss(0, sigmaDB)/10)
+}
+
+// ComplexCircular returns a circularly-symmetric complex Gaussian
+// CN(0, variance): real and imaginary parts are independent
+// N(0, variance/2), so E[|z|²] == variance.
+func (s *Source) ComplexCircular(variance float64) complex128 {
+	std := math.Sqrt(variance / 2)
+	return complex(s.Gauss(0, std), s.Gauss(0, std))
+}
+
+// UnitPhasor returns e^{jθ} with θ uniform in [0, 2π).
+func (s *Source) UnitPhasor() complex128 {
+	theta := s.Uniform(0, 2*math.Pi)
+	return cmplx.Exp(complex(0, theta))
+}
+
+// Rayleigh returns the magnitude of a CN(0, 2σ²) draw — a Rayleigh random
+// variable with scale sigma.
+func (s *Source) Rayleigh(sigma float64) float64 {
+	return cmplx.Abs(s.ComplexCircular(2 * sigma * sigma))
+}
+
+// Exp returns an exponential draw with the given mean.
+func (s *Source) Exp(mean float64) float64 {
+	return s.r.ExpFloat64() * mean
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+
+// PointInDisc returns a uniform point in the disc of the given radius
+// centred at the origin.
+func (s *Source) PointInDisc(radius float64) (x, y float64) {
+	r := radius * math.Sqrt(s.Float64())
+	theta := s.Uniform(0, 2*math.Pi)
+	return r * math.Cos(theta), r * math.Sin(theta)
+}
+
+// PointInAnnulus returns a uniform point in the annulus rInner <= r < rOuter
+// centred at the origin. It panics unless 0 <= rInner < rOuter.
+func (s *Source) PointInAnnulus(rInner, rOuter float64) (x, y float64) {
+	if rInner < 0 || rInner >= rOuter {
+		panic("rng: invalid annulus radii")
+	}
+	// Uniform over area: r² uniform in [rInner², rOuter²).
+	r2 := s.Uniform(rInner*rInner, rOuter*rOuter)
+	r := math.Sqrt(r2)
+	theta := s.Uniform(0, 2*math.Pi)
+	return r * math.Cos(theta), r * math.Sin(theta)
+}

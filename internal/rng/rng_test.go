@@ -1,0 +1,251 @@
+package rng
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed should give identical streams")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams from different seeds nearly identical (%d matches)", same)
+	}
+}
+
+func TestSplitIndependentOfParentUse(t *testing.T) {
+	p1 := New(7)
+	c1 := p1.Split("fading")
+	p2 := New(7)
+	p2.Float64() // advance parent
+	c2 := p2.Split("fading")
+	for i := 0; i < 50; i++ {
+		if c1.Float64() != c2.Float64() {
+			t.Fatal("Split must not depend on parent stream position")
+		}
+	}
+}
+
+func TestSplitLabelsDecorrelated(t *testing.T) {
+	p := New(7)
+	a := p.Split("a")
+	b := p.Split("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("labelled splits should differ; %d matches", same)
+	}
+}
+
+func TestSplitN(t *testing.T) {
+	p := New(9)
+	if p.SplitN("t", 3).Seed() == p.SplitN("t", 4).Seed() {
+		t.Error("SplitN children should have distinct seeds")
+	}
+	if p.SplitN("t", 3).Seed() != p.SplitN("t", 3).Seed() {
+		t.Error("SplitN should be deterministic")
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 5: "5", 42: "42", -17: "-17", 1000: "1000"}
+	for in, want := range cases {
+		if got := itoa(in); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		x := s.Uniform(-2, 5)
+		if x < -2 || x >= 5 {
+			t.Fatalf("Uniform out of range: %v", x)
+		}
+	}
+}
+
+func TestGaussMoments(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := s.Gauss(3, 2)
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean-3) > 0.03 {
+		t.Errorf("mean = %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.1 {
+		t.Errorf("var = %v, want ~4", variance)
+	}
+}
+
+func TestComplexCircularMoments(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	var power, re, im float64
+	for i := 0; i < n; i++ {
+		z := s.ComplexCircular(2.5)
+		power += real(z)*real(z) + imag(z)*imag(z)
+		re += real(z)
+		im += imag(z)
+	}
+	if got := power / n; math.Abs(got-2.5) > 0.05 {
+		t.Errorf("E|z|^2 = %v, want ~2.5", got)
+	}
+	if math.Abs(re/n) > 0.02 || math.Abs(im/n) > 0.02 {
+		t.Errorf("mean not ~0: %v %v", re/n, im/n)
+	}
+}
+
+func TestUnitPhasor(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 100; i++ {
+		z := s.UnitPhasor()
+		if math.Abs(cmplx.Abs(z)-1) > 1e-12 {
+			t.Fatalf("|phasor| = %v", cmplx.Abs(z))
+		}
+	}
+}
+
+func TestRayleighMean(t *testing.T) {
+	// E[Rayleigh(sigma)] = sigma*sqrt(pi/2).
+	s := New(19)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Rayleigh(2)
+	}
+	want := 2 * math.Sqrt(math.Pi/2)
+	if got := sum / n; math.Abs(got-want) > 0.03 {
+		t.Errorf("Rayleigh mean = %v, want ~%v", got, want)
+	}
+}
+
+func TestLogNormalDBMedian(t *testing.T) {
+	// Median of a 0-mean log-normal (in dB) is 1 in linear scale.
+	s := New(23)
+	const n = 100001
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = s.LogNormalDB(8)
+	}
+	// count below 1
+	below := 0
+	for _, x := range xs {
+		if x < 1 {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("P(X<1) = %v, want ~0.5", frac)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(29)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exp(4)
+	}
+	if got := sum / n; math.Abs(got-4) > 0.1 {
+		t.Errorf("Exp mean = %v, want ~4", got)
+	}
+}
+
+func TestPointInDisc(t *testing.T) {
+	s := New(31)
+	inside := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		x, y := s.PointInDisc(3)
+		r := math.Hypot(x, y)
+		if r > 3 {
+			t.Fatalf("point outside disc: r=%v", r)
+		}
+		if r < 3/math.Sqrt2 { // inner disc of half the area
+			inside++
+		}
+	}
+	frac := float64(inside) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("area uniformity: inner-half fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestPointInAnnulus(t *testing.T) {
+	s := New(37)
+	for i := 0; i < 5000; i++ {
+		x, y := s.PointInAnnulus(2, 5)
+		r := math.Hypot(x, y)
+		if r < 2-1e-9 || r >= 5+1e-9 {
+			t.Fatalf("point outside annulus: r=%v", r)
+		}
+	}
+}
+
+func TestPointInAnnulusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad radii")
+		}
+	}()
+	New(1).PointInAnnulus(5, 2)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		m := int(n%20) + 1
+		p := New(seed).Perm(m)
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Split determinism — (seed, label) fully determines the child.
+func TestSplitDeterministicProperty(t *testing.T) {
+	f := func(seed int64, label string) bool {
+		a := New(seed).Split(label)
+		b := New(seed).Split(label)
+		return a.Seed() == b.Seed() && a.Float64() == b.Float64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

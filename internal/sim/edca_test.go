@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/mac"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func TestMixedTrafficNetworkRuns(t *testing.T) {
+	cfg := topology.DefaultConfig(topology.DAS)
+	dep := topology.ThreeAPTestbed(cfg, rng.New(3))
+	opts := DefaultStationOpts(KindMIDAS)
+	opts.TrafficMix = map[mac.AccessCategory]float64{
+		mac.ACVoice:      0.1,
+		mac.ACVideo:      0.3,
+		mac.ACBestEffort: 0.5,
+		mac.ACBackground: 0.1,
+	}
+	net := NewNetwork(dep, channel.Default(), opts, rng.New(503))
+	net.Run(300 * time.Millisecond)
+	if net.TotalTXOPs() == 0 {
+		t.Fatal("no TXOPs with mixed traffic")
+	}
+	if net.NetworkCapacity() <= 0 {
+		t.Fatal("no capacity with mixed traffic")
+	}
+}
+
+func TestMixedTrafficMatchesBestEffortWhenDegenerate(t *testing.T) {
+	// A mix that is 100% best effort must behave exactly like no mix.
+	run := func(mix map[mac.AccessCategory]float64) float64 {
+		cfg := topology.DefaultConfig(topology.DAS)
+		dep := topology.SingleAP(cfg, rng.New(5))
+		opts := DefaultStationOpts(KindMIDAS)
+		opts.TrafficMix = mix
+		net := NewNetwork(dep, channel.Default(), opts, rng.New(505))
+		net.Run(200 * time.Millisecond)
+		return net.NetworkCapacity()
+	}
+	a := run(nil)
+	b := run(map[mac.AccessCategory]float64{mac.ACBestEffort: 1})
+	if a != b {
+		t.Errorf("pure-BE mix should be identical to no mix: %v vs %v", a, b)
+	}
+}
+
+func TestMixedTrafficCASRuns(t *testing.T) {
+	cfg := topology.DefaultConfig(topology.CAS)
+	dep := topology.ThreeAPTestbed(cfg, rng.New(7))
+	opts := DefaultStationOpts(KindCAS)
+	opts.TrafficMix = map[mac.AccessCategory]float64{
+		mac.ACVoice: 0.5, mac.ACBackground: 0.5,
+	}
+	net := NewNetwork(dep, channel.Default(), opts, rng.New(507))
+	net.Run(300 * time.Millisecond)
+	if net.TotalTXOPs() == 0 || net.NetworkCapacity() <= 0 {
+		t.Fatal("CAS mixed-traffic network stalled")
+	}
+}

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/matrix"
+	"repro/internal/precoding"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// This file implements the end-to-end experiments: the 3-AP testbed CDF
+// of Figure 15, the 8-AP large-scale simulation of Figure 16, and the
+// decomposition/ablation variants DESIGN.md §5 calls for.
+
+// E2EOpts configures an end-to-end run.
+type E2EOpts struct {
+	Topologies int
+	SimTime    time.Duration
+	Seed       int64
+	// ClientsPerAP overrides the default (4) when > 0.
+	ClientsPerAP int
+}
+
+// DefaultE2E mirrors §5.4: 60 topologies.
+func DefaultE2E(seed int64) E2EOpts {
+	return E2EOpts{Topologies: 60, SimTime: 300 * time.Millisecond, Seed: seed}
+}
+
+// runOne builds and runs a network, returning its delivered capacity.
+func runOne(dep *topology.Deployment, opts StationOpts, src *rng.Source, simTime time.Duration) float64 {
+	p := channel.Default()
+	EnsureAssociated(dep, p, src.Split("model"))
+	net := NewNetwork(dep, p, opts, src)
+	net.Run(simTime)
+	return net.NetworkCapacity()
+}
+
+// Fig15EndToEnd reproduces Figure 15: network capacity CDFs of the 3-AP
+// testbed under conventional CAS and under MIDAS, over random topologies.
+func Fig15EndToEnd(o E2EOpts) (cas, midas *stats.Sample) {
+	root := rng.New(o.Seed)
+	cas, midas = stats.NewSample(), stats.NewSample()
+	for t := 0; t < o.Topologies; t++ {
+		src := root.SplitN("fig15", t)
+		cfgC := topology.DefaultConfig(topology.CAS)
+		cfgM := topology.DefaultConfig(topology.DAS)
+		if o.ClientsPerAP > 0 {
+			cfgC.ClientsPerAP = o.ClientsPerAP
+			cfgM.ClientsPerAP = o.ClientsPerAP
+		}
+		depC := topology.ThreeAPTestbed(cfgC, src.Split("topo"))
+		depM := topology.ThreeAPTestbed(cfgM, src.Split("topo"))
+		// §5.4 premise: the three APs overhear each other.
+		runC := OverhearingSource(depC, channel.Default(), src.Split("runC"), 64)
+		runM := OverhearingSource(depM, channel.Default(), src.Split("runM"), 64)
+		cas.Add(runOne(depC, DefaultStationOpts(KindCAS), runC, o.SimTime))
+		midas.Add(runOne(depM, DefaultStationOpts(KindMIDAS), runM, o.SimTime))
+	}
+	return cas, midas
+}
+
+// Fig16LargeScale reproduces Figure 16: the paper's 8-AP deployment with
+// its placement constraints (≤3 overhearable APs, ≥5 m antenna spacing),
+// CAS versus full MIDAS. The region is 52×52 m rather than the paper's
+// 60×60 m: our multi-wall model isolates cells faster than their building
+// did, and the denser region restores the inter-cell coupling their
+// deployment had (see EXPERIMENTS.md).
+func Fig16LargeScale(o E2EOpts) (cas, midas *stats.Sample, err error) {
+	root := rng.New(o.Seed)
+	cas, midas = stats.NewSample(), stats.NewSample()
+	for t := 0; t < o.Topologies; t++ {
+		src := root.SplitN("fig16", t)
+		cfgC := topology.DefaultLargeScale(topology.CAS)
+		cfgM := topology.DefaultLargeScale(topology.DAS)
+		if o.ClientsPerAP > 0 {
+			cfgC.ClientsPerAP = o.ClientsPerAP
+			cfgM.ClientsPerAP = o.ClientsPerAP
+		}
+		depC, err := topology.LargeScale(cfgC, src.Split("topo"))
+		if err != nil {
+			return nil, nil, err
+		}
+		depM, err := topology.LargeScale(cfgM, src.Split("topo"))
+		if err != nil {
+			return nil, nil, err
+		}
+		cas.Add(runOne(depC, DefaultStationOpts(KindCAS), src.Split("runC"), o.SimTime))
+		midas.Add(runOne(depM, DefaultStationOpts(KindMIDAS), src.Split("runM"), o.SimTime))
+	}
+	return cas, midas, nil
+}
+
+// DecompositionResult isolates where MIDAS's end-to-end gain comes from
+// (§1 credits ≈30% to precoding, ≈40% to the DAS deployment and ≈65% to
+// the MAC mechanisms).
+type DecompositionResult struct {
+	CAS *stats.Sample
+	// CASPlusPrecoding: CAS deployment and MAC, power-balanced precoder.
+	CASPlusPrecoding *stats.Sample
+	// DASPlusPrecoding: DAS deployment with the conventional single-state
+	// MAC (no per-antenna sensing, no tagging), power-balanced precoder.
+	DASPlusPrecoding *stats.Sample
+	// FullMIDAS adds the DAS-aware MAC.
+	FullMIDAS *stats.Sample
+}
+
+// Decomposition runs the 3-AP testbed in four configurations that add
+// MIDAS's mechanisms one at a time.
+func Decomposition(o E2EOpts) *DecompositionResult {
+	root := rng.New(o.Seed)
+	res := &DecompositionResult{
+		CAS: stats.NewSample(), CASPlusPrecoding: stats.NewSample(),
+		DASPlusPrecoding: stats.NewSample(), FullMIDAS: stats.NewSample(),
+	}
+	for t := 0; t < o.Topologies; t++ {
+		src := root.SplitN("decomp", t)
+		depC := topology.ThreeAPTestbed(topology.DefaultConfig(topology.CAS), src.Split("topo"))
+		depM := topology.ThreeAPTestbed(topology.DefaultConfig(topology.DAS), src.Split("topo"))
+
+		base := DefaultStationOpts(KindCAS)
+		srcC := OverhearingSource(depC, channel.Default(), src.Split("rC"), 64)
+		srcM := OverhearingSource(depM, channel.Default(), src.Split("rM"), 64)
+		res.CAS.Add(runOne(depC, base, srcC, o.SimTime))
+
+		prec := base
+		prec.Precoder = PrecoderPowerBalanced
+		res.CASPlusPrecoding.Add(runOne(depC, prec, srcC, o.SimTime))
+
+		dasCAS := prec // DAS antennas, conventional MAC
+		res.DASPlusPrecoding.Add(runOne(depM, dasCAS, srcM, o.SimTime))
+
+		res.FullMIDAS.Add(runOne(depM, DefaultStationOpts(KindMIDAS), srcM, o.SimTime))
+	}
+	return res
+}
+
+// AblationTagWidth sweeps the number of antennas tagged per packet
+// (§3.2.4 discusses 1, 2 and all-antennas).
+func AblationTagWidth(widths []int, o E2EOpts) map[int]*stats.Sample {
+	root := rng.New(o.Seed)
+	out := map[int]*stats.Sample{}
+	for _, w := range widths {
+		out[w] = stats.NewSample()
+	}
+	for t := 0; t < o.Topologies; t++ {
+		src := root.SplitN("tagwidth", t)
+		dep := topology.ThreeAPTestbed(topology.DefaultConfig(topology.DAS), src.Split("topo"))
+		for _, w := range widths {
+			opts := DefaultStationOpts(KindMIDAS)
+			opts.TagWidth = w
+			out[w].Add(runOne(dep, opts, src.SplitN("run", w), o.SimTime))
+		}
+	}
+	return out
+}
+
+// AblationWaitWindow sweeps the opportunistic-selection wait window
+// (§3.2.3 argues one DIFS is the right balance).
+func AblationWaitWindow(windows []time.Duration, o E2EOpts) map[time.Duration]*stats.Sample {
+	root := rng.New(o.Seed)
+	out := map[time.Duration]*stats.Sample{}
+	for _, w := range windows {
+		out[w] = stats.NewSample()
+	}
+	for t := 0; t < o.Topologies; t++ {
+		src := root.SplitN("waitwin", t)
+		dep := topology.ThreeAPTestbed(topology.DefaultConfig(topology.DAS), src.Split("topo"))
+		for i, w := range windows {
+			opts := DefaultStationOpts(KindMIDAS)
+			opts.WaitWindow = w
+			opts.HasWaitWindow = true
+			out[w].Add(runOne(dep, opts, src.SplitN("run", i), o.SimTime))
+		}
+	}
+	return out
+}
+
+// AblationScheduler compares client-selection policies (§3.2.5: DRR is
+// the paper's choice; round-robin and random are the ablations).
+func AblationScheduler(o E2EOpts) map[string]*stats.Sample {
+	root := rng.New(o.Seed)
+	out := map[string]*stats.Sample{
+		"drr": stats.NewSample(), "rr": stats.NewSample(), "random": stats.NewSample(),
+	}
+	for t := 0; t < o.Topologies; t++ {
+		src := root.SplitN("sched", t)
+		dep := topology.ThreeAPTestbed(topology.DefaultConfig(topology.DAS), src.Split("topo"))
+		for _, name := range []string{"drr", "rr", "random"} {
+			opts := DefaultStationOpts(KindMIDAS)
+			opts.SchedulerName = name
+			out[name].Add(runOne(dep, opts, src.Split("run-"+name), o.SimTime))
+		}
+	}
+	return out
+}
+
+// AblationCorrelation sweeps the CAS antenna-correlation coefficient —
+// the knob that controls how much channel rank the co-located baseline
+// loses relative to DAS.
+func AblationCorrelation(rhos []float64, topos int, seed int64) map[float64]*stats.Sample {
+	root := rng.New(seed)
+	out := map[float64]*stats.Sample{}
+	for _, r := range rhos {
+		out[r] = stats.NewSample()
+	}
+	for t := 0; t < topos; t++ {
+		for i, rho := range rhos {
+			src := root.SplitN("corr", t*100+i)
+			p := channel.Default()
+			p.CASCorrelation = rho
+			cfg := topology.DefaultConfig(topology.CAS)
+			dep := topology.SingleAP(cfg, src.Split("topo"))
+			m := dep.Model(p, src.Split("chan"))
+			prob := problemFromModel(p, m)
+			if v, err := naiveOf(prob); err == nil {
+				out[rho].Add(sumRateOf(prob, v))
+			}
+		}
+	}
+	return out
+}
+
+// problemFromModel assembles a full-deployment precoding problem.
+func problemFromModel(p channel.Params, m *channel.Model) precoding.Problem {
+	return precoding.Problem{
+		H:               m.Matrix(nil, nil),
+		PerAntennaPower: p.TxPowerLinear(),
+		Noise:           p.NoiseLinear(),
+	}
+}
+
+func naiveOf(prob precoding.Problem) (*matrix.Mat, error) {
+	return precoding.NaiveScaled(prob)
+}
+
+func sumRateOf(prob precoding.Problem, v *matrix.Mat) float64 {
+	return precoding.SumRate(prob.H, v, prob.Noise)
+}

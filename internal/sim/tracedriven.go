@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"repro/internal/channel"
+	"repro/internal/geom"
+	"repro/internal/matrix"
+	"repro/internal/precoding"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Trace-driven evaluation (§5.5): record CSI from a deployment's channel
+// model, then feed the trace back through the precoding pipeline. The
+// paper measured CSI on the testbed and replayed it in simulation; here
+// the recorder captures the model's realisations, and replay is
+// bit-identical across runs and machines.
+
+// RecordDeployment captures `frames` coherence steps of CSI from the
+// deployment under the given channel parameters.
+func RecordDeployment(dep *topology.Deployment, p channel.Params, frames int, src *rng.Source) (*trace.Trace, error) {
+	m := dep.Model(p, src)
+	pts := make([]geom.Point, 0, len(dep.Antennas))
+	for _, a := range dep.Antennas {
+		pts = append(pts, a.Pos)
+	}
+	rec := trace.NewRecorder(src.Seed(), dep.Clients, pts)
+	for f := 0; f < frames; f++ {
+		if err := rec.Capture(m.Matrix(nil, nil)); err != nil {
+			return nil, err
+		}
+		m.Evolve()
+	}
+	return rec.Trace(), nil
+}
+
+// TraceDrivenCapacity replays a CSI trace through a precoder, returning
+// the per-frame sum capacities.
+func TraceDrivenCapacity(tr *trace.Trace, p channel.Params, kind PrecoderKind) (*stats.Sample, error) {
+	rep := trace.NewReplayer(tr)
+	out := stats.NewSample()
+	for f := 0; f < tr.NumFrames(); f++ {
+		h := rep.Next()
+		prob := precoding.Problem{
+			H:               h,
+			PerAntennaPower: p.TxPowerLinear(),
+			Noise:           p.NoiseLinear(),
+		}
+		if h.Rows() > h.Cols() {
+			// More clients than antennas: evaluate the first |T| clients
+			// (the trace recorded everything; group selection is a MAC
+			// concern, not a replay concern).
+			idx := make([]int, h.Cols())
+			for i := range idx {
+				idx[i] = i
+			}
+			sub := prob
+			sub.H = subRows(h, idx)
+			prob = sub
+		}
+		var rate float64
+		if kind == PrecoderPowerBalanced {
+			res, err := precoding.PowerBalanced(prob)
+			if err != nil {
+				return nil, err
+			}
+			rate = precoding.SumRate(prob.H, res.V, prob.Noise)
+		} else {
+			v, err := precoding.NaiveScaled(prob)
+			if err != nil {
+				return nil, err
+			}
+			rate = precoding.SumRate(prob.H, v, prob.Noise)
+		}
+		out.Add(rate)
+	}
+	return out, nil
+}
+
+// subRows extracts the given rows of m.
+func subRows(m *matrix.Mat, rows []int) *matrix.Mat {
+	out := matrix.New(len(rows), m.Cols())
+	for r, i := range rows {
+		for j := 0; j < m.Cols(); j++ {
+			out.Set(r, j, m.At(i, j))
+		}
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/frames"
+	"repro/internal/geom"
+	"repro/internal/mac"
+	"repro/internal/matrix"
+	"repro/internal/phy"
+	"repro/internal/precoding"
+	"repro/internal/stats"
+)
+
+// The per-TXOP MU-MIMO pipeline (§3.2.1): antenna selection has happened
+// by the time granted() fires; this file implements steps 2–6 — client
+// selection, channel estimation (sounding), power-balanced precoding, the
+// data burst, and fairness counter updates.
+
+// granted fires when a contender wins channel access. winnerAntenna is the
+// global antenna index for MIDAS, -1 for the CAS single contender.
+func (st *Station) granted(winnerAntenna int) {
+	if st.inTXOP {
+		return
+	}
+	now := st.net.Eng.Now()
+	var antennas []int
+	waitUntil := now
+	if st.midas != nil {
+		antennas, waitUntil = st.midas.SelectAntennas(winnerAntenna, now,
+			func(local int) bool { return st.physBusy[local] })
+	} else {
+		antennas = st.cas.SelectAntennas()
+	}
+	if len(antennas) == 0 {
+		st.restartContention()
+		return
+	}
+	st.inTXOP = true
+	for _, b := range st.backoffs {
+		b.Stop()
+	}
+	// Opportunistic wait for NAVs about to expire (§3.2.3).
+	st.net.Eng.At(waitUntil, func() { st.beginTXOP(antennas) })
+}
+
+// beginTXOP selects clients and runs the sounding phase.
+func (st *Station) beginTXOP(antennas []int) {
+	// §3.3: the highest-priority backlogged class is the TXOP's primary
+	// access class; secondary classes may top up the MU group.
+	var clients []int
+	if st.midas != nil {
+		if primary, ok := st.midas.Queue.PrimaryAC(); ok {
+			clients = st.midas.SelectClientsEDCA(antennas, primary)
+		}
+	} else {
+		if primary, ok := st.cas.Queue.PrimaryAC(); ok {
+			clients = st.cas.SelectClientsEDCA(primary)
+		}
+	}
+	if len(clients) == 0 {
+		st.abortTXOP()
+		return
+	}
+	if len(clients) > len(antennas) {
+		clients = clients[:len(antennas)]
+	}
+
+	positions := st.antennaPositions(antennas)
+	soundDur := st.soundingDuration(len(clients))
+	dataDur := st.Opts.TXOP
+	baDur := st.blockAckDuration(len(clients))
+	// The NDPA's Duration field reserves the rest of the TXOP for
+	// overhearers' NAVs (§3.3).
+	reservation := mac.SIFS + dataDur + mac.SIFS + baDur
+	ndpa := &frames.NDPA{
+		Duration: reservation,
+		RA:       frames.Broadcast,
+		TA:       frames.MkAddr(0xA0, uint32(st.ID)),
+		Token:    uint8(st.TXOPs),
+	}
+	for _, cl := range clients {
+		ndpa.STAs = append(ndpa.STAs, frames.STAInfo{AID: uint16(cl + 1), Feedback: 1})
+	}
+	id, err := st.net.Air.StartTx(airTx(positions, st.net.P.TxPowerDBm, soundDur, frames.Encode(ndpa)))
+	if err != nil {
+		st.abortTXOP()
+		return
+	}
+	st.rememberTx(id)
+	st.SoundingOvhd += soundDur
+	// Clients whose sounding exchange is jammed by a colliding
+	// transmission drop out of the group; if nobody survives, the TXOP
+	// is lost — the CSMA collision penalty.
+	st.net.Eng.Schedule(soundDur-time.Nanosecond, func() {
+		survivors := st.soundingSurvivors(id, clients)
+		if len(survivors) == 0 {
+			st.CollidedStarts++
+			st.collide()
+			return
+		}
+		st.net.Eng.Schedule(mac.SIFS+time.Nanosecond, func() {
+			st.dataPhase(antennas, survivors, dataDur, baDur)
+		})
+	})
+}
+
+// soundingSurvivors returns the clients whose sounding exchange decoded
+// cleanly given the transmissions that overlapped it.
+func (st *Station) soundingSurvivors(txID int, clients []int) []int {
+	noise := st.net.P.NoiseLinear()
+	capture := stats.Linear(st.net.Air.CaptureSINRdB)
+	var out []int
+	for _, cl := range clients {
+		pos := st.net.Dep.Clients[cl]
+		sig := st.net.Air.TxSignalAt(txID, pos)
+		interf := st.net.Air.OverlapInterference(txID, pos)
+		if sig/(noise+interf) >= capture {
+			out = append(out, cl)
+		}
+	}
+	return out
+}
+
+// collide ends the TXOP as a loss: contention restarts with a doubled
+// window, as after any failed 802.11 transmission.
+func (st *Station) collide() {
+	st.inTXOP = false
+	for i, b := range st.backoffs {
+		if st.busyFor(i) {
+			b.MediumBusy()
+		} else {
+			b.MediumIdle()
+		}
+		b.Collision()
+	}
+}
+
+// dataPhase executes the precoded MU-MIMO burst and accounts capacity.
+func (st *Station) dataPhase(antennas, clients []int, dataDur, baDur time.Duration) {
+	// The channel has moved since the last TXOP.
+	st.net.Model.Evolve()
+
+	h := st.net.Model.Matrix(clients, antennas) // true channel
+	est := st.Opts.Sounding.Feedback(h, st.src) // what sounding returned
+	v, ok := st.precode(est)
+	if !ok {
+		st.abortTXOP()
+		return
+	}
+
+	// Announce the burst (NAV covers the BlockAck phase).
+	positions := st.antennaPositions(antennas)
+	dataHdr := &frames.QoSData{
+		Duration: mac.SIFS + baDur,
+		RA:       frames.Broadcast,
+		TA:       frames.MkAddr(0xA0, uint32(st.ID)),
+		TID:      0,
+		GroupID:  uint8(st.ID + 1),
+	}
+	id, err := st.net.Air.StartTx(airTx(positions, st.net.P.TxPowerDBm, dataDur, frames.Encode(dataHdr)))
+	if err != nil {
+		st.abortTXOP()
+		return
+	}
+	st.rememberTx(id)
+	st.AirtimeData += dataDur
+
+	// Sample other-cell interference just before the burst ends, when the
+	// overlap set is complete.
+	st.net.Eng.Schedule(dataDur-time.Nanosecond, func() {
+		rates := st.streamRates(h, v, clients, id)
+		over := st.net.Air.OverlapCount(id) > 0
+		for _, r := range rates {
+			st.BitsPerHz += r * dataDur.Seconds()
+			if over {
+				dbgOverRate += r
+				dbgOverN++
+			} else {
+				dbgCleanRate += r
+				dbgCleanN++
+			}
+		}
+	})
+	st.net.Eng.Schedule(dataDur+mac.SIFS+baDur, func() {
+		st.finishTXOP(clients, dataDur)
+	})
+}
+
+// debug accumulators (removed with dbg_test.go before release).
+var (
+	dbgCleanRate, dbgOverRate float64
+	dbgCleanN, dbgOverN       int
+)
+
+// precode runs the configured precoder on the estimated channel.
+func (st *Station) precode(est *matrix.Mat) (*matrix.Mat, bool) {
+	prob := precoding.Problem{
+		H:               est,
+		PerAntennaPower: st.net.P.TxPowerLinear(),
+		Noise:           st.net.P.NoiseLinear(),
+	}
+	if st.Opts.Precoder == PrecoderPowerBalanced {
+		if res, err := precoding.PowerBalanced(prob); err == nil {
+			return res.V, true
+		}
+	}
+	if v, err := precoding.NaiveScaled(prob); err == nil {
+		return v, true
+	}
+	return nil, false
+}
+
+// streamRates returns per-stream Shannon rates (bit/s/Hz) for the true
+// channel h under precoder v, including residual inter-stream interference
+// (from CSI error) and other-cell interference sampled from the medium.
+func (st *Station) streamRates(h, v *matrix.Mat, clients []int, txID int) []float64 {
+	noise := st.net.P.NoiseLinear()
+	s := precoding.SINRMatrix(h, v, noise)
+	n := h.Rows()
+	rates := make([]float64, n)
+	for j := 0; j < n; j++ {
+		interf := 0.0
+		for i := 0; i < n; i++ {
+			if i != j {
+				interf += real(s.At(i, j))
+			}
+		}
+		pos := st.net.Dep.Clients[clients[j]]
+		other := st.net.Air.WeightedInterference(txID, pos) / noise
+		sinr := real(s.At(j, j)) / (1 + interf + other)
+		// A stream below the lowest MCS's sensitivity delivers nothing
+		// (§5.1 maps SINR to rate through the closed-loop MCS choice;
+		// below MCS0 the PPDU is undecodable).
+		if _, ok := phy.Select(stats.DB(sinr)); !ok {
+			continue
+		}
+		rates[j] = phy.ShannonRate(sinr)
+	}
+	return rates
+}
+
+// finishTXOP updates fairness counters, refills traffic and resumes
+// contention.
+func (st *Station) finishTXOP(clients []int, txop time.Duration) {
+	if st.midas != nil {
+		st.midas.Dequeue(clients)
+		st.midas.FinishTXOP(clients, txop)
+	} else {
+		st.cas.Dequeue(clients)
+		st.cas.FinishTXOP(clients, txop)
+	}
+	st.TXOPs++
+	st.StreamsServed += len(clients)
+	st.fillQueues()
+	for _, b := range st.backoffs {
+		b.Success()
+	}
+	st.restartContention()
+}
+
+func (st *Station) abortTXOP() { st.restartContention() }
+
+// restartContention leaves the TXOP state and restarts every backoff with
+// fresh medium state.
+func (st *Station) restartContention() {
+	st.inTXOP = false
+	for i, b := range st.backoffs {
+		if st.busyFor(i) {
+			b.MediumBusy()
+		} else {
+			b.MediumIdle()
+		}
+		b.Start()
+	}
+}
+
+// rememberTx records a transmission id as our own so overheard copies of
+// it do not set our NAV.
+func (st *Station) rememberTx(id int) {
+	if st.ownTxs == nil {
+		st.ownTxs = map[int]bool{}
+	}
+	st.ownTxs[id] = true
+}
+
+// antennaPositions maps global antenna indices to positions.
+func (st *Station) antennaPositions(antennas []int) []geom.Point {
+	pos := make([]geom.Point, len(antennas))
+	for i, a := range antennas {
+		pos[i] = st.net.Dep.Antennas[a].Pos
+	}
+	return pos
+}
+
+// soundingDuration models the NDPA + NDP + per-client feedback exchange.
+func (st *Station) soundingDuration(nClients int) time.Duration {
+	ndpa, _ := phy.Airtime(20+3*nClients, phy.Table[0], 1)
+	ndp := phy.VHTPreamble
+	bf, _ := phy.Airtime(29+16*len(st.antennas), phy.Table[2], 1)
+	return ndpa + mac.SIFS + ndp + time.Duration(nClients)*(mac.SIFS+bf)
+}
+
+// blockAckDuration models the sequential per-client BlockAck phase.
+func (st *Station) blockAckDuration(nClients int) time.Duration {
+	ba, _ := phy.Airtime(32, phy.Table[0], 1)
+	if nClients <= 0 {
+		return 0
+	}
+	return time.Duration(nClients)*ba + time.Duration(nClients-1)*mac.SIFS
+}

@@ -1,0 +1,295 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func TestModeString(t *testing.T) {
+	if CAS.String() != "CAS" || DAS.String() != "DAS" {
+		t.Error("Mode.String wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should still print")
+	}
+}
+
+func TestSingleAPCASLayout(t *testing.T) {
+	cfg := DefaultConfig(CAS)
+	d := SingleAP(cfg, rng.New(1))
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Antennas) != 4 || len(d.Clients) != 4 {
+		t.Fatalf("counts: %d antennas, %d clients", len(d.Antennas), len(d.Clients))
+	}
+	// CAS antennas within a few wavelengths of the AP.
+	for _, a := range d.Antennas {
+		if a.Pos.Dist(d.APs[0]) > 10*HalfWavelength {
+			t.Errorf("CAS antenna too far from AP: %v", a.Pos)
+		}
+	}
+	// Adjacent spacing is λ/2.
+	got := d.Antennas[1].Pos.Dist(d.Antennas[0].Pos)
+	if math.Abs(got-HalfWavelength) > 1e-12 {
+		t.Errorf("spacing = %v", got)
+	}
+	if !d.Correlated() {
+		t.Error("CAS should use correlated fading")
+	}
+}
+
+func TestSingleAPDASLayout(t *testing.T) {
+	cfg := DefaultConfig(DAS)
+	for seed := int64(0); seed < 20; seed++ {
+		d := SingleAP(cfg, rng.New(seed))
+		if err := d.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		inner := cfg.DASInnerFrac * cfg.CoverageRadius
+		outer := cfg.DASOuterFrac * cfg.CoverageRadius
+		for _, a := range d.Antennas {
+			r := a.Pos.Dist(d.APs[0])
+			if r < inner-1e-9 || r > outer+1e-9 {
+				t.Errorf("seed %d: DAS antenna at radius %v outside [%v,%v]", seed, r, inner, outer)
+			}
+		}
+		if d.Correlated() {
+			t.Error("DAS should use uncorrelated fading")
+		}
+	}
+}
+
+func TestSectorRuleEnforced(t *testing.T) {
+	cfg := DefaultConfig(DAS)
+	sector := cfg.SectorRuleDeg * math.Pi / 180
+	for seed := int64(0); seed < 30; seed++ {
+		d := SingleAP(cfg, rng.New(seed))
+		idx := d.AntennasOf(0)
+		for a := 0; a < len(idx); a++ {
+			for b := a + 1; b < len(idx); b++ {
+				if geom.WithinSector(d.APs[0], d.Antennas[idx[a]].Pos, d.Antennas[idx[b]].Pos, sector*0.999) {
+					t.Fatalf("seed %d: antennas %d,%d within 60° sector", seed, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := SingleAP(DefaultConfig(DAS), rng.New(5))
+	b := SingleAP(DefaultConfig(DAS), rng.New(5))
+	for i := range a.Antennas {
+		if a.Antennas[i].Pos != b.Antennas[i].Pos {
+			t.Fatal("same seed should give same deployment")
+		}
+	}
+	for j := range a.Clients {
+		if a.Clients[j] != b.Clients[j] {
+			t.Fatal("same seed should give same clients")
+		}
+	}
+}
+
+func TestClientsWithinCoverage(t *testing.T) {
+	cfg := DefaultConfig(DAS)
+	d := SingleAP(cfg, rng.New(9))
+	for _, c := range d.Clients {
+		if c.Dist(d.APs[0]) > cfg.CoverageRadius+1e-9 {
+			t.Errorf("client %v outside coverage", c)
+		}
+	}
+}
+
+func TestThreeAPTestbed(t *testing.T) {
+	cfg := DefaultConfig(DAS)
+	d := ThreeAPTestbed(cfg, rng.New(11))
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumAPs() != 3 {
+		t.Fatalf("NumAPs = %d", d.NumAPs())
+	}
+	// Equilateral with side 15.
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if got := d.APs[i].Dist(d.APs[j]); math.Abs(got-15) > 1e-9 {
+				t.Errorf("inter-AP distance %d-%d = %v", i, j, got)
+			}
+		}
+	}
+	if len(d.Antennas) != 12 || len(d.Clients) != 12 {
+		t.Errorf("counts %d/%d", len(d.Antennas), len(d.Clients))
+	}
+}
+
+func TestAntennasOfClientsOfPartition(t *testing.T) {
+	d := ThreeAPTestbed(DefaultConfig(DAS), rng.New(13))
+	seenA := map[int]bool{}
+	for ap := 0; ap < 3; ap++ {
+		for _, i := range d.AntennasOf(ap) {
+			if seenA[i] {
+				t.Fatalf("antenna %d in two APs", i)
+			}
+			seenA[i] = true
+			if d.Antennas[i].AP != ap {
+				t.Fatalf("antenna %d AP mismatch", i)
+			}
+		}
+	}
+	if len(seenA) != len(d.Antennas) {
+		t.Error("AntennasOf does not partition")
+	}
+	seenC := map[int]bool{}
+	for ap := 0; ap < 3; ap++ {
+		for _, j := range d.ClientsOf(ap) {
+			if seenC[j] {
+				t.Fatalf("client %d in two APs", j)
+			}
+			seenC[j] = true
+		}
+	}
+	if len(seenC) != len(d.Clients) {
+		t.Error("ClientsOf does not partition")
+	}
+}
+
+func TestAssociationIsNearest(t *testing.T) {
+	d := ThreeAPTestbed(DefaultConfig(CAS), rng.New(17))
+	for j, c := range d.Clients {
+		best, bestD := 0, math.Inf(1)
+		for ap, pos := range d.APs {
+			if dd := pos.Dist(c); dd < bestD {
+				best, bestD = ap, dd
+			}
+		}
+		if d.ClientAP[j] != best {
+			t.Errorf("client %d associated with %d, nearest is %d", j, d.ClientAP[j], best)
+		}
+	}
+}
+
+func TestLargeScaleConstraints(t *testing.T) {
+	cfg := DefaultLargeScale(DAS)
+	for seed := int64(0); seed < 10; seed++ {
+		d, err := LargeScale(cfg, rng.New(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if d.NumAPs() != 8 {
+			t.Fatalf("NumAPs = %d", d.NumAPs())
+		}
+		// Overhear rule.
+		for i, a := range d.APs {
+			n := 0
+			for j, b := range d.APs {
+				if i != j && a.Dist(b) <= cfg.CSRangeM {
+					n++
+				}
+			}
+			if n > cfg.MaxOverhear {
+				t.Errorf("seed %d: AP %d overhears %d > %d", seed, i, n, cfg.MaxOverhear)
+			}
+		}
+		// All elements inside the region.
+		for _, a := range d.Antennas {
+			if !cfg.Region.Contains(a.Pos) {
+				t.Errorf("antenna outside region: %v", a.Pos)
+			}
+		}
+		for _, c := range d.Clients {
+			if !cfg.Region.Contains(c) {
+				t.Errorf("client outside region: %v", c)
+			}
+		}
+	}
+}
+
+func TestLargeScaleMinSeparation(t *testing.T) {
+	cfg := DefaultLargeScale(DAS)
+	d, err := LargeScale(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ≥5 m rule applies pre-clamp; clamping to the region can only
+	// affect antennas whose annulus left the region. Check the rule holds
+	// for the overwhelming majority of pairs.
+	viol := 0
+	for i := 0; i < len(d.Antennas); i++ {
+		for j := i + 1; j < len(d.Antennas); j++ {
+			if d.Antennas[i].Pos.Dist(d.Antennas[j].Pos) < cfg.MinAntennaSep-1e-9 {
+				viol++
+			}
+		}
+	}
+	if viol > 2 {
+		t.Errorf("%d antenna pairs closer than %v m", viol, cfg.MinAntennaSep)
+	}
+}
+
+func TestLargeScaleImpossiblePlacementErrors(t *testing.T) {
+	cfg := DefaultLargeScale(CAS)
+	cfg.Region = geom.Square(5) // tiny region
+	cfg.CSRangeM = 100          // everyone overhears everyone
+	cfg.MaxOverhear = 0
+	cfg.NumAPs = 3
+	cfg.Trials = 50
+	if _, err := LargeScale(cfg, rng.New(1)); err == nil {
+		t.Error("expected placement failure")
+	}
+}
+
+func TestModelIntegration(t *testing.T) {
+	d := SingleAP(DefaultConfig(DAS), rng.New(21))
+	m := d.Model(channel.Default(), rng.New(22))
+	if m.NumAntennas() != 4 || m.NumClients() != 4 {
+		t.Fatalf("model shape %d/%d", m.NumAntennas(), m.NumClients())
+	}
+	h := m.Matrix(nil, nil)
+	if h.Rows() != 4 || h.Cols() != 4 {
+		t.Fatal("bad H shape")
+	}
+	// DAS link budget sanity: every client has at least one antenna with
+	// decent mean receive power.
+	for j := 0; j < 4; j++ {
+		best := 0.0
+		for k := 0; k < 4; k++ {
+			if p := m.MeanRxPower(j, k); p > best {
+				best = p
+			}
+		}
+		if best <= 0 {
+			t.Errorf("client %d has no positive-power link", j)
+		}
+	}
+}
+
+// DAS clients should on average be closer to their best antenna than CAS
+// clients are to the AP — the geometric root of the paper's Fig 7 gain.
+func TestDASShortensLinks(t *testing.T) {
+	var casSum, dasSum float64
+	const topos = 40
+	for seed := int64(0); seed < topos; seed++ {
+		cas := SingleAP(DefaultConfig(CAS), rng.New(seed))
+		das := SingleAP(DefaultConfig(DAS), rng.New(seed))
+		for j, c := range cas.Clients {
+			casSum += c.Dist(cas.APs[0])
+			// nearest DAS antenna for the matched client
+			best := math.Inf(1)
+			for _, a := range das.Antennas {
+				if d := a.Pos.Dist(das.Clients[j]); d < best {
+					best = d
+				}
+			}
+			dasSum += best
+		}
+	}
+	if dasSum >= casSum {
+		t.Errorf("DAS mean best-link distance %v should beat CAS %v",
+			dasSum/(4*topos), casSum/(4*topos))
+	}
+}

@@ -1,0 +1,340 @@
+// Package trace records and replays CSI traces — sequences of complex
+// channel matrices with their topology metadata. The paper's large-scale
+// evaluation (§5.5) measures CSI on the testbed and "feeds the traces
+// back to the simulation"; this package provides the same workflow with a
+// versioned, checksummed binary format, so experiments can be re-run bit-
+// identically from a recorded file (see DESIGN.md §2).
+//
+// File layout (little endian):
+//
+//	magic "MIDASCSI" | version u16 | flags u16
+//	meta: seed i64 | clients u32 | antennas u32 | frames u32
+//	positions: clients×(f64,f64) then antennas×(f64,f64)
+//	frames: frames × clients × antennas × (f64 re, f64 im)
+//	crc32(IEEE) over everything above
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/matrix"
+)
+
+// Magic identifies a CSI trace stream.
+var Magic = [8]byte{'M', 'I', 'D', 'A', 'S', 'C', 'S', 'I'}
+
+// Version is the current format version.
+const Version uint16 = 1
+
+// Errors returned by the decoder.
+var (
+	ErrBadMagic   = errors.New("trace: bad magic")
+	ErrBadVersion = errors.New("trace: unsupported version")
+	ErrCorrupt    = errors.New("trace: checksum mismatch")
+	ErrTruncated  = errors.New("trace: truncated stream")
+)
+
+// Trace is a recorded CSI sequence: frame t holds the |C|×|T| channel
+// matrix observed at coherence step t.
+type Trace struct {
+	Seed     int64
+	Clients  []geom.Point
+	Antennas []geom.Point
+	Frames   []*matrix.Mat
+}
+
+// NumFrames returns the number of recorded coherence steps.
+func (t *Trace) NumFrames() int { return len(t.Frames) }
+
+// Validate checks internal consistency.
+func (t *Trace) Validate() error {
+	for i, f := range t.Frames {
+		if f.Rows() != len(t.Clients) || f.Cols() != len(t.Antennas) {
+			return fmt.Errorf("trace: frame %d is %d×%d, want %d×%d",
+				i, f.Rows(), f.Cols(), len(t.Clients), len(t.Antennas))
+		}
+	}
+	return nil
+}
+
+// crcWriter tees writes into a running CRC.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int
+	err error
+}
+
+func (c *crcWriter) write(b []byte) {
+	if c.err != nil {
+		return
+	}
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, b)
+	n, err := c.w.Write(b)
+	c.n += n
+	c.err = err
+}
+
+func (c *crcWriter) u16(v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	c.write(b[:])
+}
+
+func (c *crcWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	c.write(b[:])
+}
+
+func (c *crcWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	c.write(b[:])
+}
+
+func (c *crcWriter) f64(v float64) { c.u64(math.Float64bits(v)) }
+
+// Write encodes the trace to w.
+func Write(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	c := &crcWriter{w: bw}
+	c.write(Magic[:])
+	c.u16(Version)
+	c.u16(0) // flags
+	c.u64(uint64(t.Seed))
+	c.u32(uint32(len(t.Clients)))
+	c.u32(uint32(len(t.Antennas)))
+	c.u32(uint32(len(t.Frames)))
+	for _, p := range t.Clients {
+		c.f64(p.X)
+		c.f64(p.Y)
+	}
+	for _, p := range t.Antennas {
+		c.f64(p.X)
+		c.f64(p.Y)
+	}
+	for _, f := range t.Frames {
+		for i := 0; i < f.Rows(); i++ {
+			for j := 0; j < f.Cols(); j++ {
+				v := f.At(i, j)
+				c.f64(real(v))
+				c.f64(imag(v))
+			}
+		}
+	}
+	if c.err != nil {
+		return c.err
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], c.crc)
+	if _, err := bw.Write(b[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// crcReader verifies a running CRC while reading.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) read(b []byte) error {
+	if _, err := io.ReadFull(c.r, b); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return ErrTruncated
+		}
+		return err
+	}
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, b)
+	return nil
+}
+
+func (c *crcReader) u16() (uint16, error) {
+	var b [2]byte
+	if err := c.read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+func (c *crcReader) u32() (uint32, error) {
+	var b [4]byte
+	if err := c.read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (c *crcReader) u64() (uint64, error) {
+	var b [8]byte
+	if err := c.read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func (c *crcReader) f64() (float64, error) {
+	u, err := c.u64()
+	return math.Float64frombits(u), err
+}
+
+// maxDim bounds declared dimensions so corrupt headers cannot trigger
+// huge allocations.
+const maxDim = 1 << 20
+
+// Read decodes a trace from r, verifying magic, version and checksum.
+func Read(r io.Reader) (*Trace, error) {
+	c := &crcReader{r: bufio.NewReader(r)}
+	var magic [8]byte
+	if err := c.read(magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != Magic {
+		return nil, ErrBadMagic
+	}
+	ver, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
+	}
+	if _, err := c.u16(); err != nil { // flags
+		return nil, err
+	}
+	seed, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	nC, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	nA, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	nF, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nC == 0 || nA == 0 || nC > maxDim || nA > maxDim || nF > maxDim {
+		return nil, fmt.Errorf("trace: implausible dimensions %d×%d×%d", nF, nC, nA)
+	}
+	t := &Trace{Seed: int64(seed)}
+	readPts := func(n uint32) ([]geom.Point, error) {
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			x, err := c.f64()
+			if err != nil {
+				return nil, err
+			}
+			y, err := c.f64()
+			if err != nil {
+				return nil, err
+			}
+			pts[i] = geom.Pt(x, y)
+		}
+		return pts, nil
+	}
+	if t.Clients, err = readPts(nC); err != nil {
+		return nil, err
+	}
+	if t.Antennas, err = readPts(nA); err != nil {
+		return nil, err
+	}
+	t.Frames = make([]*matrix.Mat, nF)
+	for f := range t.Frames {
+		m := matrix.New(int(nC), int(nA))
+		for i := 0; i < int(nC); i++ {
+			for j := 0; j < int(nA); j++ {
+				re, err := c.f64()
+				if err != nil {
+					return nil, err
+				}
+				im, err := c.f64()
+				if err != nil {
+					return nil, err
+				}
+				m.Set(i, j, complex(re, im))
+			}
+		}
+		t.Frames[f] = m
+	}
+	want := c.crc
+	var b [4]byte
+	if _, err := io.ReadFull(c.r.(io.Reader), b[:]); err != nil {
+		return nil, ErrTruncated
+	}
+	if binary.LittleEndian.Uint32(b[:]) != want {
+		return nil, ErrCorrupt
+	}
+	return t, nil
+}
+
+// Recorder captures frames from any source of channel matrices.
+type Recorder struct {
+	t *Trace
+}
+
+// NewRecorder starts a trace with the given topology metadata.
+func NewRecorder(seed int64, clients, antennas []geom.Point) *Recorder {
+	return &Recorder{t: &Trace{
+		Seed:     seed,
+		Clients:  append([]geom.Point(nil), clients...),
+		Antennas: append([]geom.Point(nil), antennas...),
+	}}
+}
+
+// Capture appends one coherence step's channel matrix (deep-copied).
+func (r *Recorder) Capture(h *matrix.Mat) error {
+	if h.Rows() != len(r.t.Clients) || h.Cols() != len(r.t.Antennas) {
+		return fmt.Errorf("trace: capture %d×%d into %d×%d trace",
+			h.Rows(), h.Cols(), len(r.t.Clients), len(r.t.Antennas))
+	}
+	r.t.Frames = append(r.t.Frames, h.Clone())
+	return nil
+}
+
+// Trace returns the recorded trace.
+func (r *Recorder) Trace() *Trace { return r.t }
+
+// Replayer iterates a trace's frames, cycling when it runs out — the
+// replay side of the paper's trace-driven simulation.
+type Replayer struct {
+	t   *Trace
+	pos int
+}
+
+// NewReplayer wraps a trace for replay. It panics on an empty trace.
+func NewReplayer(t *Trace) *Replayer {
+	if len(t.Frames) == 0 {
+		panic("trace: replay of empty trace")
+	}
+	return &Replayer{t: t}
+}
+
+// Next returns the next frame, cycling past the end.
+func (r *Replayer) Next() *matrix.Mat {
+	m := r.t.Frames[r.pos]
+	r.pos = (r.pos + 1) % len(r.t.Frames)
+	return m
+}
+
+// Reset rewinds the replayer.
+func (r *Replayer) Reset() { r.pos = 0 }
+
+// Pos returns the index of the next frame to be returned.
+func (r *Replayer) Pos() int { return r.pos }

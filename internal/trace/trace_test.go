@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/channel"
+	"repro/internal/geom"
+	"repro/internal/matrix"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func sampleTrace(frames int, seed int64) *Trace {
+	dep := topology.SingleAP(topology.DefaultConfig(topology.DAS), rng.New(seed))
+	m := dep.Model(channel.Default(), rng.New(seed+1))
+	var antennas []geom.Point
+	for _, a := range dep.Antennas {
+		antennas = append(antennas, a.Pos)
+	}
+	rec := NewRecorder(seed, dep.Clients, antennas)
+	for f := 0; f < frames; f++ {
+		if err := rec.Capture(m.Matrix(nil, nil)); err != nil {
+			panic(err)
+		}
+		m.Evolve()
+	}
+	return rec.Trace()
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sampleTrace(5, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != tr.Seed {
+		t.Errorf("seed = %d", got.Seed)
+	}
+	if len(got.Clients) != len(tr.Clients) || len(got.Antennas) != len(tr.Antennas) {
+		t.Fatal("topology size mismatch")
+	}
+	for i := range tr.Clients {
+		if got.Clients[i] != tr.Clients[i] {
+			t.Errorf("client %d: %v vs %v", i, got.Clients[i], tr.Clients[i])
+		}
+	}
+	if got.NumFrames() != 5 {
+		t.Fatalf("frames = %d", got.NumFrames())
+	}
+	for f := range tr.Frames {
+		if !got.Frames[f].Equalish(tr.Frames[f], 0) {
+			t.Errorf("frame %d differs", f)
+		}
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	tr := sampleTrace(2, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0x01
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("corruption not detected")
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	tr := sampleTrace(1, 3)
+	var buf bytes.Buffer
+	Write(&buf, tr)
+	data := buf.Bytes()
+
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := Read(bytes.NewReader(bad)); err != ErrBadMagic {
+		t.Errorf("magic err = %v", err)
+	}
+
+	bad = append([]byte(nil), data...)
+	bad[8] = 99 // version
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("expected version error")
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	tr := sampleTrace(3, 4)
+	var buf bytes.Buffer
+	Write(&buf, tr)
+	data := buf.Bytes()
+	for _, cut := range []int{0, 3, 9, 20, len(data) / 2, len(data) - 2} {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestImplausibleDims(t *testing.T) {
+	// Handcraft a header with absurd frame count: reader must refuse
+	// rather than allocate.
+	tr := &Trace{Seed: 1, Clients: []geom.Point{{}}, Antennas: []geom.Point{{}}}
+	var buf bytes.Buffer
+	Write(&buf, tr)
+	data := buf.Bytes()
+	// frames field is at offset 8+2+2+8+4+4 = 28.
+	data[28] = 0xff
+	data[29] = 0xff
+	data[30] = 0xff
+	data[31] = 0x7f
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("implausible dimensions accepted")
+	}
+}
+
+func TestRecorderValidates(t *testing.T) {
+	rec := NewRecorder(1, []geom.Point{{}}, []geom.Point{{}, {}})
+	if err := rec.Capture(matrix.New(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Capture(matrix.New(2, 2)); err == nil {
+		t.Error("wrong-shape capture accepted")
+	}
+}
+
+func TestRecorderDeepCopies(t *testing.T) {
+	rec := NewRecorder(1, []geom.Point{{}}, []geom.Point{{}})
+	m := matrix.New(1, 1)
+	m.Set(0, 0, 1)
+	rec.Capture(m)
+	m.Set(0, 0, 9)
+	if rec.Trace().Frames[0].At(0, 0) != 1 {
+		t.Error("capture did not deep-copy")
+	}
+}
+
+func TestReplayerCycles(t *testing.T) {
+	tr := sampleTrace(3, 5)
+	r := NewReplayer(tr)
+	seen := []*matrix.Mat{r.Next(), r.Next(), r.Next(), r.Next()}
+	if !seen[3].Equalish(seen[0], 0) {
+		t.Error("replayer should cycle")
+	}
+	if r.Pos() != 1 {
+		t.Errorf("pos = %d", r.Pos())
+	}
+	r.Reset()
+	if r.Pos() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestReplayerPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewReplayer(&Trace{})
+}
+
+func TestValidateCatchesShapeDrift(t *testing.T) {
+	tr := sampleTrace(2, 6)
+	tr.Frames[1] = matrix.New(1, 1)
+	if err := tr.Validate(); err == nil {
+		t.Error("shape drift not caught")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err == nil {
+		t.Error("Write should refuse invalid trace")
+	}
+}
+
+// Property: Read never panics on arbitrary bytes.
+func TestReadNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatal("Read panicked")
+			}
+		}()
+		_, _ = Read(bytes.NewReader(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: write/read is the identity for random small traces.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, frames uint8) bool {
+		n := int(frames%4) + 1
+		tr := sampleTrace(n, seed)
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumFrames() != n {
+			return false
+		}
+		for i := range tr.Frames {
+			if !got.Frames[i].Equalish(tr.Frames[i], 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	tr := sampleTrace(20, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	tr := sampleTrace(20, 1)
+	var buf bytes.Buffer
+	Write(&buf, tr)
+	data := buf.Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
