@@ -1,0 +1,40 @@
+# CI entry points for the MIDAS reproduction. `make ci` is what a
+# checkin must keep green: formatting, vet, build, the full test suite,
+# and a reduced-scale benchmark smoke that exercises the parallel
+# experiment runner end to end.
+
+GO ?= go
+
+.PHONY: ci fmt-check vet build test bench-smoke bench fmt
+
+ci: fmt-check vet build test bench-smoke
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# A fast end-to-end pass through the runner: a PHY figure, a MAC figure
+# and one short DES experiment, at reduced scale, through every sink.
+bench-smoke:
+	$(GO) run ./cmd/midas-bench -figure 3 -topos 8 > /dev/null
+	$(GO) run ./cmd/midas-bench -figure 12 -topos 8 -format json -out /dev/null
+	$(GO) run ./cmd/midas-bench -figure 15 -topos 4 -simtime 50ms -format csv > /dev/null
+	$(GO) test -run='^$$' -bench=BenchmarkFig12 -benchtime=1x .
+
+# Full-scale root benchmarks (slow).
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .
+
+fmt:
+	gofmt -w .

@@ -7,9 +7,16 @@
 //
 // The full-resolution series (60 topologies, long DES runs) come from
 // `go run ./cmd/midas-bench`.
+//
+// Every benchmark's topology sweep runs on the internal/runner worker
+// pool; -runner.parallel bounds it (0, the default, uses GOMAXPROCS).
+// Reported metrics are bit-identical at any pool size — only ns/op
+// changes — so perf runs at different widths stay comparable.
 package repro
 
 import (
+	"flag"
+	"os"
 	"testing"
 	"time"
 
@@ -22,6 +29,17 @@ import (
 )
 
 const benchSeed = 2014
+
+// runnerParallel is the package-level knob for the experiment drivers'
+// worker pool, mirrored into sim.Parallelism before any benchmark runs.
+var runnerParallel = flag.Int("runner.parallel", 0,
+	"topology tasks evaluated concurrently per experiment (0 = GOMAXPROCS)")
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	sim.Parallelism = *runnerParallel
+	os.Exit(m.Run())
+}
 
 // BenchmarkFig03NaiveScalingDrop regenerates Figure 3: CDF of the
 // capacity lost to naive per-antenna power scaling, CAS vs DAS.

@@ -1,52 +1,132 @@
 // Command midas-bench regenerates every table and figure of the MIDAS
-// paper's evaluation (§5) as text series: CDFs as "x<TAB>F(x)" rows,
-// scalar results as labelled summaries. See DESIGN.md for the experiment
-// index and EXPERIMENTS.md for recorded paper-vs-measured comparisons.
+// paper's evaluation (§5). Each experiment's topology sweep runs on the
+// internal/runner worker pool (-parallel), and results flow through a
+// pluggable sink: human-readable text CDF tables (default), a JSON
+// snapshot for machine-readable perf/result tracking, or flat CSV rows.
+// Results are bit-identical at any -parallel value for a given -seed.
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured comparisons.
 //
 // Usage:
 //
 //	midas-bench [-figure all|3|7|8|9|10|11|12|13|14|15|16|ht|decomp|ablations]
 //	            [-topos N] [-seed S] [-simtime D] [-points N]
+//	            [-parallel N] [-format text|json|csv] [-out FILE] [-progress]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
 var (
-	figure  = flag.String("figure", "all", "which figure to regenerate")
-	topos   = flag.Int("topos", 60, "topologies per experiment")
-	seed    = flag.Int64("seed", 2014, "root random seed")
-	simTime = flag.Duration("simtime", 300*time.Millisecond, "simulated airtime per end-to-end run")
-	points  = flag.Int("points", 20, "rows per printed CDF")
+	figure   = flag.String("figure", "all", "which figure to regenerate (comma-separated)")
+	topos    = flag.Int("topos", 60, "topologies per experiment")
+	seed     = flag.Int64("seed", 2014, "root random seed")
+	simTime  = flag.Duration("simtime", 300*time.Millisecond, "simulated airtime per end-to-end run")
+	points   = flag.Int("points", 20, "rows per printed CDF (text format)")
+	parallel = flag.Int("parallel", 0, "topology tasks evaluated concurrently (0 = GOMAXPROCS)")
+	format   = flag.String("format", "text", "output format: text, json or csv")
+	outPath  = flag.String("out", "", "write results to this file instead of stdout")
+	progress = flag.Bool("progress", false, "report per-task timing on stderr")
 )
 
 func main() {
 	flag.Parse()
-	want := strings.Split(*figure, ",")
-	ran := 0
-	for _, e := range experiments() {
-		if !selected(want, e.name) {
-			continue
+	if *topos < 1 {
+		fmt.Fprintf(os.Stderr, "-topos must be >= 1 (got %d)\n", *topos)
+		os.Exit(2)
+	}
+	sim.Parallelism = *parallel
+	if *progress {
+		sim.OnProgress = func(label string, p runner.Progress) {
+			fmt.Fprintf(os.Stderr, "%s: %d/%d (task %d took %v)\n",
+				label, p.Completed, p.Total, p.Index, p.Elapsed.Round(time.Millisecond))
 		}
-		fmt.Printf("==== %s ====\n", e.name)
-		if err := e.fn(); err != nil {
+	}
+
+	// Resolve the experiment selection before touching the output file,
+	// so a typo'd -figure cannot truncate an existing snapshot.
+	want := strings.Split(*figure, ",")
+	var selectedExps []experiment
+	for _, e := range experiments() {
+		if selected(want, e.name) {
+			selectedExps = append(selectedExps, e)
+		}
+	}
+	if len(selectedExps) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+
+	// With -out, results are buffered and the file is written only after
+	// every experiment and the sink have succeeded, so no failure mode
+	// (bad flags, a mid-run experiment error) can truncate an existing
+	// snapshot.
+	var buf bytes.Buffer
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		w = &buf
+	}
+	var sink runner.Sink
+	switch *format {
+	case "text":
+		sink = &runner.TextSink{W: w, Points: *points}
+	case "json":
+		sink = &runner.JSONSink{W: w}
+	case "csv":
+		sink = &runner.CSVSink{W: w}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q (want text, json or csv)\n", *format)
+		os.Exit(2)
+	}
+
+	effParallel := *parallel
+	if effParallel <= 0 {
+		effParallel = runtime.GOMAXPROCS(0)
+	}
+	meta := runner.Meta{
+		Tool:        "midas-bench",
+		Seed:        *seed,
+		Topologies:  *topos,
+		Parallelism: effParallel,
+		SimTime:     simTime.String(),
+	}
+	if err := sink.Begin(meta); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	for _, e := range selectedExps {
+		res, err := runner.Timed(e.name, e.fn)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
 			os.Exit(1)
 		}
-		fmt.Println()
-		ran++
+		if err := sink.Result(res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
-		os.Exit(2)
+	if err := sink.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -63,7 +143,7 @@ func selected(want []string, name string) bool {
 
 type experiment struct {
 	name string
-	fn   func() error
+	fn   func(r *runner.Result) error
 }
 
 // experiments lists the runners in paper order.
@@ -71,8 +151,8 @@ func experiments() []experiment {
 	return []experiment{
 		{"fig3-naive-scaling-drop", fig3},
 		{"fig7-link-snr", fig7},
-		{"fig8-office-a", func() error { return fig89(sim.OfficeA) }},
-		{"fig9-office-b", func() error { return fig89(sim.OfficeB) }},
+		{"fig8-office-a", func(r *runner.Result) error { return fig89(r, sim.OfficeA) }},
+		{"fig9-office-b", func(r *runner.Result) error { return fig89(r, sim.OfficeB) }},
 		{"fig10-smart-precoding", fig10},
 		{"fig11-optimal-gap", fig11},
 		{"fig12-spatial-reuse", fig12},
@@ -88,61 +168,55 @@ func experiments() []experiment {
 	}
 }
 
-func printCDF(label string, s *stats.Sample) {
-	med, _ := s.Median()
-	fmt.Printf("-- %s (n=%d, median %.2f)\n", label, s.N(), med)
-	fmt.Print(s.ECDF().Table(*points))
-}
-
-func fig3() error {
+func fig3(r *runner.Result) error {
 	cas, das, err := sim.Fig3NaiveScalingDrop(*topos, *seed)
 	if err != nil {
 		return err
 	}
-	printCDF("CAS capacity drop (bit/s/Hz)", cas)
-	printCDF("DAS capacity drop (bit/s/Hz)", das)
+	r.AddSeries("CAS capacity drop", "bit/s/Hz", cas)
+	r.AddSeries("DAS capacity drop", "bit/s/Hz", das)
 	return nil
 }
 
-func fig7() error {
+func fig7(r *runner.Result) error {
 	cas, das := sim.Fig7LinkSNR(*topos, *seed)
-	printCDF("CAS link SNR (dB)", cas)
-	printCDF("DAS link SNR (dB)", das)
-	mc, md := cas.MustMedian(), das.MustMedian()
-	fmt.Printf("median DAS link gain: %.1f dB (paper: ≈5 dB)\n", md-mc)
+	r.AddSeries("CAS link SNR", "dB", cas)
+	r.AddSeries("DAS link SNR", "dB", das)
+	r.AddMetric("median DAS link gain", das.MustMedian()-cas.MustMedian(), "dB", "paper: ≈5 dB")
 	return nil
 }
 
-func fig89(o sim.Office) error {
+func fig89(r *runner.Result, o sim.Office) error {
 	for _, nAnt := range []int{2, 4} {
 		cas, midas, err := sim.FigCapacityCDF(o, nAnt, *topos, *seed)
 		if err != nil {
 			return err
 		}
-		printCDF(fmt.Sprintf("%v %dx%d CAS capacity (bit/s/Hz)", o, nAnt, nAnt), cas)
-		printCDF(fmt.Sprintf("%v %dx%d MIDAS capacity (bit/s/Hz)", o, nAnt, nAnt), midas)
+		r.AddSeries(fmt.Sprintf("%v %dx%d CAS capacity", o, nAnt, nAnt), "bit/s/Hz", cas)
+		r.AddSeries(fmt.Sprintf("%v %dx%d MIDAS capacity", o, nAnt, nAnt), "bit/s/Hz", midas)
 		_, _, gain := sim.SummarizeGain(cas, midas)
-		fmt.Printf("%v %dx%d median gain: %.0f%%\n", o, nAnt, nAnt, gain*100)
+		r.AddMetric(fmt.Sprintf("%v %dx%d median gain", o, nAnt, nAnt), gain*100, "%", "")
 	}
 	return nil
 }
 
-func fig10() error {
+func fig10(r *runner.Result) error {
 	c, err := sim.Fig10SmartPrecoding(*topos, *seed)
 	if err != nil {
 		return err
 	}
-	printCDF("CAS w/o MIDAS precoding", c.CASNaive)
-	printCDF("CAS w/ MIDAS precoding", c.CASBalanced)
-	printCDF("DAS w/o MIDAS precoding", c.DASNaive)
-	printCDF("DAS w/ MIDAS precoding", c.DASBalanced)
+	r.AddSeries("CAS w/o MIDAS precoding", "bit/s/Hz", c.CASNaive)
+	r.AddSeries("CAS w/ MIDAS precoding", "bit/s/Hz", c.CASBalanced)
+	r.AddSeries("DAS w/o MIDAS precoding", "bit/s/Hz", c.DASNaive)
+	r.AddSeries("DAS w/ MIDAS precoding", "bit/s/Hz", c.DASBalanced)
 	cg, _ := stats.MedianGain(c.CASBalanced, c.CASNaive)
 	dg, _ := stats.MedianGain(c.DASBalanced, c.DASNaive)
-	fmt.Printf("median precoding gain: CAS %.0f%%, DAS %.0f%% (paper: 12%%, 30%%)\n", cg*100, dg*100)
+	r.AddMetric("CAS median precoding gain", cg*100, "%", "paper: 12%")
+	r.AddMetric("DAS median precoding gain", dg*100, "%", "paper: 30%")
 	return nil
 }
 
-func fig11() error {
+func fig11(r *runner.Result) error {
 	for _, testbed := range []bool{false, true} {
 		label := "simulation"
 		if testbed {
@@ -152,57 +226,66 @@ func fig11() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("-- %s: topology\tMIDAS\toptimal\n", label)
+		midas := runner.Series{Label: label + " MIDAS", Unit: "bit/s/Hz"}
+		optimal := runner.Series{Label: label + " optimal", Unit: "bit/s/Hz"}
+		// The figure's content is the per-topology gap, so keep the
+		// paired table in the text output; the series carry the same
+		// pairing by index for JSON/CSV.
+		r.AddText("-- %s: topology\tMIDAS\toptimal", label)
 		var sm, so float64
 		for _, p := range pts {
-			fmt.Printf("%d\t%.2f\t%.2f\n", p.Topology, p.MIDAS, p.Optimal)
+			midas.Values = append(midas.Values, p.MIDAS)
+			optimal.Values = append(optimal.Values, p.Optimal)
+			r.AddText("%d\t%.2f\t%.2f", p.Topology, p.MIDAS, p.Optimal)
 			sm += p.MIDAS
 			so += p.Optimal
 		}
-		fmt.Printf("aggregate MIDAS/optimal = %.3f\n", sm/so)
+		r.Series = append(r.Series, midas, optimal)
+		r.AddMetric(label+" aggregate MIDAS/optimal", sm/so, "", "")
 	}
 	return nil
 }
 
-func fig12() error {
+func fig12(r *runner.Result) error {
 	res := sim.Fig12SpatialReuse(*topos/2, *seed)
 	ratios := stats.NewSample()
-	for _, r := range res {
-		ratios.Add(r.Ratio)
+	for _, p := range res {
+		ratios.Add(p.Ratio)
 	}
-	printCDF("simultaneous-stream ratio MIDAS/CAS", ratios)
-	fmt.Printf("median ratio: %.2f (paper: ≈1.5)\n", ratios.MustMedian())
+	r.AddSeries("simultaneous-stream ratio MIDAS/CAS", "", ratios)
+	r.AddMetric("median ratio", ratios.MustMedian(), "", "paper: ≈1.5")
 	return nil
 }
 
-func fig13() error {
+func fig13(r *runner.Result) error {
 	res := sim.Fig13Deadzones(10, *seed)
-	fmt.Printf("spots measured: %d\nCAS deadspots: %d\nDAS deadspots: %d\nreduction: %.0f%% (paper: 91%%)\n",
-		res.Spots, res.CASDeadspots, res.DASDeadspots,
-		100*(1-float64(res.DASDeadspots)/float64(res.CASDeadspots)))
-	fmt.Println("-- example map (CAS left, DAS right; '#' = deadspot)")
-	printMaps(res)
+	r.AddMetric("spots measured", float64(res.Spots), "", "")
+	r.AddMetric("CAS deadspots", float64(res.CASDeadspots), "", "")
+	r.AddMetric("DAS deadspots", float64(res.DASDeadspots), "", "")
+	r.AddMetric("reduction", 100*(1-float64(res.DASDeadspots)/float64(res.CASDeadspots)), "%", "paper: 91%")
+	r.AddText("-- example map (CAS left, DAS right; '#' = deadspot)")
+	addMaps(r, res)
 	return nil
 }
 
-// printMaps renders the Fig 13 deadzone maps side by side, downsampled.
-func printMaps(res sim.DeadzoneResult) {
+// addMaps renders the Fig 13 deadzone maps side by side, downsampled.
+func addMaps(r *runner.Result, res sim.DeadzoneResult) {
 	if res.MapCols == 0 {
 		return
 	}
 	rows := len(res.CASMap) / res.MapCols
 	const step = 3
-	for r := 0; r < rows; r += step {
+	for row := 0; row < rows; row += step {
 		var left, right strings.Builder
 		for c := 0; c < res.MapCols; c += step {
-			i := r*res.MapCols + c
+			i := row*res.MapCols + c
 			if i >= len(res.CASMap) {
 				break
 			}
 			left.WriteByte(cell(res.CASMap[i]))
 			right.WriteByte(cell(res.DASMap[i]))
 		}
-		fmt.Printf("%s   %s\n", left.String(), right.String())
+		r.AddText("%s   %s", left.String(), right.String())
 	}
 }
 
@@ -213,23 +296,24 @@ func cell(dead bool) byte {
 	return '.'
 }
 
-func hiddenTerminals() error {
+func hiddenTerminals(r *runner.Result) error {
 	res := sim.HiddenTerminals(10, *seed)
-	fmt.Printf("spots measured: %d\nCAS hidden-terminal spots: %d\nDAS hidden-terminal spots: %d\nreduction: %.0f%% (paper: 94%%)\n",
-		res.Spots, res.CASSpots, res.DASSpots,
-		100*(1-float64(res.DASSpots)/float64(res.CASSpots)))
+	r.AddMetric("spots measured", float64(res.Spots), "", "")
+	r.AddMetric("CAS hidden-terminal spots", float64(res.CASSpots), "", "")
+	r.AddMetric("DAS hidden-terminal spots", float64(res.DASSpots), "", "")
+	r.AddMetric("reduction", 100*(1-float64(res.DASSpots)/float64(res.CASSpots)), "%", "paper: 94%")
 	return nil
 }
 
-func fig14() error {
+func fig14(r *runner.Result) error {
 	random, tagged, err := sim.Fig14PacketTagging(*topos, *seed)
 	if err != nil {
 		return err
 	}
-	printCDF("random client pair (bit/s/Hz)", random)
-	printCDF("tag-driven client pair (bit/s/Hz)", tagged)
+	r.AddSeries("random client pair", "bit/s/Hz", random)
+	r.AddSeries("tag-driven client pair", "bit/s/Hz", tagged)
 	_, _, gain := sim.SummarizeGain(random, tagged)
-	fmt.Printf("median tagging gain: %.0f%% (paper: ≈50%%)\n", gain*100)
+	r.AddMetric("median tagging gain", gain*100, "%", "paper: ≈50%")
 	return nil
 }
 
@@ -237,16 +321,16 @@ func e2eOpts() sim.E2EOpts {
 	return sim.E2EOpts{Topologies: *topos, SimTime: *simTime, Seed: *seed}
 }
 
-func fig15() error {
+func fig15(r *runner.Result) error {
 	cas, midas := sim.Fig15EndToEnd(e2eOpts())
-	printCDF("CAS network capacity (bit/s/Hz)", cas)
-	printCDF("MIDAS network capacity (bit/s/Hz)", midas)
+	r.AddSeries("CAS network capacity", "bit/s/Hz", cas)
+	r.AddSeries("MIDAS network capacity", "bit/s/Hz", midas)
 	_, _, gain := sim.SummarizeGain(cas, midas)
-	fmt.Printf("median end-to-end gain: %.0f%% (paper: ≈200%%)\n", gain*100)
+	r.AddMetric("median end-to-end gain", gain*100, "%", "paper: ≈200%")
 	return nil
 }
 
-func fig16() error {
+func fig16(r *runner.Result) error {
 	o := e2eOpts()
 	if o.Topologies > 20 {
 		o.Topologies = 20 // 8-AP DES is costly; 20 topologies suffice for the CDF shape
@@ -255,79 +339,76 @@ func fig16() error {
 	if err != nil {
 		return err
 	}
-	printCDF("CAS 8-AP capacity (bit/s/Hz)", cas)
-	printCDF("MIDAS 8-AP capacity (bit/s/Hz)", midas)
+	r.AddSeries("CAS 8-AP capacity", "bit/s/Hz", cas)
+	r.AddSeries("MIDAS 8-AP capacity", "bit/s/Hz", midas)
 	_, _, gain := sim.SummarizeGain(cas, midas)
-	fmt.Printf("median large-scale gain: %.0f%% (paper: >150%%)\n", gain*100)
+	r.AddMetric("median large-scale gain", gain*100, "%", "paper: >150%")
 	return nil
 }
 
-func decomp() error {
+func decomp(r *runner.Result) error {
 	o := e2eOpts()
 	if o.Topologies > 20 {
 		o.Topologies = 20
 	}
 	res := sim.Decomposition(o)
-	fmt.Printf("median capacities (bit/s/Hz):\n")
-	fmt.Printf("  CAS baseline:        %.2f\n", res.CAS.MustMedian())
-	fmt.Printf("  + smart precoding:   %.2f\n", res.CASPlusPrecoding.MustMedian())
-	fmt.Printf("  + DAS deployment:    %.2f\n", res.DASPlusPrecoding.MustMedian())
-	fmt.Printf("  + DAS-aware MAC:     %.2f (full MIDAS)\n", res.FullMIDAS.MustMedian())
+	r.AddMetric("CAS baseline median", res.CAS.MustMedian(), "bit/s/Hz", "")
+	r.AddMetric("+ smart precoding median", res.CASPlusPrecoding.MustMedian(), "bit/s/Hz", "")
+	r.AddMetric("+ DAS deployment median", res.DASPlusPrecoding.MustMedian(), "bit/s/Hz", "")
+	r.AddMetric("+ DAS-aware MAC median (full MIDAS)", res.FullMIDAS.MustMedian(), "bit/s/Hz", "")
 	return nil
 }
 
-func ablations() error {
+func ablations(r *runner.Result) error {
 	o := e2eOpts()
 	if o.Topologies > 12 {
 		o.Topologies = 12
 	}
-	fmt.Println("-- tag width (antennas tagged per packet)")
 	for _, w := range []int{1, 2, 3, 4} {
 		res := sim.AblationTagWidth([]int{w}, o)
-		fmt.Printf("  width %d: median %.2f bit/s/Hz\n", w, res[w].MustMedian())
+		r.AddMetric(fmt.Sprintf("tag width %d median", w), res[w].MustMedian(), "bit/s/Hz", "")
 	}
-	fmt.Println("-- opportunistic wait window")
 	for _, w := range []time.Duration{0, 34 * time.Microsecond, 68 * time.Microsecond} {
 		res := sim.AblationWaitWindow([]time.Duration{w}, o)
-		fmt.Printf("  window %v: median %.2f bit/s/Hz\n", w, res[w].MustMedian())
+		r.AddMetric(fmt.Sprintf("wait window %v median", w), res[w].MustMedian(), "bit/s/Hz", "")
 	}
-	fmt.Println("-- client-selection scheduler")
-	res := sim.AblationScheduler(o)
+	sched := sim.AblationScheduler(o)
 	for _, name := range []string{"drr", "rr", "random"} {
-		fmt.Printf("  %s: median %.2f bit/s/Hz\n", name, res[name].MustMedian())
+		r.AddMetric("scheduler "+name+" median", sched[name].MustMedian(), "bit/s/Hz", "")
 	}
-	fmt.Println("-- CAS antenna correlation (single-AP capacity)")
 	corr := sim.AblationCorrelation([]float64{0, 0.3, 0.6, 0.9}, 40, *seed)
 	for _, rho := range []float64{0, 0.3, 0.6, 0.9} {
-		fmt.Printf("  rho %.1f: median %.2f bit/s/Hz\n", rho, corr[rho].MustMedian())
+		r.AddMetric(fmt.Sprintf("CAS correlation rho %.1f median", rho), corr[rho].MustMedian(), "bit/s/Hz", "")
 	}
 	return nil
 }
 
 // extBeamforming quantifies §7's localized single-user beamforming.
-func extBeamforming() error {
+func extBeamforming(r *runner.Result) error {
 	for _, win := range []float64{6, 12, 30} {
 		res := sim.BeamformingStudy(*topos, win, *seed)
-		fmt.Printf("window %2.0f dB: SNR %.1f→%.1f dB, silenced area %.0f%%→%.0f%%\n",
-			win, res.SNRFull.MustMedian(), res.SNRLocal.MustMedian(),
-			res.SilencedFull.MustMedian()*100, res.SilencedLocal.MustMedian()*100)
+		r.AddMetric(fmt.Sprintf("window %.0f dB SNR full", win), res.SNRFull.MustMedian(), "dB", "")
+		r.AddMetric(fmt.Sprintf("window %.0f dB SNR local", win), res.SNRLocal.MustMedian(), "dB", "")
+		r.AddMetric(fmt.Sprintf("window %.0f dB silenced area full", win), res.SilencedFull.MustMedian()*100, "%", "")
+		r.AddMetric(fmt.Sprintf("window %.0f dB silenced area local", win), res.SilencedLocal.MustMedian()*100, "%", "")
 	}
 	return nil
 }
 
 // extPlacement quantifies the §7 open problem of optimising antenna
 // placement.
-func extPlacement() error {
+func extPlacement(r *runner.Result) error {
 	res, err := sim.PlacementStudy(*topos/2, 30, *seed)
 	if err != nil {
 		return err
 	}
-	printCDF("random placement coverage objective (dB)", res.RandomCoverage)
-	printCDF("optimized placement coverage objective (dB)", res.OptimizedCoverage)
-	printCDF("random placement capacity (bit/s/Hz)", res.RandomCapacity)
-	printCDF("optimized placement capacity (bit/s/Hz)", res.OptimizedCapacity)
-	fmt.Printf("median coverage gain: %.1f dB; capacity ratio %.2f\n",
-		res.OptimizedCoverage.MustMedian()-res.RandomCoverage.MustMedian(),
-		res.OptimizedCapacity.MustMedian()/res.RandomCapacity.MustMedian())
+	r.AddSeries("random placement coverage objective", "dB", res.RandomCoverage)
+	r.AddSeries("optimized placement coverage objective", "dB", res.OptimizedCoverage)
+	r.AddSeries("random placement capacity", "bit/s/Hz", res.RandomCapacity)
+	r.AddSeries("optimized placement capacity", "bit/s/Hz", res.OptimizedCapacity)
+	r.AddMetric("median coverage gain",
+		res.OptimizedCoverage.MustMedian()-res.RandomCoverage.MustMedian(), "dB", "")
+	r.AddMetric("capacity ratio",
+		res.OptimizedCapacity.MustMedian()/res.RandomCapacity.MustMedian(), "", "")
 	return nil
 }

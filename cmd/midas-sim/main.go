@@ -1,14 +1,20 @@
 // Command midas-sim runs one configurable MIDAS-vs-CAS network scenario
 // and prints per-AP and network-level results — the quickest way to poke
-// at the simulator interactively.
+// at the simulator interactively. With -runs N it replicates the
+// scenario over N consecutive seeds on the internal/runner worker pool
+// (-parallel bounds the pool) and appends capacity statistics across
+// replicates; per-replicate output and statistics are identical at any
+// -parallel value.
 //
 // Usage:
 //
 //	midas-sim [-aps 1|3|8] [-mode midas|cas|both] [-clients N] [-antennas N]
 //	          [-seed S] [-simtime D] [-txop D] [-tagwidth N] [-scheduler drr|rr|random]
+//	          [-runs N] [-parallel N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,7 +22,9 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/rng"
+	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/topology"
 )
 
@@ -25,65 +33,107 @@ var (
 	mode      = flag.String("mode", "both", "midas, cas or both")
 	clients   = flag.Int("clients", 4, "clients per AP")
 	antennas  = flag.Int("antennas", 4, "antennas per AP")
-	seed      = flag.Int64("seed", 1, "random seed")
+	seed      = flag.Int64("seed", 1, "random seed (run r uses seed+r)")
 	simTime   = flag.Duration("simtime", 500*time.Millisecond, "simulated airtime")
 	txop      = flag.Duration("txop", 3*time.Millisecond, "TXOP data-phase duration")
 	tagWidth  = flag.Int("tagwidth", 2, "antennas tagged per packet (MIDAS)")
 	scheduler = flag.String("scheduler", "drr", "client scheduler: drr, rr or random")
+	runs      = flag.Int("runs", 1, "replicates over consecutive seeds")
+	parallel  = flag.Int("parallel", 0, "replicates evaluated concurrently (0 = GOMAXPROCS)")
 )
 
 func main() {
 	flag.Parse()
+	if *runs < 1 {
+		fmt.Fprintf(os.Stderr, "-runs must be >= 1 (got %d)\n", *runs)
+		os.Exit(2)
+	}
 	if *mode == "midas" || *mode == "both" {
-		run(sim.KindMIDAS, topology.DAS)
+		runAll(sim.KindMIDAS, topology.DAS)
 	}
 	if *mode == "cas" || *mode == "both" {
-		run(sim.KindCAS, topology.CAS)
+		runAll(sim.KindCAS, topology.CAS)
 	}
 }
 
-func run(kind sim.Kind, tmode topology.Mode) {
-	dep, err := deployment(tmode)
+// runResult is one replicate's formatted report plus its headline
+// numbers for cross-replicate statistics.
+type runResult struct {
+	report   string
+	capacity float64
+}
+
+func runAll(kind sim.Kind, tmode topology.Mode) {
+	opts := runner.Options{Parallelism: *parallel}
+	results, err := runner.Map(context.Background(), *runs, opts,
+		func(_ context.Context, r int) (runResult, error) {
+			return runScenario(kind, tmode, *seed+int64(r))
+		})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	caps := stats.NewSample()
+	for _, res := range results {
+		fmt.Print(res.report)
+		caps.Add(res.capacity)
+	}
+	if *runs > 1 {
+		mean, _ := caps.Mean()
+		fmt.Printf("%v over %d runs: capacity median %.2f  mean %.2f bit/s/Hz\n\n",
+			kind, *runs, caps.MustMedian(), mean)
+	}
+}
+
+// runScenario builds and runs one replicate and formats its report. All
+// randomness comes from the replicate's own seed, so replicates are
+// independent tasks for the worker pool.
+func runScenario(kind sim.Kind, tmode topology.Mode, runSeed int64) (runResult, error) {
+	dep, err := deployment(tmode, runSeed)
+	if err != nil {
+		return runResult{}, err
 	}
 	opts := sim.DefaultStationOpts(kind)
 	opts.TXOP = *txop
 	opts.TagWidth = *tagWidth
 	opts.SchedulerName = *scheduler
-	src := rng.New(*seed + 1000)
+	src := rng.New(runSeed + 1000)
 	p := channel.Default()
 	sim.EnsureAssociated(dep, p, src.Split("model"))
 	net := sim.NewNetwork(dep, p, opts, src)
 	net.Run(*simTime)
 
-	fmt.Printf("=== %v: %d APs, %d antennas × %d clients each, %v simulated ===\n",
-		kind, dep.NumAPs(), *antennas, *clients, *simTime)
+	var b []byte
+	appendf := func(format string, args ...any) {
+		b = fmt.Appendf(b, format, args...)
+	}
+	appendf("=== %v: %d APs, %d antennas × %d clients each, %v simulated (seed %d) ===\n",
+		kind, dep.NumAPs(), *antennas, *clients, *simTime, runSeed)
 	for _, st := range net.Stations {
-		fmt.Printf("AP%d: txops=%-4d streams=%-4d collisions=%-3d sounding=%v data=%v delivered=%.2f bit·s/Hz\n",
+		appendf("AP%d: txops=%-4d streams=%-4d collisions=%-3d sounding=%v data=%v delivered=%.2f bit·s/Hz\n",
 			st.ID, st.TXOPs, st.StreamsServed, st.CollidedStarts,
 			st.SoundingOvhd.Round(time.Millisecond), st.AirtimeData.Round(time.Millisecond),
 			st.BitsPerHz)
 	}
-	fmt.Printf("network capacity: %.2f bit/s/Hz   mean MU group: %.2f\n\n",
+	appendf("network capacity: %.2f bit/s/Hz   mean MU group: %.2f\n\n",
 		net.NetworkCapacity(), net.MeanGroupSize())
+	return runResult{report: string(b), capacity: net.NetworkCapacity()}, nil
 }
 
-func deployment(tmode topology.Mode) (*topology.Deployment, error) {
+func deployment(tmode topology.Mode, runSeed int64) (*topology.Deployment, error) {
 	cfg := topology.DefaultConfig(tmode)
 	cfg.ClientsPerAP = *clients
 	cfg.AntennasPerAP = *antennas
 	switch *nAPs {
 	case 1:
-		return topology.SingleAP(cfg, rng.New(*seed)), nil
+		return topology.SingleAP(cfg, rng.New(runSeed)), nil
 	case 3:
-		return topology.ThreeAPTestbed(cfg, rng.New(*seed)), nil
+		return topology.ThreeAPTestbed(cfg, rng.New(runSeed)), nil
 	case 8:
 		ls := topology.DefaultLargeScale(tmode)
 		ls.ClientsPerAP = *clients
 		ls.AntennasPerAP = *antennas
-		return topology.LargeScale(ls, rng.New(*seed))
+		return topology.LargeScale(ls, rng.New(runSeed))
 	default:
 		return nil, fmt.Errorf("midas-sim: unsupported AP count %d (want 1, 3 or 8)", *nAPs)
 	}

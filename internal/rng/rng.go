@@ -16,8 +16,19 @@ import (
 
 // Source is a deterministic random stream. It wraps math/rand with the
 // distributions the wireless models need.
+//
+// Concurrency: a Source's draw methods (Float64, Norm, Perm, …) mutate
+// the underlying stream and are NOT safe for concurrent use — each
+// goroutine must own the Sources it draws from. Split and SplitN,
+// however, read only the immutable seed recorded at construction, so
+// any number of goroutines may derive children from one shared parent
+// concurrently, and sibling children may be consumed from different
+// goroutines. This is the discipline the internal/runner worker pool
+// relies on: one root Source per experiment, one Split child per task.
 type Source struct {
-	r    *rand.Rand
+	r *rand.Rand
+	// seed is immutable after New; Split derives children from it
+	// without touching r, which is what makes concurrent splitting safe.
 	seed int64
 }
 
@@ -33,7 +44,9 @@ func (s *Source) Seed() int64 { return s.seed }
 // label. The same (seed, label) pair always yields the same child, while
 // different labels yield decorrelated streams. Splitting never advances the
 // parent stream, so adding a new Split call site does not perturb existing
-// consumers.
+// consumers. Split is safe to call from multiple goroutines on the same
+// parent (it only reads the immutable seed); the returned child is an
+// ordinary unsynchronized Source owned by the caller.
 func (s *Source) Split(label string) *Source {
 	const (
 		offset64 = 14695981039346656037

@@ -3,6 +3,7 @@ package rng
 import (
 	"math"
 	"math/cmplx"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -247,5 +248,66 @@ func TestSplitDeterministicProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestConcurrentSplit pins the concurrency contract the internal/runner
+// worker pool depends on: many goroutines may Split/SplitN from one
+// shared parent at once, and each sibling child, consumed on its own
+// goroutine, yields exactly the stream a sequential derivation gives.
+// Run with -race to verify the absence of data races, not just the
+// equality of results.
+func TestConcurrentSplit(t *testing.T) {
+	const n = 64
+	parent := New(2014)
+
+	// Sequential reference: child i's first ten draws.
+	want := make([][10]float64, n)
+	for i := range want {
+		c := New(2014).SplitN("worker", i)
+		for j := range want[i] {
+			want[i][j] = c.Float64()
+		}
+	}
+
+	got := make([][10]float64, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			c := parent.SplitN("worker", i) // concurrent Split on shared parent
+			for j := range got[i] {
+				got[i][j] = c.Float64() // sibling consumed on its own goroutine
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("child %d drew %v concurrently, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestConcurrentSplitDoesNotPerturbParent verifies concurrent splitting
+// leaves the parent's own stream untouched.
+func TestConcurrentSplitDoesNotPerturbParent(t *testing.T) {
+	ref := New(99)
+	parent := New(99)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			parent.SplitN("noise", i)
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < 50; i++ {
+		if parent.Float64() != ref.Float64() {
+			t.Fatal("concurrent Split perturbed the parent stream")
+		}
 	}
 }

@@ -1,0 +1,184 @@
+// Package runner is the parallel experiment-execution engine for the
+// MIDAS reproduction. Every evaluation experiment (§5) is a sweep over
+// independent random topologies; runner.Map and runner.Sweep execute
+// those task bodies on a bounded worker pool while preserving the exact
+// numbers of a sequential run:
+//
+//   - Each task derives its randomness from the experiment's root seed
+//     and its own index (root.SplitN(label, i)), never from a shared
+//     stream, so results are independent of scheduling order.
+//   - Results are collected into a slice indexed by task, so downstream
+//     aggregation (stats.Sample accumulation, CDFs) sees them in task
+//     order regardless of completion order.
+//   - On error the pool cancels outstanding work and reports the
+//     lowest-index failure among the tasks that ran; at Parallelism 1
+//     that is exactly the error a sequential loop would have stopped on.
+//
+// The engine also reports per-task timing through Options.OnDone and
+// feeds the structured result sinks in sink.go, which serialize whole
+// experiment snapshots as text, JSON or CSV.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Options configure one Map or Sweep invocation.
+type Options struct {
+	// Parallelism bounds the worker pool. Values <= 0 select
+	// runtime.GOMAXPROCS(0). Parallelism 1 reproduces a plain
+	// sequential loop (same goroutine count, same task order).
+	Parallelism int
+	// OnDone, when non-nil, is invoked after every completed task with
+	// that task's timing and the pool's overall progress. Invocations
+	// are serialized; the callback must not block for long.
+	OnDone func(Progress)
+}
+
+// Progress describes one completed task.
+type Progress struct {
+	Index     int           // which task finished
+	Completed int           // tasks finished so far, including this one
+	Total     int           // tasks in the run
+	Elapsed   time.Duration // wall time of this task
+}
+
+func (o Options) workers(n int) int {
+	p := o.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// TaskError wraps a task failure with the index it occurred at.
+type TaskError struct {
+	Index int
+	Err   error
+}
+
+// Error implements error.
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("runner: task %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying task error to errors.Is/As.
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// Map runs fn(ctx, 0) … fn(ctx, n-1) on a bounded worker pool and
+// returns the results ordered by index. The work function must be safe
+// to call from multiple goroutines for distinct indices and must not
+// share mutable state between indices — derive per-task randomness from
+// an immutable root (see Sweep).
+//
+// If any task fails, or ctx is cancelled, Map cancels the context passed
+// to the remaining tasks, stops dispatching new ones, waits for in-flight
+// tasks, and returns a nil slice with a *TaskError for the lowest-index
+// failure that ran (at Parallelism 1, exactly the failure a sequential
+// loop would have stopped on) or the context error.
+func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]T, n)
+	errs := make([]error, n)
+	var (
+		next      atomic.Int64 // next index to dispatch
+		failed    atomic.Bool
+		doneMu    sync.Mutex // serializes OnDone and guards completed
+		completed int
+		wg        sync.WaitGroup
+	)
+
+	worker := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= n || ctx.Err() != nil {
+				return
+			}
+			start := time.Now()
+			v, err := fn(ctx, i)
+			if err != nil {
+				errs[i] = err
+				failed.Store(true)
+				cancel() // stop dispatching; in-flight tasks drain
+				return
+			}
+			results[i] = v
+			if opts.OnDone != nil {
+				// Completed is incremented under the same lock that
+				// serializes OnDone, so callbacks observe a strictly
+				// monotonic count.
+				doneMu.Lock()
+				completed++
+				opts.OnDone(Progress{Index: i, Completed: completed, Total: n, Elapsed: time.Since(start)})
+				doneMu.Unlock()
+			}
+		}
+	}
+
+	workers := opts.workers(n)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+
+	if failed.Load() {
+		for i, err := range errs {
+			if err != nil {
+				return nil, &TaskError{Index: i, Err: err}
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Sweep is the topology-sweep entry point: it runs n tasks, handing task
+// i the deterministic rng child root.SplitN(label, i) of the experiment
+// seed. Because rng.Source.Split derives children from the parent's
+// immutable seed (it never advances or reads the parent's stream), the
+// derivation is identical whether tasks run on one goroutine or many,
+// and every task owns its child exclusively — the discipline that makes
+// parallel results bit-identical to a sequential run.
+func Sweep[T any](ctx context.Context, n int, seed int64, label string, opts Options, fn func(ctx context.Context, i int, src *rng.Source) (T, error)) ([]T, error) {
+	root := rng.New(seed)
+	return Map(ctx, n, opts, func(ctx context.Context, i int) (T, error) {
+		return fn(ctx, i, root.SplitN(label, i))
+	})
+}
+
+// SweepRoot is Sweep for experiments whose per-task derivation does not
+// follow the root.SplitN(label, i) convention (nested sweeps, per-arm
+// labels): task i receives the shared root source and derives its own
+// children. The root must only be used for Split/SplitN inside tasks —
+// drawing from it would race and break determinism.
+func SweepRoot[T any](ctx context.Context, n int, seed int64, opts Options, fn func(ctx context.Context, i int, root *rng.Source) (T, error)) ([]T, error) {
+	root := rng.New(seed)
+	return Map(ctx, n, opts, func(ctx context.Context, i int) (T, error) {
+		return fn(ctx, i, root)
+	})
+}

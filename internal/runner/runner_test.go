@@ -1,0 +1,220 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// TestMapOrdersResults verifies results land at their task index no
+// matter which worker finishes first.
+func TestMapOrdersResults(t *testing.T) {
+	for _, par := range []int{1, 4, 16} {
+		res, err := Map(context.Background(), 50, Options{Parallelism: par}, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", par, err)
+		}
+		if len(res) != 50 {
+			t.Fatalf("parallel=%d: got %d results", par, len(res))
+		}
+		for i, v := range res {
+			if v != i*i {
+				t.Fatalf("parallel=%d: res[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapBoundsParallelism checks the pool never runs more than
+// Parallelism tasks at once.
+func TestMapBoundsParallelism(t *testing.T) {
+	const par = 3
+	var inFlight, peak atomic.Int64
+	_, err := Map(context.Background(), 40, Options{Parallelism: par}, func(_ context.Context, i int) (struct{}, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > par {
+		t.Fatalf("observed %d concurrent tasks, want <= %d", got, par)
+	}
+}
+
+// TestMapReportsLowestIndexError verifies the pool reports the failure a
+// sequential loop would have stopped on, regardless of completion order.
+func TestMapReportsLowestIndexError(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := Map(context.Background(), 64, Options{Parallelism: 8}, func(_ context.Context, i int) (int, error) {
+		if i%2 == 1 { // tasks 1, 3, 5, … fail
+			return 0, fmt.Errorf("task %d: %w", i, sentinel)
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("want *TaskError, got %T: %v", err, err)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error %v does not wrap sentinel", err)
+	}
+	// Which odd tasks ran before cancellation is scheduling-dependent,
+	// but the reported failure is always a task that genuinely failed,
+	// and the lowest-index one among those that ran.
+	if te.Index%2 != 1 {
+		t.Fatalf("reported index %d, which did not fail", te.Index)
+	}
+}
+
+// TestMapErrorCancelsOutstandingTasks verifies a failure stops the
+// sweep early instead of draining all n tasks.
+func TestMapErrorCancelsOutstandingTasks(t *testing.T) {
+	var started atomic.Int64
+	_, err := Map(context.Background(), 10000, Options{Parallelism: 2}, func(_ context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			return 0, errors.New("fail fast")
+		}
+		time.Sleep(100 * time.Microsecond)
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := started.Load(); n > 100 {
+		t.Fatalf("%d tasks started after early failure, want far fewer than 10000", n)
+	}
+}
+
+// TestMapContextCancellation verifies an external cancel stops dispatch
+// and surfaces context.Canceled.
+func TestMapContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	res, err := Map(ctx, 10000, Options{Parallelism: 4}, func(ctx context.Context, i int) (int, error) {
+		if started.Add(1) == 8 {
+			cancel()
+		}
+		time.Sleep(50 * time.Microsecond)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run must not return partial results")
+	}
+	if n := started.Load(); n > 100 {
+		t.Fatalf("%d tasks started after cancel, want far fewer than 10000", n)
+	}
+}
+
+// TestSweepDeterministicAcrossParallelism is the core guarantee: the
+// same seed yields bit-identical per-task randomness at any pool size.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	run := func(par int) []float64 {
+		res, err := Sweep(context.Background(), 40, 2014, "det", Options{Parallelism: par},
+			func(_ context.Context, i int, src *rng.Source) (float64, error) {
+				// Consume a realistic mix of draws from the task's stream.
+				v := src.Float64()
+				v += src.Gauss(0, 1)
+				v += float64(src.Intn(1000))
+				return v, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	for _, par := range []int{2, 8} {
+		got := run(par)
+		for i := range seq {
+			if got[i] != seq[i] {
+				t.Fatalf("parallel=%d: task %d = %v, sequential = %v", par, i, got[i], seq[i])
+			}
+		}
+	}
+}
+
+// TestSweepMatchesManualDerivation pins the derivation convention other
+// packages rely on: task i sees exactly root.SplitN(label, i).
+func TestSweepMatchesManualDerivation(t *testing.T) {
+	res, err := Sweep(context.Background(), 5, 7, "fig", Options{Parallelism: 3},
+		func(_ context.Context, i int, src *rng.Source) (float64, error) {
+			return src.Float64(), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := rng.New(7)
+	for i, v := range res {
+		if want := root.SplitN("fig", i).Float64(); v != want {
+			t.Fatalf("task %d drew %v, manual derivation gives %v", i, v, want)
+		}
+	}
+}
+
+// TestOnDoneProgress verifies every task reports exactly once with a
+// consistent completion counter.
+func TestOnDoneProgress(t *testing.T) {
+	const n = 30
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	_, err := Map(context.Background(), n, Options{
+		Parallelism: 5,
+		OnDone: func(p Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			if seen[p.Index] {
+				t.Errorf("task %d reported twice", p.Index)
+			}
+			seen[p.Index] = true
+			if p.Total != n {
+				t.Errorf("Total = %d, want %d", p.Total, n)
+			}
+			// Callbacks are serialized and the counter is incremented
+			// under the same lock, so Completed counts callbacks exactly.
+			if p.Completed != len(seen) {
+				t.Errorf("Completed = %d at callback %d", p.Completed, len(seen))
+			}
+		},
+	}, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("saw %d progress callbacks, want %d", len(seen), n)
+	}
+}
+
+// TestMapZeroTasks ensures the degenerate sweep is a no-op.
+func TestMapZeroTasks(t *testing.T) {
+	res, err := Map(context.Background(), 0, Options{}, func(_ context.Context, i int) (int, error) {
+		t.Fatal("task ran")
+		return 0, nil
+	})
+	if err != nil || res != nil {
+		t.Fatalf("got (%v, %v), want (nil, nil)", res, err)
+	}
+}

@@ -38,13 +38,13 @@ func runOne(dep *topology.Deployment, opts StationOpts, src *rng.Source, simTime
 	return net.NetworkCapacity()
 }
 
+// arm2 carries one topology's paired results through the worker pool.
+type arm2 struct{ a, b float64 }
+
 // Fig15EndToEnd reproduces Figure 15: network capacity CDFs of the 3-AP
 // testbed under conventional CAS and under MIDAS, over random topologies.
 func Fig15EndToEnd(o E2EOpts) (cas, midas *stats.Sample) {
-	root := rng.New(o.Seed)
-	cas, midas = stats.NewSample(), stats.NewSample()
-	for t := 0; t < o.Topologies; t++ {
-		src := root.SplitN("fig15", t)
+	res := sweep(o.Topologies, o.Seed, "fig15", func(t int, src *rng.Source) arm2 {
 		cfgC := topology.DefaultConfig(topology.CAS)
 		cfgM := topology.DefaultConfig(topology.DAS)
 		if o.ClientsPerAP > 0 {
@@ -56,8 +56,15 @@ func Fig15EndToEnd(o E2EOpts) (cas, midas *stats.Sample) {
 		// §5.4 premise: the three APs overhear each other.
 		runC := OverhearingSource(depC, channel.Default(), src.Split("runC"), 64)
 		runM := OverhearingSource(depM, channel.Default(), src.Split("runM"), 64)
-		cas.Add(runOne(depC, DefaultStationOpts(KindCAS), runC, o.SimTime))
-		midas.Add(runOne(depM, DefaultStationOpts(KindMIDAS), runM, o.SimTime))
+		return arm2{
+			a: runOne(depC, DefaultStationOpts(KindCAS), runC, o.SimTime),
+			b: runOne(depM, DefaultStationOpts(KindMIDAS), runM, o.SimTime),
+		}
+	})
+	cas, midas = stats.NewSample(), stats.NewSample()
+	for _, r := range res {
+		cas.Add(r.a)
+		midas.Add(r.b)
 	}
 	return cas, midas
 }
@@ -69,10 +76,7 @@ func Fig15EndToEnd(o E2EOpts) (cas, midas *stats.Sample) {
 // did, and the denser region restores the inter-cell coupling their
 // deployment had (see EXPERIMENTS.md).
 func Fig16LargeScale(o E2EOpts) (cas, midas *stats.Sample, err error) {
-	root := rng.New(o.Seed)
-	cas, midas = stats.NewSample(), stats.NewSample()
-	for t := 0; t < o.Topologies; t++ {
-		src := root.SplitN("fig16", t)
+	res, err := sweepErr(o.Topologies, o.Seed, "fig16", func(t int, src *rng.Source) (arm2, error) {
 		cfgC := topology.DefaultLargeScale(topology.CAS)
 		cfgM := topology.DefaultLargeScale(topology.DAS)
 		if o.ClientsPerAP > 0 {
@@ -81,14 +85,24 @@ func Fig16LargeScale(o E2EOpts) (cas, midas *stats.Sample, err error) {
 		}
 		depC, err := topology.LargeScale(cfgC, src.Split("topo"))
 		if err != nil {
-			return nil, nil, err
+			return arm2{}, err
 		}
 		depM, err := topology.LargeScale(cfgM, src.Split("topo"))
 		if err != nil {
-			return nil, nil, err
+			return arm2{}, err
 		}
-		cas.Add(runOne(depC, DefaultStationOpts(KindCAS), src.Split("runC"), o.SimTime))
-		midas.Add(runOne(depM, DefaultStationOpts(KindMIDAS), src.Split("runM"), o.SimTime))
+		return arm2{
+			a: runOne(depC, DefaultStationOpts(KindCAS), src.Split("runC"), o.SimTime),
+			b: runOne(depM, DefaultStationOpts(KindMIDAS), src.Split("runM"), o.SimTime),
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	cas, midas = stats.NewSample(), stats.NewSample()
+	for _, r := range res {
+		cas.Add(r.a)
+		midas.Add(r.b)
 	}
 	return cas, midas, nil
 }
@@ -110,29 +124,33 @@ type DecompositionResult struct {
 // Decomposition runs the 3-AP testbed in four configurations that add
 // MIDAS's mechanisms one at a time.
 func Decomposition(o E2EOpts) *DecompositionResult {
-	root := rng.New(o.Seed)
-	res := &DecompositionResult{
-		CAS: stats.NewSample(), CASPlusPrecoding: stats.NewSample(),
-		DASPlusPrecoding: stats.NewSample(), FullMIDAS: stats.NewSample(),
-	}
-	for t := 0; t < o.Topologies; t++ {
-		src := root.SplitN("decomp", t)
+	vals := sweep(o.Topologies, o.Seed, "decomp", func(t int, src *rng.Source) [4]float64 {
 		depC := topology.ThreeAPTestbed(topology.DefaultConfig(topology.CAS), src.Split("topo"))
 		depM := topology.ThreeAPTestbed(topology.DefaultConfig(topology.DAS), src.Split("topo"))
 
 		base := DefaultStationOpts(KindCAS)
 		srcC := OverhearingSource(depC, channel.Default(), src.Split("rC"), 64)
 		srcM := OverhearingSource(depM, channel.Default(), src.Split("rM"), 64)
-		res.CAS.Add(runOne(depC, base, srcC, o.SimTime))
 
 		prec := base
 		prec.Precoder = PrecoderPowerBalanced
-		res.CASPlusPrecoding.Add(runOne(depC, prec, srcC, o.SimTime))
-
 		dasCAS := prec // DAS antennas, conventional MAC
-		res.DASPlusPrecoding.Add(runOne(depM, dasCAS, srcM, o.SimTime))
-
-		res.FullMIDAS.Add(runOne(depM, DefaultStationOpts(KindMIDAS), srcM, o.SimTime))
+		return [4]float64{
+			runOne(depC, base, srcC, o.SimTime),
+			runOne(depC, prec, srcC, o.SimTime),
+			runOne(depM, dasCAS, srcM, o.SimTime),
+			runOne(depM, DefaultStationOpts(KindMIDAS), srcM, o.SimTime),
+		}
+	})
+	res := &DecompositionResult{
+		CAS: stats.NewSample(), CASPlusPrecoding: stats.NewSample(),
+		DASPlusPrecoding: stats.NewSample(), FullMIDAS: stats.NewSample(),
+	}
+	for _, v := range vals {
+		res.CAS.Add(v[0])
+		res.CASPlusPrecoding.Add(v[1])
+		res.DASPlusPrecoding.Add(v[2])
+		res.FullMIDAS.Add(v[3])
 	}
 	return res
 }
@@ -140,18 +158,23 @@ func Decomposition(o E2EOpts) *DecompositionResult {
 // AblationTagWidth sweeps the number of antennas tagged per packet
 // (§3.2.4 discusses 1, 2 and all-antennas).
 func AblationTagWidth(widths []int, o E2EOpts) map[int]*stats.Sample {
-	root := rng.New(o.Seed)
+	vals := sweep(o.Topologies, o.Seed, "tagwidth", func(t int, src *rng.Source) []float64 {
+		dep := topology.ThreeAPTestbed(topology.DefaultConfig(topology.DAS), src.Split("topo"))
+		caps := make([]float64, len(widths))
+		for i, w := range widths {
+			opts := DefaultStationOpts(KindMIDAS)
+			opts.TagWidth = w
+			caps[i] = runOne(dep, opts, src.SplitN("run", w), o.SimTime)
+		}
+		return caps
+	})
 	out := map[int]*stats.Sample{}
 	for _, w := range widths {
 		out[w] = stats.NewSample()
 	}
-	for t := 0; t < o.Topologies; t++ {
-		src := root.SplitN("tagwidth", t)
-		dep := topology.ThreeAPTestbed(topology.DefaultConfig(topology.DAS), src.Split("topo"))
-		for _, w := range widths {
-			opts := DefaultStationOpts(KindMIDAS)
-			opts.TagWidth = w
-			out[w].Add(runOne(dep, opts, src.SplitN("run", w), o.SimTime))
+	for _, caps := range vals {
+		for i, w := range widths {
+			out[w].Add(caps[i])
 		}
 	}
 	return out
@@ -160,19 +183,24 @@ func AblationTagWidth(widths []int, o E2EOpts) map[int]*stats.Sample {
 // AblationWaitWindow sweeps the opportunistic-selection wait window
 // (§3.2.3 argues one DIFS is the right balance).
 func AblationWaitWindow(windows []time.Duration, o E2EOpts) map[time.Duration]*stats.Sample {
-	root := rng.New(o.Seed)
-	out := map[time.Duration]*stats.Sample{}
-	for _, w := range windows {
-		out[w] = stats.NewSample()
-	}
-	for t := 0; t < o.Topologies; t++ {
-		src := root.SplitN("waitwin", t)
+	vals := sweep(o.Topologies, o.Seed, "waitwin", func(t int, src *rng.Source) []float64 {
 		dep := topology.ThreeAPTestbed(topology.DefaultConfig(topology.DAS), src.Split("topo"))
+		caps := make([]float64, len(windows))
 		for i, w := range windows {
 			opts := DefaultStationOpts(KindMIDAS)
 			opts.WaitWindow = w
 			opts.HasWaitWindow = true
-			out[w].Add(runOne(dep, opts, src.SplitN("run", i), o.SimTime))
+			caps[i] = runOne(dep, opts, src.SplitN("run", i), o.SimTime)
+		}
+		return caps
+	})
+	out := map[time.Duration]*stats.Sample{}
+	for _, w := range windows {
+		out[w] = stats.NewSample()
+	}
+	for _, caps := range vals {
+		for i, w := range windows {
+			out[w].Add(caps[i])
 		}
 	}
 	return out
@@ -181,17 +209,24 @@ func AblationWaitWindow(windows []time.Duration, o E2EOpts) map[time.Duration]*s
 // AblationScheduler compares client-selection policies (§3.2.5: DRR is
 // the paper's choice; round-robin and random are the ablations).
 func AblationScheduler(o E2EOpts) map[string]*stats.Sample {
-	root := rng.New(o.Seed)
-	out := map[string]*stats.Sample{
-		"drr": stats.NewSample(), "rr": stats.NewSample(), "random": stats.NewSample(),
-	}
-	for t := 0; t < o.Topologies; t++ {
-		src := root.SplitN("sched", t)
+	names := []string{"drr", "rr", "random"}
+	vals := sweep(o.Topologies, o.Seed, "sched", func(t int, src *rng.Source) []float64 {
 		dep := topology.ThreeAPTestbed(topology.DefaultConfig(topology.DAS), src.Split("topo"))
-		for _, name := range []string{"drr", "rr", "random"} {
+		caps := make([]float64, len(names))
+		for i, name := range names {
 			opts := DefaultStationOpts(KindMIDAS)
 			opts.SchedulerName = name
-			out[name].Add(runOne(dep, opts, src.Split("run-"+name), o.SimTime))
+			caps[i] = runOne(dep, opts, src.Split("run-"+name), o.SimTime)
+		}
+		return caps
+	})
+	out := map[string]*stats.Sample{}
+	for _, name := range names {
+		out[name] = stats.NewSample()
+	}
+	for _, caps := range vals {
+		for i, name := range names {
+			out[name].Add(caps[i])
 		}
 	}
 	return out
@@ -201,12 +236,14 @@ func AblationScheduler(o E2EOpts) map[string]*stats.Sample {
 // the knob that controls how much channel rank the co-located baseline
 // loses relative to DAS.
 func AblationCorrelation(rhos []float64, topos int, seed int64) map[float64]*stats.Sample {
-	root := rng.New(seed)
-	out := map[float64]*stats.Sample{}
-	for _, r := range rhos {
-		out[r] = stats.NewSample()
+	type rhoVal struct {
+		ok bool
+		v  float64
 	}
-	for t := 0; t < topos; t++ {
+	// Task t derives one child per (t, rho) pair — the sweep label is
+	// only used for progress reporting here.
+	vals := sweepRoot(topos, seed, "corr", func(t int, root *rng.Source) []rhoVal {
+		res := make([]rhoVal, len(rhos))
 		for i, rho := range rhos {
 			src := root.SplitN("corr", t*100+i)
 			p := channel.Default()
@@ -216,7 +253,19 @@ func AblationCorrelation(rhos []float64, topos int, seed int64) map[float64]*sta
 			m := dep.Model(p, src.Split("chan"))
 			prob := problemFromModel(p, m)
 			if v, err := naiveOf(prob); err == nil {
-				out[rho].Add(sumRateOf(prob, v))
+				res[i] = rhoVal{ok: true, v: sumRateOf(prob, v)}
+			}
+		}
+		return res
+	})
+	out := map[float64]*stats.Sample{}
+	for _, r := range rhos {
+		out[r] = stats.NewSample()
+	}
+	for _, res := range vals {
+		for i, rho := range rhos {
+			if res[i].ok {
+				out[rho].Add(res[i].v)
 			}
 		}
 	}

@@ -45,12 +45,9 @@ type Fig12Result struct {
 // procedure at AP granularity gives the CAS count. Returns per-topology
 // results; the paper plots the CDF of MIDAS/CAS.
 func Fig12SpatialReuse(topos int, seed int64) []Fig12Result {
-	root := rng.New(seed)
 	p := channel.Default()
 	csDBm := -82.0
-	out := make([]Fig12Result, 0, topos)
-	for t := 0; t < topos; t++ {
-		src := root.SplitN("fig12", t)
+	return sweep(topos, seed, "fig12", func(t int, src *rng.Source) Fig12Result {
 		cfg := topology.DefaultConfig(topology.DAS)
 		dep := topology.ThreeAPTestbed(cfg, src.Split("topo"))
 		// §5.3.1 premise: the three APs overhear each other; choose a
@@ -92,13 +89,12 @@ func Fig12SpatialReuse(topos int, seed int64) []Fig12Result {
 				cas += 4
 			}
 		}
-		out = append(out, Fig12Result{
+		return Fig12Result{
 			MIDASStreams: midas,
 			CASStreams:   cas,
 			Ratio:        float64(midas) / float64(cas),
-		})
-	}
-	return out
+		}
+	})
 }
 
 // DeadzoneResult summarises one deployment's coverage map.
@@ -121,41 +117,51 @@ const minServiceSNRdB = 4.0
 // usable mean SNR. Averages over `deployments` random DAS layouts (the
 // CAS layout is fixed, as in the paper).
 func Fig13Deadzones(deployments int, seed int64) DeadzoneResult {
-	root := rng.New(seed)
 	p := channel.Default()
-	var res DeadzoneResult
-	for d := 0; d < deployments; d++ {
-		src := root.SplitN("fig13", d)
+	// deadzoneTask is one deployment's tally; the example maps are kept
+	// only for deployment 0, as before.
+	type deadzoneTask struct {
+		casDead, dasDead, spots int
+		casMap, dasMap          []bool
+		cols                    int
+	}
+	tasks := sweep(deployments, seed, "fig13", func(d int, src *rng.Source) deadzoneTask {
+		var out deadzoneTask
 		casDep := topology.SingleAP(topology.DefaultConfig(topology.CAS), src.Split("cas"))
 		dasDep := topology.SingleAP(topology.DefaultConfig(topology.DAS), src.Split("das"))
 		f := p.NewField(src.Split("field").Seed())
 		r := topology.DefaultConfig(topology.CAS).CoverageRadius
 		rect := geom.NewRect(-r, -r, r, r)
-		cols := 0
-		var casMap, dasMap []bool
-		y := 0.0
-		_ = y
 		geom.Grid(rect, 0.5, func(pt geom.Point) {
 			if pt.Dist(geom.Pt(0, 0)) > r {
 				return
 			}
-			res.Spots++
+			out.spots++
 			casDead := deadAt(p, f, casDep, pt)
 			dasDead := deadAt(p, f, dasDep, pt)
 			if casDead {
-				res.CASDeadspots++
+				out.casDead++
 			}
 			if dasDead {
-				res.DASDeadspots++
+				out.dasDead++
 			}
 			if d == 0 {
-				casMap = append(casMap, casDead)
-				dasMap = append(dasMap, dasDead)
+				out.casMap = append(out.casMap, casDead)
+				out.dasMap = append(out.dasMap, dasDead)
 			}
 		})
 		if d == 0 {
-			cols = int(math.Floor(2*r/0.5)) + 1
-			res.CASMap, res.DASMap, res.MapCols = casMap, dasMap, cols
+			out.cols = int(math.Floor(2*r/0.5)) + 1
+		}
+		return out
+	})
+	var res DeadzoneResult
+	for d, t := range tasks {
+		res.CASDeadspots += t.casDead
+		res.DASDeadspots += t.dasDead
+		res.Spots += t.spots
+		if d == 0 {
+			res.CASMap, res.DASMap, res.MapCols = t.casMap, t.dasMap, t.cols
 		}
 	}
 	return res
@@ -187,13 +193,12 @@ type HiddenTerminalResult struct {
 // both widens each AP's sensing footprint and evens out the delivered
 // power — the two effects the paper credits for the reduction.
 func HiddenTerminals(deployments int, seed int64) HiddenTerminalResult {
-	root := rng.New(seed)
 	p := channel.Default()
 	const csDBm = -82.0
 	const decodeDBm = -82.0 // conflict-relevant power, not payload decode
-	var res HiddenTerminalResult
-	for d := 0; d < deployments; d++ {
-		src := root.SplitN("ht", d)
+	type htTask struct{ cas, das, spots int }
+	tasks := sweep(deployments, seed, "ht", func(d int, src *rng.Source) htTask {
+		var out htTask
 		cfg := topology.DefaultConfig(topology.DAS)
 		cfg.DASInnerFrac = 0.5
 		cfg.DASOuterFrac = 0.75
@@ -213,14 +218,21 @@ func HiddenTerminals(deployments int, seed int64) HiddenTerminalResult {
 
 		rect := geom.NewRect(-10, -15, apDist+10, 15)
 		geom.Grid(rect, 1.0, func(pt geom.Point) {
-			res.Spots++
+			out.spots++
 			if hiddenAt(p, f, casDep, pt, csDBm, decodeDBm) {
-				res.CASSpots++
+				out.cas++
 			}
 			if hiddenAt(p, f, dasDep, pt, csDBm, decodeDBm) {
-				res.DASSpots++
+				out.das++
 			}
 		})
+		return out
+	})
+	var res HiddenTerminalResult
+	for _, t := range tasks {
+		res.CASSpots += t.cas
+		res.DASSpots += t.das
+		res.Spots += t.spots
 	}
 	return res
 }

@@ -80,31 +80,33 @@ func phyProblem(o Office, mode topology.Mode, antennas, clients int, src *rng.So
 // per-antenna power constraint by one global scale factor, for CAS and
 // DAS 4×4 topologies.
 func Fig3NaiveScalingDrop(topos int, seed int64) (cas, das *stats.Sample, err error) {
-	root := rng.New(seed)
 	cas, das = stats.NewSample(), stats.NewSample()
 	for _, mode := range []topology.Mode{topology.CAS, topology.DAS} {
 		out := cas
 		if mode == topology.DAS {
 			out = das
 		}
-		for t := 0; t < topos; t++ {
-			src := root.SplitN("fig3-"+mode.String(), t)
+		drops, err := sweepErr(topos, seed, "fig3-"+mode.String(), func(t int, src *rng.Source) (float64, error) {
 			prob, _, _ := phyProblem(OfficeB, mode, 4, 4, src)
 			ideal, err := precoding.ZFBF(prob)
 			if err != nil {
-				return nil, nil, fmt.Errorf("fig3 topo %d: %w", t, err)
+				return 0, fmt.Errorf("fig3 topo %d: %w", t, err)
 			}
 			naive, err := precoding.NaiveScaled(prob)
 			if err != nil {
-				return nil, nil, fmt.Errorf("fig3 topo %d: %w", t, err)
+				return 0, fmt.Errorf("fig3 topo %d: %w", t, err)
 			}
 			drop := precoding.SumRate(prob.H, ideal, prob.Noise) -
 				precoding.SumRate(prob.H, naive, prob.Noise)
 			if drop < 0 {
 				drop = 0
 			}
-			out.Add(drop)
+			return drop, nil
+		})
+		if err != nil {
+			return nil, nil, err
 		}
+		out.AddAll(drops)
 	}
 	return cas, das, nil
 }
@@ -113,19 +115,18 @@ func Fig3NaiveScalingDrop(topos int, seed int64) (cas, das *stats.Sample, err er
 // DAS with the greedy client→antenna mapping of §5.2.1 (strongest pair
 // first, each antenna and client used once).
 func Fig7LinkSNR(topos int, seed int64) (cas, das *stats.Sample) {
-	root := rng.New(seed)
 	cas, das = stats.NewSample(), stats.NewSample()
 	for _, mode := range []topology.Mode{topology.CAS, topology.DAS} {
 		out := cas
 		if mode == topology.DAS {
 			out = das
 		}
-		for t := 0; t < topos; t++ {
-			src := root.SplitN("fig7-"+mode.String(), t)
+		snrs := sweep(topos, seed, "fig7-"+mode.String(), func(t int, src *rng.Source) []float64 {
 			_, m, _ := phyProblem(OfficeA, mode, 4, 4, src)
-			for _, snr := range greedySISOMap(m) {
-				out.Add(snr)
-			}
+			return greedySISOMap(m)
+		})
+		for _, s := range snrs {
+			out.AddAll(s)
 		}
 	}
 	return cas, das
@@ -164,25 +165,32 @@ func greedySISOMap(m *channel.Model) []float64 {
 // precoding) with the given antenna count (2 → "2x2", 4 → "4x4") in the
 // given office.
 func FigCapacityCDF(o Office, antennas, topos int, seed int64) (cas, midas *stats.Sample, err error) {
-	root := rng.New(seed)
-	cas, midas = stats.NewSample(), stats.NewSample()
-	for t := 0; t < topos; t++ {
-		// One source for both arms: §5.2.2 fixes the clients and varies
-		// only the antenna deployment between CAS and DAS.
-		src := root.SplitN(fmt.Sprintf("fig89-%v-%d", o, antennas), t)
+	// One source for both arms: §5.2.2 fixes the clients and varies
+	// only the antenna deployment between CAS and DAS.
+	label := fmt.Sprintf("fig89-%v-%d", o, antennas)
+	res, err := sweepErr(topos, seed, label, func(t int, src *rng.Source) (arm2, error) {
 		probC, _, _ := phyProblem(o, topology.CAS, antennas, antennas, src)
 		vC, err := precoding.NaiveScaled(probC)
 		if err != nil {
-			return nil, nil, err
+			return arm2{}, err
 		}
-		cas.Add(precoding.SumRate(probC.H, vC, probC.Noise))
-
 		probM, _, _ := phyProblem(o, topology.DAS, antennas, antennas, src)
 		resM, err := precoding.PowerBalanced(probM)
 		if err != nil {
-			return nil, nil, err
+			return arm2{}, err
 		}
-		midas.Add(precoding.SumRate(probM.H, resM.V, probM.Noise))
+		return arm2{
+			a: precoding.SumRate(probC.H, vC, probC.Noise),
+			b: precoding.SumRate(probM.H, resM.V, probM.Noise),
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	cas, midas = stats.NewSample(), stats.NewSample()
+	for _, r := range res {
+		cas.Add(r.a)
+		midas.Add(r.b)
 	}
 	return cas, midas, nil
 }
@@ -195,33 +203,38 @@ type Fig10Curves struct {
 // Fig10SmartPrecoding reproduces Figure 10: the impact of power-balanced
 // precoding on CAS and on DAS separately (4×4, Office B).
 func Fig10SmartPrecoding(topos int, seed int64) (*Fig10Curves, error) {
-	root := rng.New(seed)
-	c := &Fig10Curves{
-		CASNaive: stats.NewSample(), CASBalanced: stats.NewSample(),
-		DASNaive: stats.NewSample(), DASBalanced: stats.NewSample(),
-	}
-	for t := 0; t < topos; t++ {
-		for _, mode := range []topology.Mode{topology.CAS, topology.DAS} {
+	// [casNaive, casBalanced, dasNaive, dasBalanced] per topology; the
+	// per-mode child streams keep their original labels.
+	vals, err := sweepRootErr(topos, seed, "fig10", func(t int, root *rng.Source) ([4]float64, error) {
+		var out [4]float64
+		for mi, mode := range []topology.Mode{topology.CAS, topology.DAS} {
 			src := root.SplitN("fig10-"+mode.String(), t)
 			prob, _, _ := phyProblem(OfficeB, mode, 4, 4, src)
 			naive, err := precoding.NaiveScaled(prob)
 			if err != nil {
-				return nil, err
+				return out, err
 			}
 			bal, err := precoding.PowerBalanced(prob)
 			if err != nil {
-				return nil, err
+				return out, err
 			}
-			rn := precoding.SumRate(prob.H, naive, prob.Noise)
-			rb := precoding.SumRate(prob.H, bal.V, prob.Noise)
-			if mode == topology.CAS {
-				c.CASNaive.Add(rn)
-				c.CASBalanced.Add(rb)
-			} else {
-				c.DASNaive.Add(rn)
-				c.DASBalanced.Add(rb)
-			}
+			out[2*mi] = precoding.SumRate(prob.H, naive, prob.Noise)
+			out[2*mi+1] = precoding.SumRate(prob.H, bal.V, prob.Noise)
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Fig10Curves{
+		CASNaive: stats.NewSample(), CASBalanced: stats.NewSample(),
+		DASNaive: stats.NewSample(), DASBalanced: stats.NewSample(),
+	}
+	for _, v := range vals {
+		c.CASNaive.Add(v[0])
+		c.CASBalanced.Add(v[1])
+		c.DASNaive.Add(v[2])
+		c.DASBalanced.Add(v[3])
 	}
 	return c, nil
 }
@@ -239,19 +252,16 @@ type Fig11Point struct {
 // channel that has evolved during its (simulated) seconds-long solve —
 // the effect that let MIDAS beat "optimal" on some testbed topologies.
 func Fig11OptimalGap(topos int, seed int64, testbed bool) ([]Fig11Point, error) {
-	root := rng.New(seed)
-	pts := make([]Fig11Point, 0, topos)
 	opts := precoding.DefaultOptimalOptions()
-	for t := 0; t < topos; t++ {
-		src := root.SplitN("fig11", t)
+	return sweepErr(topos, seed, "fig11", func(t int, src *rng.Source) (Fig11Point, error) {
 		prob, m, _ := phyProblem(OfficeB, topology.DAS, 4, 4, src)
 		bal, err := precoding.PowerBalanced(prob)
 		if err != nil {
-			return nil, err
+			return Fig11Point{}, err
 		}
 		opt, err := precoding.OptimalZF(prob, opts)
 		if err != nil {
-			return nil, err
+			return Fig11Point{}, err
 		}
 		hEval := prob.H
 		hEvalOpt := prob.H
@@ -264,13 +274,12 @@ func Fig11OptimalGap(topos int, seed int64, testbed bool) ([]Fig11Point, error) 
 			}
 			hEvalOpt = m.Matrix(nil, nil)
 		}
-		pts = append(pts, Fig11Point{
+		return Fig11Point{
 			Topology: t,
 			MIDAS:    precoding.SumRate(hEval, bal.V, prob.Noise),
 			Optimal:  precoding.SumRate(hEvalOpt, opt.V, prob.Noise),
-		})
-	}
-	return pts, nil
+		}, nil
+	})
 }
 
 // Fig14PacketTagging reproduces Figure 14: one MIDAS AP with only two of
@@ -278,10 +287,7 @@ func Fig11OptimalGap(topos int, seed int64, testbed bool) ([]Fig11Point, error) 
 // tagging selects the client pair versus a random pair, and the CDF of
 // the resulting 2-stream capacity is compared.
 func Fig14PacketTagging(topos int, seed int64) (random, tagged *stats.Sample, err error) {
-	root := rng.New(seed)
-	random, tagged = stats.NewSample(), stats.NewSample()
-	for t := 0; t < topos; t++ {
-		src := root.SplitN("fig14", t)
+	res, err := sweepErr(topos, seed, "fig14", func(t int, src *rng.Source) (arm2, error) {
 		_, m, dep := phyProblem(OfficeB, topology.DAS, 4, 4, src)
 		avail := pickTwoAntennas(src)
 		// Tag-driven choice: rank clients by mean RSSI on the available
@@ -304,14 +310,21 @@ func Fig14PacketTagging(topos int, seed int64) (random, tagged *stats.Sample, er
 		}
 		ct, err := capOf(tagClients)
 		if err != nil {
-			return nil, nil, err
+			return arm2{}, err
 		}
 		cr, err := capOf(randClients)
 		if err != nil {
-			return nil, nil, err
+			return arm2{}, err
 		}
-		tagged.Add(ct)
-		random.Add(cr)
+		return arm2{a: cr, b: ct}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	random, tagged = stats.NewSample(), stats.NewSample()
+	for _, r := range res {
+		random.Add(r.a)
+		tagged.Add(r.b)
 	}
 	return random, tagged, nil
 }

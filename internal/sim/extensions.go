@@ -31,15 +31,14 @@ type BeamformingResult struct {
 // area. windowDB is the neighbourhood window (12 dB default in the
 // paper's spirit of "antennas in the neighbourhood of the client").
 func BeamformingStudy(topos int, windowDB float64, seed int64) *BeamformingResult {
-	root := rng.New(seed)
 	p := channel.Default()
-	res := &BeamformingResult{
-		SNRFull: stats.NewSample(), SNRLocal: stats.NewSample(),
-		SilencedFull: stats.NewSample(), SilencedLocal: stats.NewSample(),
-	}
 	csThreshold := stats.Milliwatt(-82)
-	for t := 0; t < topos; t++ {
-		src := root.SplitN("beamform", t)
+	type beamTask struct {
+		ok                       bool // false: degenerate topology, skipped
+		snrFull, snrLocal        float64
+		silencedFull, silencedLo float64
+	}
+	tasks := sweep(topos, seed, "beamform", func(t int, src *rng.Source) beamTask {
 		cfg := topology.DefaultConfig(topology.DAS)
 		cfg.ClientsPerAP = 1
 		dep := topology.SingleAP(cfg, src.Split("topo"))
@@ -48,14 +47,12 @@ func BeamformingStudy(topos int, windowDB float64, seed int64) *BeamformingResul
 
 		full, err := precoding.EGT(h, p.TxPowerLinear())
 		if err != nil {
-			continue
+			return beamTask{}
 		}
 		local, idx, err := precoding.LocalizedEGT(h, p.TxPowerLinear(), windowDB)
 		if err != nil {
-			continue
+			return beamTask{}
 		}
-		res.SNRFull.Add(stats.DB(precoding.BeamformSNR(h, full, p.NoiseLinear())))
-		res.SNRLocal.Add(stats.DB(precoding.BeamformSNR(h, local, p.NoiseLinear())))
 
 		// Silenced area: sample the coverage disc; a spot is silenced
 		// when the sum of the active antennas' powers crosses CS.
@@ -68,8 +65,26 @@ func BeamformingStudy(topos int, windowDB float64, seed int64) *BeamformingResul
 		for _, k := range idx {
 			localAntennas = append(localAntennas, dep.Antennas[k].Pos)
 		}
-		res.SilencedFull.Add(silencedFraction(p, field, allAntennas, cfg.CoverageRadius, csThreshold))
-		res.SilencedLocal.Add(silencedFraction(p, field, localAntennas, cfg.CoverageRadius, csThreshold))
+		return beamTask{
+			ok:           true,
+			snrFull:      stats.DB(precoding.BeamformSNR(h, full, p.NoiseLinear())),
+			snrLocal:     stats.DB(precoding.BeamformSNR(h, local, p.NoiseLinear())),
+			silencedFull: silencedFraction(p, field, allAntennas, cfg.CoverageRadius, csThreshold),
+			silencedLo:   silencedFraction(p, field, localAntennas, cfg.CoverageRadius, csThreshold),
+		}
+	})
+	res := &BeamformingResult{
+		SNRFull: stats.NewSample(), SNRLocal: stats.NewSample(),
+		SilencedFull: stats.NewSample(), SilencedLocal: stats.NewSample(),
+	}
+	for _, t := range tasks {
+		if !t.ok {
+			continue
+		}
+		res.SNRFull.Add(t.snrFull)
+		res.SNRLocal.Add(t.snrLocal)
+		res.SilencedFull.Add(t.silencedFull)
+		res.SilencedLocal.Add(t.silencedLo)
 	}
 	return res
 }
@@ -109,14 +124,10 @@ type PlacementResult struct {
 // coverage-optimised placement of internal/topology (§7's open problem),
 // on matched clients and floor plans.
 func PlacementStudy(topos, candidates int, seed int64) (*PlacementResult, error) {
-	root := rng.New(seed)
 	p := channel.Default()
-	res := &PlacementResult{
-		RandomCoverage: stats.NewSample(), OptimizedCoverage: stats.NewSample(),
-		RandomCapacity: stats.NewSample(), OptimizedCapacity: stats.NewSample(),
-	}
-	for t := 0; t < topos; t++ {
-		src := root.SplitN("placement", t)
+	// [randCoverage, randCapacity, optCoverage, optCapacity] per topology.
+	vals, err := sweepErr(topos, seed, "placement", func(t int, src *rng.Source) ([4]float64, error) {
+		var out [4]float64
 		cfg := topology.DefaultConfig(topology.DAS)
 		fieldSeed := src.Split("chan").Split("shadow").Seed()
 		obj := &topology.PlacementObjective{
@@ -127,7 +138,7 @@ func PlacementStudy(topos, candidates int, seed int64) (*PlacementResult, error)
 		randDep := topology.SingleAP(cfg, src.Split("topo"))
 		optDep := topology.OptimizedSingleAP(cfg, p, fieldSeed, candidates, src.Split("topo"))
 
-		for name, dep := range map[string]*topology.Deployment{"r": randDep, "o": optDep} {
+		for di, dep := range []*topology.Deployment{randDep, optDep} {
 			pos := make([]geom.Point, len(dep.Antennas))
 			for i, a := range dep.Antennas {
 				pos[i] = a.Pos
@@ -141,17 +152,25 @@ func PlacementStudy(topos, candidates int, seed int64) (*PlacementResult, error)
 			}
 			bal, err := precoding.PowerBalanced(prob)
 			if err != nil {
-				return nil, err
+				return out, err
 			}
-			rate := precoding.SumRate(prob.H, bal.V, prob.Noise)
-			if name == "r" {
-				res.RandomCoverage.Add(score)
-				res.RandomCapacity.Add(rate)
-			} else {
-				res.OptimizedCoverage.Add(score)
-				res.OptimizedCapacity.Add(rate)
-			}
+			out[2*di] = score
+			out[2*di+1] = precoding.SumRate(prob.H, bal.V, prob.Noise)
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &PlacementResult{
+		RandomCoverage: stats.NewSample(), OptimizedCoverage: stats.NewSample(),
+		RandomCapacity: stats.NewSample(), OptimizedCapacity: stats.NewSample(),
+	}
+	for _, v := range vals {
+		res.RandomCoverage.Add(v[0])
+		res.RandomCapacity.Add(v[1])
+		res.OptimizedCoverage.Add(v[2])
+		res.OptimizedCapacity.Add(v[3])
 	}
 	return res, nil
 }

@@ -170,28 +170,14 @@ func (st *Station) dataPhase(antennas, clients []int, dataDur, baDur time.Durati
 	// overlap set is complete.
 	st.net.Eng.Schedule(dataDur-time.Nanosecond, func() {
 		rates := st.streamRates(h, v, clients, id)
-		over := st.net.Air.OverlapCount(id) > 0
 		for _, r := range rates {
 			st.BitsPerHz += r * dataDur.Seconds()
-			if over {
-				dbgOverRate += r
-				dbgOverN++
-			} else {
-				dbgCleanRate += r
-				dbgCleanN++
-			}
 		}
 	})
 	st.net.Eng.Schedule(dataDur+mac.SIFS+baDur, func() {
 		st.finishTXOP(clients, dataDur)
 	})
 }
-
-// debug accumulators (removed with dbg_test.go before release).
-var (
-	dbgCleanRate, dbgOverRate float64
-	dbgCleanN, dbgOverN       int
-)
 
 // precode runs the configured precoder on the estimated channel.
 func (st *Station) precode(est *matrix.Mat) (*matrix.Mat, bool) {
