@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test bench-smoke bench fmt
+.PHONY: ci fmt-check vet build test bench-smoke bench bench-snapshot alloc-guard fmt
 
-ci: fmt-check vet build test bench-smoke
+ci: fmt-check vet build test alloc-guard bench-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -35,6 +35,20 @@ bench-smoke:
 # Full-scale root benchmarks (slow).
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
+
+# The zero-allocation guards for the precoding hot path, run explicitly so
+# a CI log shows them even though `make test` also covers them.
+alloc-guard:
+	$(GO) test -run 'TestSolverZeroAlloc|TestWorkspaceZeroAlloc' -v ./internal/precoding ./internal/matrix
+
+# Re-measure the kernel micro-benchmarks (before/after pairs against the
+# frozen pre-workspace implementations in internal/bench) plus reduced-
+# scale figure benchmarks, and write the committed baseline. To check a
+# working tree against the committed file, write to a scratch path and
+# compare the "after" ns/op columns (timings never reproduce bitwise):
+#   go run ./cmd/midas-bench -kernels -topos 8 -out /tmp/now.json
+bench-snapshot:
+	$(GO) run ./cmd/midas-bench -kernels -topos 8 -rounds 3 -out BENCH_PR2.json
 
 fmt:
 	gofmt -w .

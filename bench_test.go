@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/channel"
 	"repro/internal/precoding"
 	"repro/internal/rng"
@@ -39,6 +40,23 @@ func TestMain(m *testing.M) {
 	flag.Parse()
 	sim.Parallelism = *runnerParallel
 	os.Exit(m.Run())
+}
+
+// BenchmarkKernelPowerBalanced4x4 is the headline micro-benchmark of the
+// per-TXOP precoding hot path, at the root so `make bench` tracks it
+// alongside the figure benchmarks. It measures the exact problem recorded
+// in BENCH_PR2.json (internal/bench.BenchProblem4x4): compare ns/op
+// against that file's PowerBalanced4x4 "before" column to see the gain
+// over the pre-workspace implementation, and expect 0 allocs/op.
+func BenchmarkKernelPowerBalanced4x4(b *testing.B) {
+	p := bench.BenchProblem4x4()
+	s := precoding.NewSolver()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.PowerBalanced(p); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkFig03NaiveScalingDrop regenerates Figure 3: CDF of the

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -39,7 +40,32 @@ var (
 	format   = flag.String("format", "text", "output format: text, json or csv")
 	outPath  = flag.String("out", "", "write results to this file instead of stdout")
 	progress = flag.Bool("progress", false, "report per-task timing on stderr")
+	kernels  = flag.Bool("kernels", false,
+		"measure the linear-algebra kernel micro-benchmarks (before/after pairs) plus reduced-scale figure benchmarks and emit a JSON snapshot; this is what `make bench-snapshot` commits as BENCH_PR2.json")
+	rounds = flag.Int("rounds", 3, "alternating measurement rounds per -kernels benchmark")
 )
+
+// runKernels writes the before/after kernel snapshot (see internal/bench).
+func runKernels() {
+	snap := bench.KernelSnapshot(*rounds, *topos, *seed)
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *outPath == "" {
+		os.Stdout.Write(buf.Bytes())
+		return
+	}
+	if err := os.WriteFile(*outPath, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, k := range snap.Kernels {
+		fmt.Fprintf(os.Stderr, "%-18s before %8.0f ns/op %3d allocs  after %8.0f ns/op %3d allocs  %.2fx\n",
+			k.Name, k.Before.NsOp, k.Before.AllocsOp, k.After.NsOp, k.After.AllocsOp, k.Speedup)
+	}
+}
 
 func main() {
 	flag.Parse()
@@ -47,7 +73,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-topos must be >= 1 (got %d)\n", *topos)
 		os.Exit(2)
 	}
+	if *rounds < 1 {
+		fmt.Fprintf(os.Stderr, "-rounds must be >= 1 (got %d)\n", *rounds)
+		os.Exit(2)
+	}
 	sim.Parallelism = *parallel
+	if *kernels {
+		// Kernel measurements are single-threaded on purpose: the
+		// snapshot tracks per-core speed, the figure benchmarks inherit
+		// -parallel via sim.Parallelism above.
+		runKernels()
+		return
+	}
 	if *progress {
 		sim.OnProgress = func(label string, p runner.Progress) {
 			fmt.Fprintf(os.Stderr, "%s: %d/%d (task %d took %v)\n",

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/channel"
@@ -40,12 +41,18 @@ var (
 	scheduler = flag.String("scheduler", "drr", "client scheduler: drr, rr or random")
 	runs      = flag.Int("runs", 1, "replicates over consecutive seeds")
 	parallel  = flag.Int("parallel", 0, "replicates evaluated concurrently (0 = GOMAXPROCS)")
+	memStats  = flag.Bool("memstats", false,
+		"report heap allocations per simulated TXOP (single replicate only) — the steady-state precoding path should contribute none")
 )
 
 func main() {
 	flag.Parse()
 	if *runs < 1 {
 		fmt.Fprintf(os.Stderr, "-runs must be >= 1 (got %d)\n", *runs)
+		os.Exit(2)
+	}
+	if *memStats && *runs != 1 {
+		fmt.Fprintln(os.Stderr, "-memstats needs -runs 1 (per-process counters cannot be split across replicates)")
 		os.Exit(2)
 	}
 	if *mode == "midas" || *mode == "both" {
@@ -101,7 +108,25 @@ func runScenario(kind sim.Kind, tmode topology.Mode, runSeed int64) (runResult, 
 	p := channel.Default()
 	sim.EnsureAssociated(dep, p, src.Split("model"))
 	net := sim.NewNetwork(dep, p, opts, src)
+	var before runtime.MemStats
+	if *memStats {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+	}
 	net.Run(*simTime)
+	var allocReport string
+	if *memStats {
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		mallocs := after.Mallocs - before.Mallocs
+		bytes := after.TotalAlloc - before.TotalAlloc
+		if txops := net.TotalTXOPs(); txops > 0 {
+			allocReport = fmt.Sprintf("memstats: %d heap allocs (%d B) over %d TXOPs = %.1f allocs/TXOP\n",
+				mallocs, bytes, txops, float64(mallocs)/float64(txops))
+		} else {
+			allocReport = fmt.Sprintf("memstats: %d heap allocs (%d B), no TXOPs completed\n", mallocs, bytes)
+		}
+	}
 
 	var b []byte
 	appendf := func(format string, args ...any) {
@@ -115,8 +140,8 @@ func runScenario(kind sim.Kind, tmode topology.Mode, runSeed int64) (runResult, 
 			st.SoundingOvhd.Round(time.Millisecond), st.AirtimeData.Round(time.Millisecond),
 			st.BitsPerHz)
 	}
-	appendf("network capacity: %.2f bit/s/Hz   mean MU group: %.2f\n\n",
-		net.NetworkCapacity(), net.MeanGroupSize())
+	appendf("network capacity: %.2f bit/s/Hz   mean MU group: %.2f\n%s\n",
+		net.NetworkCapacity(), net.MeanGroupSize(), allocReport)
 	return runResult{report: string(b), capacity: net.NetworkCapacity()}, nil
 }
 

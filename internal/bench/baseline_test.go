@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/precoding"
+	"repro/internal/rng"
+)
+
+func dasProblem(seed int64) precoding.Problem { return DASProblem(seed) }
+
+// nonSquareProblems covers the shapes that bypass the 4×4 unrolled fast
+// paths (generic streamSNRsInto, totalAt, gram/inverse loops), so the
+// frozen baseline pins those code paths too — TestSolverBitExact alone
+// cannot, because both of its sides now share the Solver implementation.
+func shapedProblems() []precoding.Problem {
+	src := rng.New(77)
+	var out []precoding.Problem
+	for _, sh := range []struct{ c, a int }{{8, 8}, {4, 8}, {3, 5}, {6, 6}, {2, 2}} {
+		for rep := 0; rep < 6; rep++ {
+			h := matrix.New(sh.c, sh.a)
+			for i := 0; i < sh.c; i++ {
+				for j := 0; j < sh.a; j++ {
+					h.Set(i, j, src.ComplexCircular(1))
+				}
+			}
+			out = append(out, precoding.Problem{H: h, PerAntennaPower: 1, Noise: 0.01})
+		}
+	}
+	return out
+}
+
+// TestBaselineMatchesLive pins the frozen baseline to the live Solver: the
+// "before" implementation must stay bit-identical to the shipping path, or
+// the before/after comparison in BENCH_PR2.json stops being apples-to-
+// apples.
+func TestBaselineMatchesLive(t *testing.T) {
+	probs := make([]precoding.Problem, 0, 60)
+	for seed := int64(1); seed <= 30; seed++ {
+		probs = append(probs, dasProblem(seed))
+	}
+	probs = append(probs, shapedProblems()...)
+	for pi, p := range probs {
+		seed := int64(pi)
+		want, err := precoding.PowerBalanced(p)
+		base, baseIters, baseErr := BaselinePowerBalanced(p)
+		if (err == nil) != (baseErr == nil) {
+			t.Fatalf("seed %d: live err %v, baseline err %v", seed, err, baseErr)
+		}
+		if err != nil {
+			continue
+		}
+		if baseIters != want.Iterations {
+			t.Fatalf("seed %d: baseline iters %d, live %d", seed, baseIters, want.Iterations)
+		}
+		if base.Rows() != want.V.Rows() || base.Cols() != want.V.Cols() {
+			t.Fatalf("seed %d: shape mismatch", seed)
+		}
+		for i := 0; i < base.Rows(); i++ {
+			for j := 0; j < base.Cols(); j++ {
+				if base.At(i, j) != want.V.At(i, j) {
+					t.Fatalf("seed %d: (%d,%d) baseline %v, live %v", seed, i, j, base.At(i, j), want.V.At(i, j))
+				}
+			}
+		}
+		if br, lr := BaselineSumRate(p.H, base, p.Noise), precoding.SumRate(p.H, want.V, p.Noise); br != lr {
+			t.Fatalf("seed %d: baseline SumRate %v, live %v", seed, br, lr)
+		}
+		nv, err := precoding.NaiveScaled(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bn, err := BaselineNaiveScaled(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bn.Equalish(nv, 0) {
+			t.Fatalf("seed %d: NaiveScaled differs", seed)
+		}
+	}
+}

@@ -87,6 +87,11 @@ func (m *Mat) Col(j int) []complex128 {
 	return out
 }
 
+// Raw exposes the row-major backing slice (entry (i,j) is Raw()[i*Cols()+j]).
+// It is intended for allocation-free kernels that need direct indexing;
+// mutating it mutates the matrix.
+func (m *Mat) Raw() []complex128 { return m.a }
+
 // Clone returns a deep copy.
 func (m *Mat) Clone() *Mat {
 	n := New(m.r, m.c)
@@ -241,8 +246,7 @@ func (m *Mat) FrobeniusNorm() float64 {
 // antenna i when the matrix is a precoder (rows = antennas).
 func (m *Mat) RowPower(i int) float64 {
 	s := 0.0
-	for j := 0; j < m.c; j++ {
-		v := m.At(i, j)
+	for _, v := range m.a[i*m.c : (i+1)*m.c] {
 		s += real(v)*real(v) + imag(v)*imag(v)
 	}
 	return s
@@ -252,8 +256,8 @@ func (m *Mat) RowPower(i int) float64 {
 // stream j when the matrix is a precoder (columns = streams).
 func (m *Mat) ColPower(j int) float64 {
 	s := 0.0
-	for i := 0; i < m.r; i++ {
-		v := m.At(i, j)
+	for ij := j; ij < len(m.a); ij += m.c {
+		v := m.a[ij]
 		s += real(v)*real(v) + imag(v)*imag(v)
 	}
 	return s
@@ -272,8 +276,19 @@ func (m *Mat) MaxRowPower() (row int, power float64) {
 
 // ScaleCol multiplies column j in place by the real factor w.
 func (m *Mat) ScaleCol(j int, w float64) {
-	for i := 0; i < m.r; i++ {
-		m.Set(i, j, m.At(i, j)*complex(w, 0))
+	for ij := j; ij < len(m.a); ij += m.c {
+		m.a[ij] *= complex(w, 0)
+	}
+}
+
+// ScaleCol2 multiplies column j in place by w1 and then by w2 as two
+// successive multiplications per element — bit-identical to
+// ScaleCol(j, w1); ScaleCol(j, w2) but in a single pass.
+func (m *Mat) ScaleCol2(j int, w1, w2 float64) {
+	c1, c2 := complex(w1, 0), complex(w2, 0)
+	for ij := j; ij < len(m.a); ij += m.c {
+		v := m.a[ij] * c1
+		m.a[ij] = v * c2
 	}
 }
 
@@ -376,14 +391,33 @@ func (m *Mat) PseudoInverse() (*Mat, error) {
 	return g.Mul(h), nil
 }
 
-// Solve returns x with m·x = b for square m using the inverse. For the
-// small (≤8×8) systems in this codebase this is accurate and simple.
+// Solve returns x with m·x = b for square m by LU factorisation with
+// partial pivoting and forward/back substitution — O(n³/3) instead of the
+// O(n³) full inverse, and without the extra rounding a materialised
+// inverse injects into every solution component.
 func (m *Mat) Solve(b []complex128) ([]complex128, error) {
-	inv, err := m.Inverse()
-	if err != nil {
+	if len(b) != m.r {
+		return nil, ErrShape
+	}
+	var f LU
+	if err := f.Factor(m); err != nil {
 		return nil, err
 	}
-	return inv.MulVec(b), nil
+	x := make([]complex128, len(b))
+	return f.SolveVecInto(x, b), nil
+}
+
+// SolveMat returns X with m·X = b for square m, factoring once and
+// substituting every column of b through the shared LU decomposition.
+func (m *Mat) SolveMat(b *Mat) (*Mat, error) {
+	if b.r != m.r {
+		return nil, ErrShape
+	}
+	var f LU
+	if err := f.Factor(m); err != nil {
+		return nil, err
+	}
+	return f.SolveMatInto(New(b.r, b.c), b), nil
 }
 
 // QR computes the thin QR factorisation m = Q·R using modified

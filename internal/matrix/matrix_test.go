@@ -382,6 +382,54 @@ func BenchmarkMul4x4(b *testing.B) {
 	}
 }
 
+// benchMulInto covers the destination-passing multiply at the shapes the
+// DES exercises: square 4×4/8×8 and the rectangular 4×8 channel times its
+// 8×4 precoder.
+func benchMulInto(b *testing.B, r, k, c int) {
+	b.Helper()
+	s := rng.New(1)
+	x := randomMat(s, r, k)
+	y := randomMat(s, k, c)
+	var dst Mat
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulInto(&dst, x, y)
+	}
+}
+
+func BenchmarkMulInto4x4(b *testing.B)   { benchMulInto(b, 4, 4, 4) }
+func BenchmarkMulInto8x8(b *testing.B)   { benchMulInto(b, 8, 8, 8) }
+func BenchmarkMulInto4x8x4(b *testing.B) { benchMulInto(b, 4, 8, 4) }
+
+func BenchmarkMulVec8(b *testing.B) {
+	s := rng.New(1)
+	m := randomMat(s, 8, 8)
+	x := make([]complex128, 8)
+	for i := range x {
+		x[i] = s.ComplexCircular(1)
+	}
+	dst := make([]complex128, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulVecInto(dst, m, x)
+	}
+}
+
+func benchGram(b *testing.B, r, c int) {
+	b.Helper()
+	s := rng.New(1)
+	m := randomMat(s, r, c)
+	var dst Mat
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GramInto(&dst, m)
+	}
+}
+
+func BenchmarkGram4x4(b *testing.B) { benchGram(b, 4, 4) }
+func BenchmarkGram8x8(b *testing.B) { benchGram(b, 8, 8) }
+func BenchmarkGram4x8(b *testing.B) { benchGram(b, 4, 8) }
+
 func BenchmarkPseudoInverse4x4(b *testing.B) {
 	s := rng.New(1)
 	h := randomMat(s, 4, 4)
@@ -390,5 +438,43 @@ func BenchmarkPseudoInverse4x4(b *testing.B) {
 		if _, err := h.PseudoInverse(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func benchPseudoInverseInto(b *testing.B, r, c int) {
+	b.Helper()
+	s := rng.New(1)
+	h := randomMat(s, r, c)
+	var dst Mat
+	var ws Workspace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := PseudoInverseInto(&dst, h, &ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPseudoInverseInto4x4(b *testing.B) { benchPseudoInverseInto(b, 4, 4) }
+func BenchmarkPseudoInverseInto8x8(b *testing.B) { benchPseudoInverseInto(b, 8, 8) }
+func BenchmarkPseudoInverseInto4x8(b *testing.B) { benchPseudoInverseInto(b, 4, 8) }
+
+// BenchmarkLUSolve8 measures the factor-once/substitute path that replaced
+// the inverse-based Solve.
+func BenchmarkLUSolve8(b *testing.B) {
+	s := rng.New(1)
+	a := randomMat(s, 8, 8)
+	rhs := make([]complex128, 8)
+	for i := range rhs {
+		rhs[i] = s.ComplexCircular(1)
+	}
+	x := make([]complex128, 8)
+	var f LU
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := f.Factor(a); err != nil {
+			b.Fatal(err)
+		}
+		f.SolveVecInto(x, rhs)
 	}
 }

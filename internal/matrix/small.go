@@ -1,0 +1,127 @@
+// Specialised 4×4 fast paths for the in-place kernels. Four antennas and
+// four clients is the paper's canonical MU-MIMO dimension, so the DES
+// spends most of its precoding time exactly here. Each function performs
+// the same floating-point operations in the same order as its generic
+// counterpart — loops are unrolled and accumulators live in registers, but
+// every accumulation chain is untouched, so results stay bit-identical
+// (the equivalence tests in inplace_test.go cover these paths).
+package matrix
+
+import "math/cmplx"
+
+// reshapeDirty resizes m without zeroing — for kernels about to overwrite
+// every entry.
+func (m *Mat) reshapeDirty(r, c int) {
+	n := r * c
+	if cap(m.a) < n {
+		m.a = make([]complex128, n)
+	} else {
+		m.a = m.a[:n]
+	}
+	m.r, m.c = r, c
+}
+
+// gram4 is GramInto for a 4×4 m.
+func gram4(dst, m *Mat) *Mat {
+	ma := m.a[:16:16]
+	dst.reshapeDirty(4, 4)
+	for i := 0; i < 4; i++ {
+		mrow := ma[i*4 : i*4+4]
+		var s0, s1, s2, s3 complex128
+		for k := 0; k < 4; k++ {
+			mik := mrow[k]
+			if mik == 0 {
+				continue
+			}
+			s0 += mik * cmplx.Conj(ma[k])
+			s1 += mik * cmplx.Conj(ma[4+k])
+			s2 += mik * cmplx.Conj(ma[8+k])
+			s3 += mik * cmplx.Conj(ma[12+k])
+		}
+		o := dst.a[i*4 : i*4+4]
+		o[0], o[1], o[2], o[3] = s0, s1, s2, s3
+	}
+	return dst
+}
+
+// mulHerm4 is MulHermInto for 4×4 m and g.
+func mulHerm4(dst, m, g *Mat) *Mat {
+	ma := m.a[:16:16]
+	ga := g.a[:16:16]
+	dst.reshapeDirty(4, 4)
+	for i := 0; i < 4; i++ {
+		var s0, s1, s2, s3 complex128
+		for k := 0; k < 4; k++ {
+			hik := cmplx.Conj(ma[k*4+i])
+			if hik == 0 {
+				continue
+			}
+			gr := ga[k*4 : k*4+4]
+			s0 += hik * gr[0]
+			s1 += hik * gr[1]
+			s2 += hik * gr[2]
+			s3 += hik * gr[3]
+		}
+		o := dst.a[i*4 : i*4+4]
+		o[0], o[1], o[2], o[3] = s0, s1, s2, s3
+	}
+	return dst
+}
+
+// inverse4 is the n = 4 Gauss–Jordan of InverseInto: a holds a scratch
+// copy of the source (consumed), dst the identity. The normalisation and
+// elimination steps update independent entries, so computing the a-row
+// before the dst-row (rather than interleaved per column) is bit-identical
+// to the generic loop.
+func inverse4(dst, a *Mat) error {
+	aa := a.a[:16:16]
+	da := dst.a[:16:16]
+	scale := a.FrobeniusNorm()
+	if scale == 0 {
+		return ErrSingular
+	}
+	const tol = 1e-13
+	t2 := tol * scale
+	t2 *= t2
+	for col := 0; col < 4; col++ {
+		p := col
+		best := abs2(aa[col*4+col])
+		for row := col + 1; row < 4; row++ {
+			if v := abs2(aa[row*4+col]); v > best {
+				p, best = row, v
+			}
+		}
+		if best <= t2 {
+			return ErrSingular
+		}
+		if p != col {
+			a.swapRows(p, col)
+			dst.swapRows(p, col)
+		}
+		c4 := col * 4
+		piv := aa[c4+col]
+		a0, a1, a2, a3 := aa[c4]/piv, aa[c4+1]/piv, aa[c4+2]/piv, aa[c4+3]/piv
+		aa[c4], aa[c4+1], aa[c4+2], aa[c4+3] = a0, a1, a2, a3
+		d0, d1, d2, d3 := da[c4]/piv, da[c4+1]/piv, da[c4+2]/piv, da[c4+3]/piv
+		da[c4], da[c4+1], da[c4+2], da[c4+3] = d0, d1, d2, d3
+		for row := 0; row < 4; row++ {
+			if row == col {
+				continue
+			}
+			r4 := row * 4
+			f := aa[r4+col]
+			if f == 0 {
+				continue
+			}
+			aa[r4] -= f * a0
+			aa[r4+1] -= f * a1
+			aa[r4+2] -= f * a2
+			aa[r4+3] -= f * a3
+			da[r4] -= f * d0
+			da[r4+1] -= f * d1
+			da[r4+2] -= f * d2
+			da[r4+3] -= f * d3
+		}
+	}
+	return nil
+}

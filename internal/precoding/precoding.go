@@ -25,7 +25,6 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"sort"
 
 	"repro/internal/matrix"
 )
@@ -68,20 +67,16 @@ func (p Problem) totalPower() float64 {
 // The result nulls all inter-stream interference but may violate the
 // per-antenna constraint (Eq. 3) on some antennas — the starting point of
 // both the naive baseline and MIDAS's power balancing.
+//
+// This is a convenience wrapper over Solver.ZFBF; callers in hot loops
+// should hold a Solver to avoid the per-call allocations.
 func ZFBF(p Problem) (*matrix.Mat, error) {
-	if err := p.Validate(); err != nil {
+	var s Solver
+	v, err := s.ZFBF(p)
+	if err != nil {
 		return nil, err
 	}
-	v, err := p.H.PseudoInverse() // |T|×|C|
-	if err != nil {
-		return nil, fmt.Errorf("precoding: ZFBF: %w", err)
-	}
-	v.NormalizeCols()
-	streamPower := p.totalPower() / float64(v.Cols())
-	for j := 0; j < v.Cols(); j++ {
-		v.ScaleCol(j, math.Sqrt(streamPower))
-	}
-	return v, nil
+	return v.Clone(), nil
 }
 
 // NaiveScaled computes the baseline precoder of §5.1: ZFBF with equal
@@ -91,18 +86,12 @@ func ZFBF(p Problem) (*matrix.Mat, error) {
 // underutilised — severely so in DAS, whose topology imbalance spreads
 // row powers widely (Fig. 3).
 func NaiveScaled(p Problem) (*matrix.Mat, error) {
-	v, err := ZFBF(p)
+	var s Solver
+	v, err := s.NaiveScaled(p)
 	if err != nil {
 		return nil, err
 	}
-	_, worst := v.MaxRowPower()
-	if worst > p.PerAntennaPower {
-		scale := math.Sqrt(p.PerAntennaPower / worst)
-		for j := 0; j < v.Cols(); j++ {
-			v.ScaleCol(j, scale)
-		}
-	}
-	return v, nil
+	return v.Clone(), nil
 }
 
 // Result carries a computed precoder together with diagnostics.
@@ -135,47 +124,18 @@ const powerFloor = 1e-4
 //
 // Because reductions are non-negative, restored rows never re-violate and
 // the loop terminates after at most |T| rounds.
+//
+// This is a convenience wrapper over Solver.PowerBalanced; callers in hot
+// loops should hold a Solver to avoid the per-call allocations.
 func PowerBalanced(p Problem) (*Result, error) {
-	v, err := ZFBF(p)
+	var s Solver
+	v, iters, err := s.PowerBalanced(p)
 	if err != nil {
 		return nil, err
 	}
-	nT, nC := v.Rows(), v.Cols()
-	weights := make([]float64, nC)
-	for j := range weights {
-		weights[j] = 1
-	}
-	const tol = 1e-12
-	iters := 0
-	for ; iters < nT+1; iters++ {
-		k, worst := v.MaxRowPower()
-		if worst <= p.PerAntennaPower*(1+tol) {
-			break
-		}
-		// Current post-ZF stream SNRs ρ_j (interference is nulled, so
-		// SINR = SNR = |h_j·v_j|²/N0).
-		rho := streamSNRs(p.H, v, p.Noise)
-		row := make([]float64, nC)
-		for j := 0; j < nC; j++ {
-			e := v.At(k, j)
-			row[j] = real(e)*real(e) + imag(e)*imag(e)
-		}
-		w, err := reverseWaterfill(row, rho, p.PerAntennaPower)
-		if err != nil {
-			return nil, fmt.Errorf("precoding: row %d: %w", k, err)
-		}
-		for j := 0; j < nC; j++ {
-			if w[j] < 1 {
-				v.ScaleCol(j, w[j])
-				weights[j] *= w[j]
-			}
-		}
-	}
-	if _, worst := v.MaxRowPower(); worst > p.PerAntennaPower*(1+1e-6) {
-		return nil, fmt.Errorf("precoding: power balancing did not converge (row power %v > %v)",
-			worst, p.PerAntennaPower)
-	}
-	return &Result{V: v, Iterations: iters, Weights: weights}, nil
+	weights := make([]float64, len(s.Weights()))
+	copy(weights, s.Weights())
+	return &Result{V: v.Clone(), Iterations: iters, Weights: weights}, nil
 }
 
 // reverseWaterfill solves the §3.1.2 subproblem for one violating row:
@@ -187,178 +147,30 @@ func PowerBalanced(p Problem) (*Result, error) {
 //
 // It returns the per-stream amplitude weights w_j ∈ (0, 1].
 func reverseWaterfill(row, rho []float64, budget float64) ([]float64, error) {
-	n := len(row)
-	if len(rho) != n {
-		return nil, errors.New("reverse waterfill: length mismatch")
+	var wf waterfill
+	w, err := wf.weights(row, rho, budget)
+	if err != nil {
+		return nil, err
 	}
-	have := 0.0
-	for _, r := range row {
-		have += r
-	}
-	need := have - budget
-	w := make([]float64, n)
-	for j := range w {
-		w[j] = 1
-	}
-	if need <= 0 {
-		return w, nil
-	}
-	// Thresholds t_j = (1+1/ρ_j)·row_j: stream j takes reduction
-	// Pj = t_j − μ when μ < t_j. Caps c_j = (1−powerFloor)·row_j.
-	type stream struct {
-		t, cap float64
-		idx    int
-	}
-	ss := make([]stream, n)
-	maxRed := 0.0
-	for j := range ss {
-		r := rho[j]
-		if r <= 0 || math.IsNaN(r) {
-			// A dead stream costs no rate: allow taking its power first
-			// by giving it an effectively infinite threshold.
-			ss[j] = stream{t: math.Inf(1), cap: (1 - powerFloor) * row[j], idx: j}
-		} else {
-			ss[j] = stream{t: (1 + 1/r) * row[j], cap: (1 - powerFloor) * row[j], idx: j}
-		}
-		maxRed += ss[j].cap
-	}
-	if need > maxRed {
-		return nil, fmt.Errorf("reverse waterfill: need %v exceeds reducible power %v", need, maxRed)
-	}
-	// Find μ by bisection on total reduction; Σ_j min(cap_j, (t_j−μ)⁺) is
-	// non-increasing and piecewise-linear in μ.
-	total := func(mu float64) float64 {
-		s := 0.0
-		for _, st := range ss {
-			red := st.t - mu
-			if red <= 0 {
-				continue
-			}
-			if red > st.cap {
-				red = st.cap
-			}
-			s += red
-		}
-		return s
-	}
-	lo, hi := 0.0, 0.0
-	for _, st := range ss {
-		if !math.IsInf(st.t, 1) && st.t > hi {
-			hi = st.t
-		}
-	}
-	if hi == 0 {
-		hi = 1
-	}
-	// total(hi) may still exceed `need` if infinite-threshold (dead)
-	// streams alone cover it; handle by checking the fixed part first.
-	for iter := 0; iter < 200; iter++ {
-		mid := (lo + hi) / 2
-		if total(mid) > need {
-			lo = mid
-		} else {
-			hi = mid
-		}
-		if hi-lo <= 1e-15*(1+hi) {
-			break
-		}
-	}
-	mu := hi
-	// Distribute: reductions at level mu may undershoot `need` slightly
-	// (bisection tolerance); spread the residual over unsaturated streams
-	// in threshold order.
-	red := make([]float64, n)
-	got := 0.0
-	for _, st := range ss {
-		r := st.t - mu
-		if r <= 0 {
-			continue
-		}
-		if r > st.cap {
-			r = st.cap
-		}
-		red[st.idx] = r
-		got += r
-	}
-	if residual := need - got; residual > 0 {
-		order := make([]int, n)
-		for i := range order {
-			order[i] = i
-		}
-		sort.Slice(order, func(a, b int) bool { return ss[order[a]].t > ss[order[b]].t })
-		for _, j := range order {
-			if residual <= 0 {
-				break
-			}
-			room := ss[j].cap - red[ss[j].idx]
-			take := math.Min(room, residual)
-			red[ss[j].idx] += take
-			residual -= take
-		}
-		if residual > 1e-9*need {
-			return nil, fmt.Errorf("reverse waterfill: could not place residual %v", residual)
-		}
-	}
-	for j := range w {
-		if row[j] <= 0 {
-			continue
-		}
-		frac := 1 - red[j]/row[j]
-		if frac < powerFloor {
-			frac = powerFloor
-		}
-		if frac > 1 {
-			frac = 1
-		}
-		w[j] = math.Sqrt(frac)
-	}
-	return w, nil
+	return append([]float64(nil), w...), nil
 }
 
-// streamSNRs returns ρ_j = |(H·V)_{jj}|²/N0 for each stream, the post-ZF
-// SNR of the desired stream at its client.
-func streamSNRs(h, v *matrix.Mat, noise float64) []float64 {
-	a := h.Mul(v)
-	out := make([]float64, a.Cols())
-	for j := range out {
-		e := a.At(j, j)
-		out[j] = (real(e)*real(e) + imag(e)*imag(e)) / noise
-	}
-	return out
-}
+// errWaterfillLen is the length-mismatch error of the water-filling core.
+var errWaterfillLen = errors.New("reverse waterfill: length mismatch")
 
 // SINRMatrix returns the |C|×|C| matrix S of Eq. 4: s_ij is the noise-
 // normalised power of stream i received at client j. For an exact ZF
 // precoder S is diagonal.
 func SINRMatrix(h, v *matrix.Mat, noise float64) *matrix.Mat {
 	a := h.Mul(v) // a_{ji} = amplitude of stream i at client j
-	n := a.Rows()
-	s := matrix.New(a.Cols(), n)
-	for j := 0; j < n; j++ {
-		for i := 0; i < a.Cols(); i++ {
-			e := a.At(j, i)
-			s.Set(i, j, complex((real(e)*real(e)+imag(e)*imag(e))/noise, 0))
-		}
-	}
-	return s
+	return sinrMatrixFrom(matrix.New(a.Cols(), a.Rows()), a, noise)
 }
 
 // StreamSINRs returns ρ_j for each client j per Eq. 4, including residual
 // inter-stream interference: ρ_j = s_jj / (1 + Σ_{i≠j} s_ij).
 func StreamSINRs(h, v *matrix.Mat, noise float64) []float64 {
-	s := SINRMatrix(h, v, noise)
-	n := h.Rows()
-	out := make([]float64, n)
-	for j := 0; j < n; j++ {
-		interf := 0.0
-		for i := 0; i < n; i++ {
-			if i != j {
-				interf += real(s.At(i, j))
-			}
-		}
-		out[j] = real(s.At(j, j)) / (1 + interf)
-	}
-	return out
+	var s Solver
+	return append([]float64(nil), s.StreamSINRs(h, v, noise)...)
 }
 
 // SumRate returns Σ_j log2(1+ρ_j) in bit/s/Hz — the paper's capacity

@@ -423,13 +423,62 @@ func TestNaiveLossLargerOnDAS(t *testing.T) {
 	}
 }
 
+// BenchmarkPowerBalanced4x4 measures the steady-state hot path — a
+// long-lived Solver, as every sim.Station and runner worker holds one.
+// Seed 8 matches internal/bench.BenchProblem4x4 (the committed "before"
+// column in BENCH_PR2.json measures the frozen pre-workspace
+// implementation on this exact problem); it runs two reverse-water-filling
+// rounds.
 func BenchmarkPowerBalanced4x4(b *testing.B) {
-	p := dasProblem(1, topology.DAS)
+	p := dasProblem(8, topology.DAS)
+	s := NewSolver()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.PowerBalanced(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPowerBalancedAlloc4x4 measures the allocating convenience
+// wrapper (fresh Solver + cloned result per call).
+func BenchmarkPowerBalancedAlloc4x4(b *testing.B) {
+	p := dasProblem(8, topology.DAS)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := PowerBalanced(p); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPowerBalanced8x8 covers the large-scale (8-antenna) shape.
+func BenchmarkPowerBalanced8x8(b *testing.B) {
+	s8 := rng.New(99)
+	p := randomProblem(s8, 8, 8)
+	p.PerAntennaPower = channel.Default().TxPowerLinear()
+	p.Noise = channel.Default().NoiseLinear()
+	s := NewSolver()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.PowerBalanced(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSINRMatrix4x4 measures the per-TXOP rate-accounting kernel.
+func BenchmarkSINRMatrix4x4(b *testing.B) {
+	p := dasProblem(8, topology.DAS)
+	s := NewSolver()
+	v, _, err := s.PowerBalanced(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v = v.Clone()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.SINRMatrix(p.H, v, p.Noise)
 	}
 }
 

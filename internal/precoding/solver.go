@@ -1,0 +1,468 @@
+package precoding
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// Solver computes precoders into storage it owns, so steady-state reuse —
+// one precoder per TXOP for the lifetime of a station, or one per topology
+// task on a runner worker — performs zero heap allocations. It bundles a
+// matrix.Workspace (scratch for the pseudoinverse chain) with the float
+// buffers of the reverse water-filling loop.
+//
+// Results returned by Solver methods (matrices and slices alike) are owned
+// by the Solver and valid only until its next method call; callers that
+// need to retain them must Clone/copy. Every method is bit-identical to
+// the package-level function of the same name, which now wraps a Solver.
+// A Solver is not safe for concurrent use; the zero value is ready to use.
+type Solver struct {
+	ws   matrix.Workspace
+	v    matrix.Mat // precoder result buffer
+	sinr matrix.Mat // SINR-matrix result buffer
+	amp  matrix.Mat // H·V scratch for SINRMatrix
+
+	rho, row, weights, sinrs []float64
+	wf                       waterfill
+}
+
+// NewSolver returns an empty Solver. Buffers grow to the largest problem
+// seen and are then reused.
+func NewSolver() *Solver { return &Solver{} }
+
+// ZFBF is the allocation-free equivalent of the package-level ZFBF. The
+// returned matrix is owned by the Solver.
+func (s *Solver) ZFBF(p Problem) (*matrix.Mat, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.zfbfInto(&s.v, p); err != nil {
+		return nil, err
+	}
+	return &s.v, nil
+}
+
+// zfbfInto computes the equal-power ZFBF precoder into v. It replays the
+// arithmetic of the original ZFBF exactly (pseudoinverse, column
+// normalisation, equal power split) via the *Into kernels.
+func (s *Solver) zfbfInto(v *matrix.Mat, p Problem) error {
+	if err := matrix.PseudoInverseInto(v, p.H, &s.ws); err != nil {
+		return fmt.Errorf("precoding: ZFBF: %w", err)
+	}
+	// Normalise each column and apply the equal power split in one sweep.
+	// Every element still sees the same two multiplications in the same
+	// order as NormalizeCols followed by ScaleCol, so results are
+	// bit-identical to the original two-pass formulation.
+	streamAmp := math.Sqrt(p.totalPower() / float64(v.Cols()))
+	for j := 0; j < v.Cols(); j++ {
+		if pw := v.ColPower(j); pw > 0 {
+			v.ScaleCol2(j, 1/math.Sqrt(pw), streamAmp)
+		} else {
+			v.ScaleCol(j, streamAmp)
+		}
+	}
+	return nil
+}
+
+// NaiveScaled is the allocation-free equivalent of the package-level
+// NaiveScaled. The returned matrix is owned by the Solver.
+func (s *Solver) NaiveScaled(p Problem) (*matrix.Mat, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	v := &s.v
+	if err := s.zfbfInto(v, p); err != nil {
+		return nil, err
+	}
+	_, worst := v.MaxRowPower()
+	if worst > p.PerAntennaPower {
+		scale := math.Sqrt(p.PerAntennaPower / worst)
+		for j := 0; j < v.Cols(); j++ {
+			v.ScaleCol(j, scale)
+		}
+	}
+	return v, nil
+}
+
+// PowerBalanced is the allocation-free equivalent of the package-level
+// PowerBalanced: it returns the precoder (Solver-owned), the number of
+// row-restoration rounds, and any convergence error. The cumulative
+// per-stream weights of the run are available from Weights.
+func (s *Solver) PowerBalanced(p Problem) (*matrix.Mat, int, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	v := &s.v
+	if err := s.zfbfInto(v, p); err != nil {
+		return nil, 0, err
+	}
+	nT, nC := v.Rows(), v.Cols()
+	s.weights = resizeFloats(s.weights, nC)
+	for j := range s.weights {
+		s.weights[j] = 1
+	}
+	const tol = 1e-12
+	iters := 0
+	converged := false
+	var lastWorst float64
+	for ; iters < nT+1; iters++ {
+		k, worst := v.MaxRowPower()
+		lastWorst = worst
+		if worst <= p.PerAntennaPower*(1+tol) {
+			converged = true
+			break
+		}
+		// Current post-ZF stream SNRs ρ_j (interference is nulled, so
+		// SINR = SNR = |h_j·v_j|²/N0).
+		s.rho = streamSNRsInto(s.rho, p.H, v, p.Noise)
+		s.row = resizeFloats(s.row, nC)
+		for j := 0; j < nC; j++ {
+			e := v.At(k, j)
+			s.row[j] = real(e)*real(e) + imag(e)*imag(e)
+		}
+		w, err := s.wf.weights(s.row, s.rho, p.PerAntennaPower)
+		if err != nil {
+			return nil, 0, fmt.Errorf("precoding: row %d: %w", k, err)
+		}
+		for j := 0; j < nC; j++ {
+			if w[j] < 1 {
+				v.ScaleCol(j, w[j])
+				s.weights[j] *= w[j]
+			}
+		}
+	}
+	// The convergence check reuses the loop's last MaxRowPower: v has not
+	// changed since (on break) — recompute only when the loop exhausted
+	// its iteration budget after a final column scaling.
+	worst := lastWorst
+	if !converged {
+		_, worst = v.MaxRowPower()
+	}
+	if worst > p.PerAntennaPower*(1+1e-6) {
+		return nil, 0, fmt.Errorf("precoding: power balancing did not converge (row power %v > %v)",
+			worst, p.PerAntennaPower)
+	}
+	return v, iters, nil
+}
+
+// Weights returns the cumulative per-stream scaling weights of the last
+// PowerBalanced run. The slice is owned by the Solver.
+func (s *Solver) Weights() []float64 { return s.weights }
+
+// SINRMatrix is the allocation-free equivalent of the package-level
+// SINRMatrix. The returned matrix is owned by the Solver.
+func (s *Solver) SINRMatrix(h, v *matrix.Mat, noise float64) *matrix.Mat {
+	a := matrix.MulInto(&s.amp, h, v) // MulInto reshapes and zeroes itself
+	return sinrMatrixFrom(&s.sinr, a, noise)
+}
+
+// sinrMatrixFrom fills s from the received-amplitude matrix a = H·V,
+// replaying SINRMatrix's arithmetic exactly.
+func sinrMatrixFrom(s *matrix.Mat, a *matrix.Mat, noise float64) *matrix.Mat {
+	n := a.Rows()
+	s.Reuse(a.Cols(), n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < a.Cols(); i++ {
+			e := a.At(j, i)
+			s.Set(i, j, complex((real(e)*real(e)+imag(e)*imag(e))/noise, 0))
+		}
+	}
+	return s
+}
+
+// StreamSINRs is the allocation-free equivalent of the package-level
+// StreamSINRs. The returned slice is owned by the Solver.
+func (s *Solver) StreamSINRs(h, v *matrix.Mat, noise float64) []float64 {
+	sm := s.SINRMatrix(h, v, noise)
+	n := h.Rows()
+	s.sinrs = resizeFloats(s.sinrs, n)
+	for j := 0; j < n; j++ {
+		interf := 0.0
+		for i := 0; i < n; i++ {
+			if i != j {
+				interf += real(sm.At(i, j))
+			}
+		}
+		s.sinrs[j] = real(sm.At(j, j)) / (1 + interf)
+	}
+	return s.sinrs
+}
+
+// SumRate returns Σ_j log2(1+ρ_j) without allocating.
+func (s *Solver) SumRate(h, v *matrix.Mat, noise float64) float64 {
+	sum := 0.0
+	for _, r := range s.StreamSINRs(h, v, noise) {
+		sum += math.Log2(1 + r)
+	}
+	return sum
+}
+
+// streamSNRsInto computes ρ_j = |(H·V)_{jj}|²/N0 into dst, evaluating only
+// the diagonal of H·V — O(n²) instead of the O(n³) full product. The
+// per-entry accumulation (ascending k, zero entries skipped) matches Mul's,
+// so the result is bit-identical to reading the diagonal of h.Mul(v).
+func streamSNRsInto(dst []float64, h, v *matrix.Mat, noise float64) []float64 {
+	nc, vc := h.Cols(), v.Cols()
+	dst = resizeFloats(dst, vc)
+	ha, va := h.Raw(), v.Raw()
+	if nc == 4 && vc == 4 && len(dst) == 4 {
+		for j := 0; j < 4; j++ {
+			hrow := ha[j*4 : j*4+4]
+			var e complex128
+			if hjk := hrow[0]; hjk != 0 {
+				e += hjk * va[j]
+			}
+			if hjk := hrow[1]; hjk != 0 {
+				e += hjk * va[4+j]
+			}
+			if hjk := hrow[2]; hjk != 0 {
+				e += hjk * va[8+j]
+			}
+			if hjk := hrow[3]; hjk != 0 {
+				e += hjk * va[12+j]
+			}
+			dst[j] = (real(e)*real(e) + imag(e)*imag(e)) / noise
+		}
+		return dst
+	}
+	for j := range dst {
+		var e complex128
+		hrow := ha[j*nc : j*nc+nc]
+		kj := j
+		for _, hjk := range hrow {
+			if hjk != 0 {
+				e += hjk * va[kj]
+			}
+			kj += vc
+		}
+		dst[j] = (real(e)*real(e) + imag(e)*imag(e)) / noise
+	}
+	return dst
+}
+
+// resizeFloats returns s resliced to length n, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// waterfill holds the reusable buffers of the §3.1.2 reverse-water-filling
+// subproblem, stream state in structure-of-arrays layout (t and caps are
+// scanned ~50 times by the bisection — see totalAt). The weights method is
+// the allocation-free core behind the package-level reverseWaterfill.
+type waterfill struct {
+	w, red []float64
+	t, cap []float64 // thresholds (1+1/ρ)·row and caps (1−powerFloor)·row
+	order  []int
+}
+
+// weights solves the one-row subproblem (see reverseWaterfill for the
+// derivation) into buffers owned by the receiver. The returned slice is
+// valid until the next call.
+func (wf *waterfill) weights(row, rho []float64, budget float64) ([]float64, error) {
+	n := len(row)
+	if len(rho) != n {
+		return nil, errWaterfillLen
+	}
+	have := 0.0
+	for _, r := range row {
+		have += r
+	}
+	need := have - budget
+	wf.w = resizeFloats(wf.w, n)
+	for j := range wf.w {
+		wf.w[j] = 1
+	}
+	if need <= 0 {
+		return wf.w, nil
+	}
+	// Thresholds t_j = (1+1/ρ_j)·row_j: stream j takes reduction
+	// Pj = t_j − μ when μ < t_j. Caps c_j = (1−powerFloor)·row_j.
+	wf.t = resizeFloats(wf.t, n)
+	wf.cap = resizeFloats(wf.cap, n)
+	maxRed := 0.0
+	for j := 0; j < n; j++ {
+		r := rho[j]
+		if r <= 0 || math.IsNaN(r) {
+			// A dead stream costs no rate: allow taking its power first
+			// by giving it an effectively infinite threshold.
+			wf.t[j] = math.Inf(1)
+		} else {
+			wf.t[j] = (1 + 1/r) * row[j]
+		}
+		wf.cap[j] = (1 - powerFloor) * row[j]
+		maxRed += wf.cap[j]
+	}
+	if need > maxRed {
+		return nil, fmt.Errorf("reverse waterfill: need %v exceeds reducible power %v", need, maxRed)
+	}
+	// Find μ by bisection on total reduction; Σ_j min(cap_j, (t_j−μ)⁺) is
+	// non-increasing and piecewise-linear in μ.
+	lo, hi := 0.0, 0.0
+	for _, t := range wf.t {
+		if !math.IsInf(t, 1) && t > hi {
+			hi = t
+		}
+	}
+	if hi == 0 {
+		hi = 1
+	}
+	// totalAt(hi) may still exceed `need` if infinite-threshold (dead)
+	// streams alone cover it; handle by checking the fixed part first.
+	// The bisection evaluates the objective ~50 times, so the paper's
+	// canonical 4-stream case gets an unrolled variant.
+	if n == 4 {
+		for iter := 0; iter < 200; iter++ {
+			mid := (lo + hi) / 2
+			if wf.totalAt4(mid) > need {
+				lo = mid
+			} else {
+				hi = mid
+			}
+			if hi-lo <= 1e-15*(1+hi) {
+				break
+			}
+		}
+	} else {
+		for iter := 0; iter < 200; iter++ {
+			mid := (lo + hi) / 2
+			if wf.totalAt(mid) > need {
+				lo = mid
+			} else {
+				hi = mid
+			}
+			if hi-lo <= 1e-15*(1+hi) {
+				break
+			}
+		}
+	}
+	mu := hi
+	// Distribute: reductions at level mu may undershoot `need` slightly
+	// (bisection tolerance); spread the residual over unsaturated streams
+	// in threshold order.
+	wf.red = resizeFloats(wf.red, n)
+	got := 0.0
+	for j, t := range wf.t {
+		wf.red[j] = 0
+		r := t - mu
+		if r <= 0 {
+			continue
+		}
+		if c := wf.cap[j]; r > c {
+			r = c
+		}
+		wf.red[j] = r
+		got += r
+	}
+	if residual := need - got; residual > 0 {
+		order := wf.orderByThreshold()
+		for _, j := range order {
+			if residual <= 0 {
+				break
+			}
+			room := wf.cap[j] - wf.red[j]
+			take := math.Min(room, residual)
+			wf.red[j] += take
+			residual -= take
+		}
+		if residual > 1e-9*need {
+			return nil, fmt.Errorf("reverse waterfill: could not place residual %v", residual)
+		}
+	}
+	for j := range wf.w {
+		if row[j] <= 0 {
+			continue
+		}
+		frac := 1 - wf.red[j]/row[j]
+		if frac < powerFloor {
+			frac = powerFloor
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		wf.w[j] = math.Sqrt(frac)
+	}
+	return wf.w, nil
+}
+
+// totalAt is the bisection objective Σ_j min(cap_j, (t_j−μ)⁺). The
+// summation order (ascending j) matches the original implementation's, so
+// the bisection takes bit-identical branches.
+func (wf *waterfill) totalAt(mu float64) float64 {
+	s := 0.0
+	for j, t := range wf.t {
+		red := t - mu
+		if red <= 0 {
+			continue
+		}
+		if c := wf.cap[j]; red > c {
+			red = c
+		}
+		s += red
+	}
+	return s
+}
+
+// totalAt4 is totalAt unrolled for four streams: the same four terms,
+// tested and summed in the same order (the `!(red <= 0)` form mirrors the
+// generic skip exactly, NaN semantics included).
+func (wf *waterfill) totalAt4(mu float64) float64 {
+	t := wf.t[:4]
+	c := wf.cap[:4]
+	s := 0.0
+	if red := t[0] - mu; !(red <= 0) {
+		if red > c[0] {
+			red = c[0]
+		}
+		s += red
+	}
+	if red := t[1] - mu; !(red <= 0) {
+		if red > c[1] {
+			red = c[1]
+		}
+		s += red
+	}
+	if red := t[2] - mu; !(red <= 0) {
+		if red > c[2] {
+			red = c[2]
+		}
+		s += red
+	}
+	if red := t[3] - mu; !(red <= 0) {
+		if red > c[3] {
+			red = c[3]
+		}
+		s += red
+	}
+	return s
+}
+
+// orderByThreshold sorts stream indices by descending threshold into a
+// reused buffer. Stable insertion sort: n ≤ |T| is tiny, and stability
+// keeps tie order deterministic.
+func (wf *waterfill) orderByThreshold() []int {
+	n := len(wf.t)
+	if cap(wf.order) < n {
+		wf.order = make([]int, n)
+	} else {
+		wf.order = wf.order[:n]
+	}
+	for i := range wf.order {
+		wf.order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		j := wf.order[i]
+		k := i - 1
+		for k >= 0 && wf.t[wf.order[k]] < wf.t[j] {
+			wf.order[k+1] = wf.order[k]
+			k--
+		}
+		wf.order[k+1] = j
+	}
+	return wf.order
+}

@@ -1,0 +1,179 @@
+package precoding
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// bitIdenticalMats fails unless got and want match bitwise — the Solver
+// promises results identical to the allocating API, not merely close.
+func bitIdenticalMats(t *testing.T, name string, got, want interface {
+	Rows() int
+	Cols() int
+	At(int, int) complex128
+}) {
+	t.Helper()
+	if got.Rows() != want.Rows() || got.Cols() != want.Cols() {
+		t.Fatalf("%s: shape %d×%d, want %d×%d", name, got.Rows(), got.Cols(), want.Rows(), want.Cols())
+	}
+	for i := 0; i < want.Rows(); i++ {
+		for j := 0; j < want.Cols(); j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("%s: (%d,%d) = %v, want %v (bitwise)", name, i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+// TestSolverBitExact pins the Solver's results to the package-level
+// functions' across a spread of problems: random i.i.d. channels at the
+// shapes the DES exercises, and realistic CAS/DAS deployments where the
+// power-balancing loop actually iterates.
+func TestSolverBitExact(t *testing.T) {
+	s := rng.New(42)
+	var probs []Problem
+	for _, sh := range []struct{ c, a int }{{2, 2}, {4, 4}, {4, 8}, {8, 8}, {3, 4}} {
+		for rep := 0; rep < 10; rep++ {
+			probs = append(probs, randomProblem(s, sh.c, sh.a))
+		}
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		probs = append(probs, dasProblem(seed, topology.DAS), dasProblem(seed, topology.CAS))
+	}
+
+	solver := NewSolver() // one solver across all problems: buffers must not leak state
+	balanced := 0
+	for pi, p := range probs {
+		wantZF, err := ZFBF(p)
+		if err != nil {
+			t.Fatalf("prob %d: ZFBF: %v", pi, err)
+		}
+		gotZF, err := solver.ZFBF(p)
+		if err != nil {
+			t.Fatalf("prob %d: Solver.ZFBF: %v", pi, err)
+		}
+		bitIdenticalMats(t, "ZFBF", gotZF, wantZF)
+
+		wantNaive, err := NaiveScaled(p)
+		if err != nil {
+			t.Fatalf("prob %d: NaiveScaled: %v", pi, err)
+		}
+		gotNaive, err := solver.NaiveScaled(p)
+		if err != nil {
+			t.Fatalf("prob %d: Solver.NaiveScaled: %v", pi, err)
+		}
+		bitIdenticalMats(t, "NaiveScaled", gotNaive, wantNaive)
+
+		wantBal, errW := PowerBalanced(p)
+		gotBal, gotIters, errG := solver.PowerBalanced(p)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("prob %d: PowerBalanced err %v vs Solver err %v", pi, errW, errG)
+		}
+		if errW == nil {
+			bitIdenticalMats(t, "PowerBalanced", gotBal, wantBal.V)
+			if gotIters != wantBal.Iterations {
+				t.Fatalf("prob %d: iterations %d vs %d", pi, gotIters, wantBal.Iterations)
+			}
+			if gotIters > 0 {
+				balanced++
+			}
+			w := solver.Weights()
+			if len(w) != len(wantBal.Weights) {
+				t.Fatalf("prob %d: weights len %d vs %d", pi, len(w), len(wantBal.Weights))
+			}
+			for j := range w {
+				if w[j] != wantBal.Weights[j] {
+					t.Fatalf("prob %d: weight[%d] = %v, want %v", pi, j, w[j], wantBal.Weights[j])
+				}
+			}
+
+			wantS := SINRMatrix(p.H, wantBal.V, p.Noise)
+			gotS := solver.SINRMatrix(p.H, gotBal, p.Noise)
+			// gotBal aliases solver.v; SINRMatrix writes a separate buffer.
+			bitIdenticalMats(t, "SINRMatrix", gotS, wantS)
+
+			wantRho := StreamSINRs(p.H, wantBal.V, p.Noise)
+			gotRho := solver.StreamSINRs(p.H, gotBal, p.Noise)
+			for j := range wantRho {
+				if gotRho[j] != wantRho[j] {
+					t.Fatalf("prob %d: StreamSINRs[%d] = %v, want %v", pi, j, gotRho[j], wantRho[j])
+				}
+			}
+			if got, want := solver.SumRate(p.H, gotBal, p.Noise), SumRate(p.H, wantBal.V, p.Noise); got != want {
+				t.Fatalf("prob %d: SumRate %v, want %v", pi, got, want)
+			}
+		}
+	}
+	if balanced == 0 {
+		t.Fatal("no problem exercised the water-filling loop; test set too easy")
+	}
+}
+
+// zeroAllocProblems are the shapes Station.precode sees: |C|×|T| with
+// clients ≤ antennas, at the paper's 4- and 8-antenna scales.
+func zeroAllocProblems() map[string]Problem {
+	s := rng.New(7)
+	return map[string]Problem{
+		"4x4": randomProblem(s, 4, 4),
+		"8x8": randomProblem(s, 8, 8),
+		"4x8": randomProblem(s, 4, 8),
+		"das": dasProblem(3, topology.DAS),
+	}
+}
+
+// TestSolverZeroAlloc is the PR's headline allocation guard: after one
+// warm-up call sizes the buffers, steady-state precoding through a Solver
+// must not touch the heap.
+func TestSolverZeroAlloc(t *testing.T) {
+	for name, p := range zeroAllocProblems() {
+		p := p
+		t.Run("PowerBalanced/"+name, func(t *testing.T) {
+			s := NewSolver()
+			if _, _, err := s.PowerBalanced(p); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				if _, _, err := s.PowerBalanced(p); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("Solver.PowerBalanced allocates %v/op, want 0", allocs)
+			}
+		})
+		t.Run("NaiveScaled/"+name, func(t *testing.T) {
+			s := NewSolver()
+			if _, err := s.NaiveScaled(p); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				if _, err := s.NaiveScaled(p); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("Solver.NaiveScaled allocates %v/op, want 0", allocs)
+			}
+		})
+	}
+	// The full per-TXOP pipeline: precode then rate the streams.
+	p := zeroAllocProblems()["4x4"]
+	s := NewSolver()
+	v, _, err := s.PowerBalanced(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SumRate(p.H, v, p.Noise)
+	allocs := testing.AllocsPerRun(200, func() {
+		v, _, err := s.PowerBalanced(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SumRate(p.H, v, p.Noise)
+	})
+	if allocs != 0 {
+		t.Errorf("precode+rate pipeline allocates %v/op, want 0", allocs)
+	}
+}

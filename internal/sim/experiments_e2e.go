@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"repro/internal/channel"
-	"repro/internal/matrix"
 	"repro/internal/precoding"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -243,6 +242,8 @@ func AblationCorrelation(rhos []float64, topos int, seed int64) map[float64]*sta
 	// Task t derives one child per (t, rho) pair — the sweep label is
 	// only used for progress reporting here.
 	vals := sweepRoot(topos, seed, "corr", func(t int, root *rng.Source) []rhoVal {
+		sv := getSolver()
+		defer putSolver(sv)
 		res := make([]rhoVal, len(rhos))
 		for i, rho := range rhos {
 			src := root.SplitN("corr", t*100+i)
@@ -252,8 +253,8 @@ func AblationCorrelation(rhos []float64, topos int, seed int64) map[float64]*sta
 			dep := topology.SingleAP(cfg, src.Split("topo"))
 			m := dep.Model(p, src.Split("chan"))
 			prob := problemFromModel(p, m)
-			if v, err := naiveOf(prob); err == nil {
-				res[i] = rhoVal{ok: true, v: sumRateOf(prob, v)}
+			if v, err := sv.NaiveScaled(prob); err == nil {
+				res[i] = rhoVal{ok: true, v: sv.SumRate(prob.H, v, prob.Noise)}
 			}
 		}
 		return res
@@ -279,12 +280,4 @@ func problemFromModel(p channel.Params, m *channel.Model) precoding.Problem {
 		PerAntennaPower: p.TxPowerLinear(),
 		Noise:           p.NoiseLinear(),
 	}
-}
-
-func naiveOf(prob precoding.Problem) (*matrix.Mat, error) {
-	return precoding.NaiveScaled(prob)
-}
-
-func sumRateOf(prob precoding.Problem, v *matrix.Mat) float64 {
-	return precoding.SumRate(prob.H, v, prob.Noise)
 }

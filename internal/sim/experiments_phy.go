@@ -87,17 +87,21 @@ func Fig3NaiveScalingDrop(topos int, seed int64) (cas, das *stats.Sample, err er
 			out = das
 		}
 		drops, err := sweepErr(topos, seed, "fig3-"+mode.String(), func(t int, src *rng.Source) (float64, error) {
+			sv := getSolver()
+			defer putSolver(sv)
 			prob, _, _ := phyProblem(OfficeB, mode, 4, 4, src)
-			ideal, err := precoding.ZFBF(prob)
+			// Solver results are overwritten by the next precoder call, so
+			// each rate is taken before the next solve.
+			ideal, err := sv.ZFBF(prob)
 			if err != nil {
 				return 0, fmt.Errorf("fig3 topo %d: %w", t, err)
 			}
-			naive, err := precoding.NaiveScaled(prob)
+			idealRate := sv.SumRate(prob.H, ideal, prob.Noise)
+			naive, err := sv.NaiveScaled(prob)
 			if err != nil {
 				return 0, fmt.Errorf("fig3 topo %d: %w", t, err)
 			}
-			drop := precoding.SumRate(prob.H, ideal, prob.Noise) -
-				precoding.SumRate(prob.H, naive, prob.Noise)
+			drop := idealRate - sv.SumRate(prob.H, naive, prob.Noise)
 			if drop < 0 {
 				drop = 0
 			}
@@ -169,19 +173,22 @@ func FigCapacityCDF(o Office, antennas, topos int, seed int64) (cas, midas *stat
 	// only the antenna deployment between CAS and DAS.
 	label := fmt.Sprintf("fig89-%v-%d", o, antennas)
 	res, err := sweepErr(topos, seed, label, func(t int, src *rng.Source) (arm2, error) {
+		sv := getSolver()
+		defer putSolver(sv)
 		probC, _, _ := phyProblem(o, topology.CAS, antennas, antennas, src)
-		vC, err := precoding.NaiveScaled(probC)
+		vC, err := sv.NaiveScaled(probC)
 		if err != nil {
 			return arm2{}, err
 		}
+		rateC := sv.SumRate(probC.H, vC, probC.Noise)
 		probM, _, _ := phyProblem(o, topology.DAS, antennas, antennas, src)
-		resM, err := precoding.PowerBalanced(probM)
+		vM, _, err := sv.PowerBalanced(probM)
 		if err != nil {
 			return arm2{}, err
 		}
 		return arm2{
-			a: precoding.SumRate(probC.H, vC, probC.Noise),
-			b: precoding.SumRate(probM.H, resM.V, probM.Noise),
+			a: rateC,
+			b: sv.SumRate(probM.H, vM, probM.Noise),
 		}, nil
 	})
 	if err != nil {
@@ -207,19 +214,21 @@ func Fig10SmartPrecoding(topos int, seed int64) (*Fig10Curves, error) {
 	// per-mode child streams keep their original labels.
 	vals, err := sweepRootErr(topos, seed, "fig10", func(t int, root *rng.Source) ([4]float64, error) {
 		var out [4]float64
+		sv := getSolver()
+		defer putSolver(sv)
 		for mi, mode := range []topology.Mode{topology.CAS, topology.DAS} {
 			src := root.SplitN("fig10-"+mode.String(), t)
 			prob, _, _ := phyProblem(OfficeB, mode, 4, 4, src)
-			naive, err := precoding.NaiveScaled(prob)
+			naive, err := sv.NaiveScaled(prob)
 			if err != nil {
 				return out, err
 			}
-			bal, err := precoding.PowerBalanced(prob)
+			out[2*mi] = sv.SumRate(prob.H, naive, prob.Noise)
+			bal, _, err := sv.PowerBalanced(prob)
 			if err != nil {
 				return out, err
 			}
-			out[2*mi] = precoding.SumRate(prob.H, naive, prob.Noise)
-			out[2*mi+1] = precoding.SumRate(prob.H, bal.V, prob.Noise)
+			out[2*mi+1] = sv.SumRate(prob.H, bal, prob.Noise)
 		}
 		return out, nil
 	})
@@ -254,8 +263,12 @@ type Fig11Point struct {
 func Fig11OptimalGap(topos int, seed int64, testbed bool) ([]Fig11Point, error) {
 	opts := precoding.DefaultOptimalOptions()
 	return sweepErr(topos, seed, "fig11", func(t int, src *rng.Source) (Fig11Point, error) {
+		sv := getSolver()
+		defer putSolver(sv)
 		prob, m, _ := phyProblem(OfficeB, topology.DAS, 4, 4, src)
-		bal, err := precoding.PowerBalanced(prob)
+		// bal stays valid across the OptimalZF call (the numerical
+		// reference solver does not share the Solver's buffers).
+		bal, _, err := sv.PowerBalanced(prob)
 		if err != nil {
 			return Fig11Point{}, err
 		}
@@ -276,8 +289,8 @@ func Fig11OptimalGap(topos int, seed int64, testbed bool) ([]Fig11Point, error) 
 		}
 		return Fig11Point{
 			Topology: t,
-			MIDAS:    precoding.SumRate(hEval, bal.V, prob.Noise),
-			Optimal:  precoding.SumRate(hEvalOpt, opt.V, prob.Noise),
+			MIDAS:    sv.SumRate(hEval, bal, prob.Noise),
+			Optimal:  sv.SumRate(hEvalOpt, opt.V, prob.Noise),
 		}, nil
 	})
 }
@@ -288,6 +301,8 @@ func Fig11OptimalGap(topos int, seed int64, testbed bool) ([]Fig11Point, error) 
 // the resulting 2-stream capacity is compared.
 func Fig14PacketTagging(topos int, seed int64) (random, tagged *stats.Sample, err error) {
 	res, err := sweepErr(topos, seed, "fig14", func(t int, src *rng.Source) (arm2, error) {
+		sv := getSolver()
+		defer putSolver(sv)
 		_, m, dep := phyProblem(OfficeB, topology.DAS, 4, 4, src)
 		avail := pickTwoAntennas(src)
 		// Tag-driven choice: rank clients by mean RSSI on the available
@@ -302,11 +317,11 @@ func Fig14PacketTagging(topos int, seed int64) (random, tagged *stats.Sample, er
 				PerAntennaPower: p.TxPowerLinear(),
 				Noise:           p.NoiseLinear(),
 			}
-			res, err := precoding.PowerBalanced(sub)
+			v, _, err := sv.PowerBalanced(sub)
 			if err != nil {
 				return 0, err
 			}
-			return precoding.SumRate(sub.H, res.V, sub.Noise), nil
+			return sv.SumRate(sub.H, v, sub.Noise), nil
 		}
 		ct, err := capOf(tagClients)
 		if err != nil {

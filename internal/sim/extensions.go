@@ -126,7 +126,10 @@ type PlacementResult struct {
 func PlacementStudy(topos, candidates int, seed int64) (*PlacementResult, error) {
 	p := channel.Default()
 	// [randCoverage, randCapacity, optCoverage, optCapacity] per topology.
+	perAntenna, noise := p.TxPowerLinear(), p.NoiseLinear()
 	vals, err := sweepErr(topos, seed, "placement", func(t int, src *rng.Source) ([4]float64, error) {
+		sv := getSolver()
+		defer putSolver(sv)
 		var out [4]float64
 		cfg := topology.DefaultConfig(topology.DAS)
 		fieldSeed := src.Split("chan").Split("shadow").Seed()
@@ -147,15 +150,15 @@ func PlacementStudy(topos, candidates int, seed int64) (*PlacementResult, error)
 			m := dep.Model(p, src.Split("chan"))
 			prob := precoding.Problem{
 				H:               m.Matrix(nil, nil),
-				PerAntennaPower: p.TxPowerLinear(),
-				Noise:           p.NoiseLinear(),
+				PerAntennaPower: perAntenna,
+				Noise:           noise,
 			}
-			bal, err := precoding.PowerBalanced(prob)
+			bal, _, err := sv.PowerBalanced(prob)
 			if err != nil {
 				return out, err
 			}
 			out[2*di] = score
-			out[2*di+1] = precoding.SumRate(prob.H, bal.V, prob.Noise)
+			out[2*di+1] = sv.SumRate(prob.H, bal, prob.Noise)
 		}
 		return out, nil
 	})

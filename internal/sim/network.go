@@ -24,6 +24,13 @@ type Network struct {
 
 	parser frames.Parser
 	src    *rng.Source
+
+	// noiseLin and txPowLin cache P.NoiseLinear()/P.TxPowerLinear() —
+	// both are math.Pow conversions that the per-TXOP hot path (precode,
+	// streamRates, soundingSurvivors) would otherwise recompute on every
+	// call.
+	noiseLin float64
+	txPowLin float64
 }
 
 // NewNetwork builds a network over the deployment with one station per AP,
@@ -32,12 +39,14 @@ type Network struct {
 func NewNetwork(dep *topology.Deployment, p channel.Params, opts StationOpts, src *rng.Source) *Network {
 	eng := mac.NewEngine()
 	n := &Network{
-		Eng:   eng,
-		Air:   mac.NewAir(eng, p),
-		Dep:   dep,
-		Model: dep.Model(p, src.Split("model")),
-		P:     p,
-		src:   src,
+		Eng:      eng,
+		Air:      mac.NewAir(eng, p),
+		Dep:      dep,
+		Model:    dep.Model(p, src.Split("model")),
+		P:        p,
+		src:      src,
+		noiseLin: p.NoiseLinear(),
+		txPowLin: p.TxPowerLinear(),
 	}
 	// Sensing and payload propagate through the same walls.
 	n.Air.Shadow = n.Model.Field()

@@ -1,0 +1,20 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/precoding"
+)
+
+// solvers hands experiment tasks long-lived precoding.Solver instances:
+// each runner-pool worker effectively keeps one warm, so a topology sweep
+// performs the per-problem linear algebra without heap allocations after
+// the first task sizes the buffers. Solver state never affects results
+// (buffers only), so pooling cannot perturb determinism.
+var solvers = sync.Pool{New: func() any { return precoding.NewSolver() }}
+
+// getSolver borrows a Solver for the duration of one task.
+func getSolver() *precoding.Solver { return solvers.Get().(*precoding.Solver) }
+
+// putSolver returns a borrowed Solver to the pool.
+func putSolver(s *precoding.Solver) { solvers.Put(s) }

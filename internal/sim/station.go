@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mac"
 	"repro/internal/phy"
+	"repro/internal/precoding"
 	"repro/internal/rng"
 )
 
@@ -111,6 +112,12 @@ type Station struct {
 	traffic  *rng.Source
 	ownTxs   map[int]bool
 
+	// solver and rates are the station's reusable precoding state: one
+	// precoder is computed per TXOP for the station's whole lifetime, so
+	// steady-state TXOPs perform no linear-algebra heap allocations.
+	solver *precoding.Solver
+	rates  []float64
+
 	// Metrics.
 	TXOPs          int
 	StreamsServed  int
@@ -129,6 +136,7 @@ func newStation(net *Network, id int, opts StationOpts) *Station {
 		antennas: net.Dep.AntennasOf(id),
 		clients:  net.Dep.ClientsOf(id),
 		src:      net.src.SplitN("station", id),
+		solver:   precoding.NewSolver(),
 	}
 	st.traffic = st.src.Split("traffic")
 	sched := opts.Scheduler

@@ -40,12 +40,16 @@ func RecordDeployment(dep *topology.Deployment, p channel.Params, frames int, sr
 func TraceDrivenCapacity(tr *trace.Trace, p channel.Params, kind PrecoderKind) (*stats.Sample, error) {
 	rep := trace.NewReplayer(tr)
 	out := stats.NewSample()
+	sv := getSolver()
+	defer putSolver(sv)
+	// The per-frame conversions are loop-invariant; hoist them.
+	perAntenna, noise := p.TxPowerLinear(), p.NoiseLinear()
 	for f := 0; f < tr.NumFrames(); f++ {
 		h := rep.Next()
 		prob := precoding.Problem{
 			H:               h,
-			PerAntennaPower: p.TxPowerLinear(),
-			Noise:           p.NoiseLinear(),
+			PerAntennaPower: perAntenna,
+			Noise:           noise,
 		}
 		if h.Rows() > h.Cols() {
 			// More clients than antennas: evaluate the first |T| clients
@@ -61,17 +65,17 @@ func TraceDrivenCapacity(tr *trace.Trace, p channel.Params, kind PrecoderKind) (
 		}
 		var rate float64
 		if kind == PrecoderPowerBalanced {
-			res, err := precoding.PowerBalanced(prob)
+			v, _, err := sv.PowerBalanced(prob)
 			if err != nil {
 				return nil, err
 			}
-			rate = precoding.SumRate(prob.H, res.V, prob.Noise)
+			rate = sv.SumRate(prob.H, v, prob.Noise)
 		} else {
-			v, err := precoding.NaiveScaled(prob)
+			v, err := sv.NaiveScaled(prob)
 			if err != nil {
 				return nil, err
 			}
-			rate = precoding.SumRate(prob.H, v, prob.Noise)
+			rate = sv.SumRate(prob.H, v, prob.Noise)
 		}
 		out.Add(rate)
 	}

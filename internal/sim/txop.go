@@ -108,7 +108,7 @@ func (st *Station) beginTXOP(antennas []int) {
 // soundingSurvivors returns the clients whose sounding exchange decoded
 // cleanly given the transmissions that overlapped it.
 func (st *Station) soundingSurvivors(txID int, clients []int) []int {
-	noise := st.net.P.NoiseLinear()
+	noise := st.net.noiseLin
 	capture := stats.Linear(st.net.Air.CaptureSINRdB)
 	var out []int
 	for _, cl := range clients {
@@ -179,19 +179,22 @@ func (st *Station) dataPhase(antennas, clients []int, dataDur, baDur time.Durati
 	})
 }
 
-// precode runs the configured precoder on the estimated channel.
+// precode runs the configured precoder on the estimated channel through
+// the station's long-lived Solver: the returned matrix is solver-owned
+// and stays valid until the next TXOP's precode call, which is after this
+// TXOP's rates have been accounted. Steady-state calls do not allocate.
 func (st *Station) precode(est *matrix.Mat) (*matrix.Mat, bool) {
 	prob := precoding.Problem{
 		H:               est,
-		PerAntennaPower: st.net.P.TxPowerLinear(),
-		Noise:           st.net.P.NoiseLinear(),
+		PerAntennaPower: st.net.txPowLin,
+		Noise:           st.net.noiseLin,
 	}
 	if st.Opts.Precoder == PrecoderPowerBalanced {
-		if res, err := precoding.PowerBalanced(prob); err == nil {
-			return res.V, true
+		if v, _, err := st.solver.PowerBalanced(prob); err == nil {
+			return v, true
 		}
 	}
-	if v, err := precoding.NaiveScaled(prob); err == nil {
+	if v, err := st.solver.NaiveScaled(prob); err == nil {
 		return v, true
 	}
 	return nil, false
@@ -200,12 +203,20 @@ func (st *Station) precode(est *matrix.Mat) (*matrix.Mat, bool) {
 // streamRates returns per-stream Shannon rates (bit/s/Hz) for the true
 // channel h under precoder v, including residual inter-stream interference
 // (from CSI error) and other-cell interference sampled from the medium.
+// The SINR matrix scratch and the returned slice are reused across TXOPs;
+// callers must consume the result before the next call.
 func (st *Station) streamRates(h, v *matrix.Mat, clients []int, txID int) []float64 {
-	noise := st.net.P.NoiseLinear()
-	s := precoding.SINRMatrix(h, v, noise)
+	noise := st.net.noiseLin
+	s := st.solver.SINRMatrix(h, v, noise)
 	n := h.Rows()
-	rates := make([]float64, n)
+	if cap(st.rates) < n {
+		st.rates = make([]float64, n)
+	} else {
+		st.rates = st.rates[:n]
+	}
+	rates := st.rates
 	for j := 0; j < n; j++ {
+		rates[j] = 0
 		interf := 0.0
 		for i := 0; i < n; i++ {
 			if i != j {
