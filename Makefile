@@ -1,13 +1,17 @@
 # CI entry points for the MIDAS reproduction. `make ci` is what a
 # checkin must keep green: formatting, vet, build, the full test suite,
-# and a reduced-scale benchmark smoke that exercises the parallel
-# experiment runner end to end.
+# a race pass over the concurrency-bearing packages, the golden-figure
+# regression suite, the examples, and a reduced-scale benchmark smoke
+# that exercises the parallel experiment runner end to end.
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test bench-smoke bench bench-snapshot alloc-guard fmt
+.PHONY: ci fmt-check vet build test test-race golden examples bench-smoke bench bench-snapshot alloc-guard fmt
 
-ci: fmt-check vet build test alloc-guard bench-smoke
+# (`test` already runs the golden suite once and `test-race` replays it
+# under the race detector; the explicit `golden` target is for focused
+# local runs, not a third CI pass.)
+ci: fmt-check vet build test test-race alloc-guard bench-smoke examples
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -24,12 +28,35 @@ build:
 test:
 	$(GO) test ./...
 
+# The race detector over the packages that own concurrency: the worker
+# pool, the scenario engine dispatching expanded runs through it, and
+# the experiment drivers.
+test-race:
+	$(GO) test -race ./internal/scenario ./internal/runner ./internal/sim
+
+# The golden-figure regression suite: replay every registered
+# scenario's committed spec at parallelism 1 and 8 and require
+# byte-identical results. After an intentional output change:
+#   go test ./internal/scenario -run TestGoldenFigures -update
+golden:
+	$(GO) test -run TestGoldenFigures ./internal/scenario
+
+# Run every example against its committed spec file so they cannot
+# silently rot.
+examples:
+	$(GO) run ./examples/quickstart -spec examples/quickstart/spec.json > /dev/null
+	$(GO) run ./examples/office -spec examples/office/spec.json > /dev/null
+	$(GO) run ./examples/hiddenterminal -spec examples/hiddenterminal/spec.json > /dev/null
+	$(GO) run ./examples/dense -spec examples/dense/spec.json > /dev/null
+
 # A fast end-to-end pass through the runner: a PHY figure, a MAC figure
-# and one short DES experiment, at reduced scale, through every sink.
+# and one short DES experiment, at reduced scale, through every sink,
+# plus a scenario-mode sweep through midas-sim.
 bench-smoke:
 	$(GO) run ./cmd/midas-bench -figure 3 -topos 8 > /dev/null
 	$(GO) run ./cmd/midas-bench -figure 12 -topos 8 -format json -out /dev/null
 	$(GO) run ./cmd/midas-bench -figure 15 -topos 4 -simtime 50ms -format csv > /dev/null
+	$(GO) run ./cmd/midas-sim -scenario fig12 -set topologies=4 -set seed=3,4 > /dev/null
 	$(GO) test -run='^$$' -bench=BenchmarkFig12 -benchtime=1x .
 
 # Full-scale root benchmarks (slow).

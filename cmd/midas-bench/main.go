@@ -1,21 +1,26 @@
 // Command midas-bench regenerates every table and figure of the MIDAS
-// paper's evaluation (§5). Each experiment's topology sweep runs on the
-// internal/runner worker pool (-parallel), and results flow through a
-// pluggable sink: human-readable text CDF tables (default), a JSON
-// snapshot for machine-readable perf/result tracking, or flat CSV rows.
-// Results are bit-identical at any -parallel value for a given -seed.
-// See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
-// paper-vs-measured comparisons.
+// paper's evaluation (§5). Experiments are resolved from the
+// internal/scenario registry — the same declarative scenarios
+// midas-sim -scenario runs — and executed in paper order. Each
+// scenario's topology sweep runs on the internal/runner worker pool
+// (-parallel), and results flow through a pluggable sink:
+// human-readable text CDF tables (default), a JSON snapshot for
+// machine-readable perf/result tracking, or flat CSV rows. Results are
+// bit-identical at any -parallel value for a given -seed. -topos,
+// -seed and -simtime override the scenarios' own defaults only when
+// explicitly passed. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured comparisons.
 //
 // Usage:
 //
-//	midas-bench [-figure all|3|7|8|9|10|11|12|13|14|15|16|ht|decomp|ablations]
+//	midas-bench [-figure all|3|7|8|9|10|11|12|13|14|15|16|ht|decomp|ablations|<scenario-prefix>]
 //	            [-topos N] [-seed S] [-simtime D] [-points N]
 //	            [-parallel N] [-format text|json|csv] [-out FILE] [-progress]
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -26,8 +31,8 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/stats"
 )
 
 var (
@@ -92,13 +97,39 @@ func main() {
 		}
 	}
 
+	// Scenario defaults carry the paper's per-experiment scales; shared
+	// flags override them only when explicitly passed, so e.g. the
+	// reduced default topology count of fig16 survives a plain run. The
+	// same explicit-only values feed the snapshot metadata: a flag that
+	// was not passed is omitted there rather than recorded as a value
+	// the per-scenario defaults may not have used.
+	var overrides scenario.Spec
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "topos":
+			overrides.Topologies = *topos
+		case "seed":
+			if *seed == 0 {
+				// Spec merging treats 0 as "inherit the scenario
+				// default", so an explicit 0 cannot be expressed.
+				fmt.Fprintln(os.Stderr, "-seed 0 cannot be used (0 means \"inherit\"); pick a nonzero seed")
+				os.Exit(2)
+			}
+			overrides.Seed = *seed
+		case "simtime":
+			overrides.SimTime = scenario.Duration(*simTime)
+		case "parallel":
+			overrides.Parallelism = *parallel
+		}
+	})
+
 	// Resolve the experiment selection before touching the output file,
 	// so a typo'd -figure cannot truncate an existing snapshot.
 	want := strings.Split(*figure, ",")
-	var selectedExps []experiment
-	for _, e := range experiments() {
-		if selected(want, e.name) {
-			selectedExps = append(selectedExps, e)
+	var selectedExps []string
+	for _, name := range scenario.Names() {
+		if selected(want, name) {
+			selectedExps = append(selectedExps, name)
 		}
 	}
 	if len(selectedExps) == 0 {
@@ -132,22 +163,44 @@ func main() {
 	if effParallel <= 0 {
 		effParallel = runtime.GOMAXPROCS(0)
 	}
+	// Seed: every registered scenario defaults to the flag's own default
+	// (2014), so the recorded seed is accurate whether or not -seed was
+	// passed. Topologies/SimTime are recorded only when explicitly set —
+	// at defaults they vary per scenario (fig16 runs 20, fig12 30, …)
+	// and a single number here would misdescribe most results.
 	meta := runner.Meta{
 		Tool:        "midas-bench",
 		Seed:        *seed,
-		Topologies:  *topos,
+		Topologies:  overrides.Topologies,
 		Parallelism: effParallel,
-		SimTime:     simTime.String(),
+		SimTime:     overridesSimTime(overrides),
 	}
 	if err := sink.Begin(meta); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	for _, e := range selectedExps {
-		res, err := runner.Timed(e.name, e.fn)
+	for _, name := range selectedExps {
+		sc, _ := scenario.Get(name)
+		spec, err := scenario.Resolve(sc, overrides)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		// Swept scenarios fan out in the engine's run pool; split the
+		// -parallel budget so pool × inner sweep stays within it.
+		sim.Parallelism = spec.SplitParallelism()
+		res, err := runner.Timed(name, func(r *runner.Result) error {
+			out, err := scenario.Run(context.Background(), sc, spec)
+			if err != nil {
+				return err
+			}
+			rr := out.RunnerResult()
+			r.Series, r.Metrics, r.Text = rr.Series, rr.Metrics, rr.Text
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
 		if err := sink.Result(res); err != nil {
@@ -167,285 +220,29 @@ func main() {
 	}
 }
 
+// overridesSimTime renders the explicitly-set -simtime for the meta
+// block, or "" when the scenarios' own defaults apply.
+func overridesSimTime(o scenario.Spec) string {
+	if o.SimTime == 0 {
+		return ""
+	}
+	return time.Duration(o.SimTime).String()
+}
+
+// selected reports whether a scenario name matches one of the -figure
+// tokens: "all", a figure number ("12" matches "fig12-spatial-reuse"),
+// the "ablations" group, or any scenario-name prefix ("ht", "decomp",
+// "dense", "client-churn", or an exact name).
 func selected(want []string, name string) bool {
 	for _, w := range want {
-		if w == "all" || w == name || strings.HasPrefix(name, "fig"+w+"-") ||
-			(w == "ht" && strings.HasPrefix(name, "ht-")) ||
-			(w == "decomp" && strings.HasPrefix(name, "decomp-")) {
+		if w == "" {
+			continue
+		}
+		if w == "all" || strings.HasPrefix(name, "fig"+w+"-") ||
+			(w == "ablations" && strings.HasPrefix(name, "ablation-")) ||
+			strings.HasPrefix(name, w) {
 			return true
 		}
 	}
 	return false
-}
-
-type experiment struct {
-	name string
-	fn   func(r *runner.Result) error
-}
-
-// experiments lists the runners in paper order.
-func experiments() []experiment {
-	return []experiment{
-		{"fig3-naive-scaling-drop", fig3},
-		{"fig7-link-snr", fig7},
-		{"fig8-office-a", func(r *runner.Result) error { return fig89(r, sim.OfficeA) }},
-		{"fig9-office-b", func(r *runner.Result) error { return fig89(r, sim.OfficeB) }},
-		{"fig10-smart-precoding", fig10},
-		{"fig11-optimal-gap", fig11},
-		{"fig12-spatial-reuse", fig12},
-		{"fig13-deadzones", fig13},
-		{"ht-hidden-terminals", hiddenTerminals},
-		{"fig14-packet-tagging", fig14},
-		{"fig15-end-to-end", fig15},
-		{"fig16-large-scale", fig16},
-		{"decomp-gain-breakdown", decomp},
-		{"ablations", ablations},
-		{"ext-beamforming", extBeamforming},
-		{"ext-placement", extPlacement},
-	}
-}
-
-func fig3(r *runner.Result) error {
-	cas, das, err := sim.Fig3NaiveScalingDrop(*topos, *seed)
-	if err != nil {
-		return err
-	}
-	r.AddSeries("CAS capacity drop", "bit/s/Hz", cas)
-	r.AddSeries("DAS capacity drop", "bit/s/Hz", das)
-	return nil
-}
-
-func fig7(r *runner.Result) error {
-	cas, das := sim.Fig7LinkSNR(*topos, *seed)
-	r.AddSeries("CAS link SNR", "dB", cas)
-	r.AddSeries("DAS link SNR", "dB", das)
-	r.AddMetric("median DAS link gain", das.MustMedian()-cas.MustMedian(), "dB", "paper: ≈5 dB")
-	return nil
-}
-
-func fig89(r *runner.Result, o sim.Office) error {
-	for _, nAnt := range []int{2, 4} {
-		cas, midas, err := sim.FigCapacityCDF(o, nAnt, *topos, *seed)
-		if err != nil {
-			return err
-		}
-		r.AddSeries(fmt.Sprintf("%v %dx%d CAS capacity", o, nAnt, nAnt), "bit/s/Hz", cas)
-		r.AddSeries(fmt.Sprintf("%v %dx%d MIDAS capacity", o, nAnt, nAnt), "bit/s/Hz", midas)
-		_, _, gain := sim.SummarizeGain(cas, midas)
-		r.AddMetric(fmt.Sprintf("%v %dx%d median gain", o, nAnt, nAnt), gain*100, "%", "")
-	}
-	return nil
-}
-
-func fig10(r *runner.Result) error {
-	c, err := sim.Fig10SmartPrecoding(*topos, *seed)
-	if err != nil {
-		return err
-	}
-	r.AddSeries("CAS w/o MIDAS precoding", "bit/s/Hz", c.CASNaive)
-	r.AddSeries("CAS w/ MIDAS precoding", "bit/s/Hz", c.CASBalanced)
-	r.AddSeries("DAS w/o MIDAS precoding", "bit/s/Hz", c.DASNaive)
-	r.AddSeries("DAS w/ MIDAS precoding", "bit/s/Hz", c.DASBalanced)
-	cg, _ := stats.MedianGain(c.CASBalanced, c.CASNaive)
-	dg, _ := stats.MedianGain(c.DASBalanced, c.DASNaive)
-	r.AddMetric("CAS median precoding gain", cg*100, "%", "paper: 12%")
-	r.AddMetric("DAS median precoding gain", dg*100, "%", "paper: 30%")
-	return nil
-}
-
-func fig11(r *runner.Result) error {
-	for _, testbed := range []bool{false, true} {
-		label := "simulation"
-		if testbed {
-			label = "testbed (stale optimum)"
-		}
-		pts, err := sim.Fig11OptimalGap(20, *seed, testbed)
-		if err != nil {
-			return err
-		}
-		midas := runner.Series{Label: label + " MIDAS", Unit: "bit/s/Hz"}
-		optimal := runner.Series{Label: label + " optimal", Unit: "bit/s/Hz"}
-		// The figure's content is the per-topology gap, so keep the
-		// paired table in the text output; the series carry the same
-		// pairing by index for JSON/CSV.
-		r.AddText("-- %s: topology\tMIDAS\toptimal", label)
-		var sm, so float64
-		for _, p := range pts {
-			midas.Values = append(midas.Values, p.MIDAS)
-			optimal.Values = append(optimal.Values, p.Optimal)
-			r.AddText("%d\t%.2f\t%.2f", p.Topology, p.MIDAS, p.Optimal)
-			sm += p.MIDAS
-			so += p.Optimal
-		}
-		r.Series = append(r.Series, midas, optimal)
-		r.AddMetric(label+" aggregate MIDAS/optimal", sm/so, "", "")
-	}
-	return nil
-}
-
-func fig12(r *runner.Result) error {
-	res := sim.Fig12SpatialReuse(*topos/2, *seed)
-	ratios := stats.NewSample()
-	for _, p := range res {
-		ratios.Add(p.Ratio)
-	}
-	r.AddSeries("simultaneous-stream ratio MIDAS/CAS", "", ratios)
-	r.AddMetric("median ratio", ratios.MustMedian(), "", "paper: ≈1.5")
-	return nil
-}
-
-func fig13(r *runner.Result) error {
-	res := sim.Fig13Deadzones(10, *seed)
-	r.AddMetric("spots measured", float64(res.Spots), "", "")
-	r.AddMetric("CAS deadspots", float64(res.CASDeadspots), "", "")
-	r.AddMetric("DAS deadspots", float64(res.DASDeadspots), "", "")
-	r.AddMetric("reduction", 100*(1-float64(res.DASDeadspots)/float64(res.CASDeadspots)), "%", "paper: 91%")
-	r.AddText("-- example map (CAS left, DAS right; '#' = deadspot)")
-	addMaps(r, res)
-	return nil
-}
-
-// addMaps renders the Fig 13 deadzone maps side by side, downsampled.
-func addMaps(r *runner.Result, res sim.DeadzoneResult) {
-	if res.MapCols == 0 {
-		return
-	}
-	rows := len(res.CASMap) / res.MapCols
-	const step = 3
-	for row := 0; row < rows; row += step {
-		var left, right strings.Builder
-		for c := 0; c < res.MapCols; c += step {
-			i := row*res.MapCols + c
-			if i >= len(res.CASMap) {
-				break
-			}
-			left.WriteByte(cell(res.CASMap[i]))
-			right.WriteByte(cell(res.DASMap[i]))
-		}
-		r.AddText("%s   %s", left.String(), right.String())
-	}
-}
-
-func cell(dead bool) byte {
-	if dead {
-		return '#'
-	}
-	return '.'
-}
-
-func hiddenTerminals(r *runner.Result) error {
-	res := sim.HiddenTerminals(10, *seed)
-	r.AddMetric("spots measured", float64(res.Spots), "", "")
-	r.AddMetric("CAS hidden-terminal spots", float64(res.CASSpots), "", "")
-	r.AddMetric("DAS hidden-terminal spots", float64(res.DASSpots), "", "")
-	r.AddMetric("reduction", 100*(1-float64(res.DASSpots)/float64(res.CASSpots)), "%", "paper: 94%")
-	return nil
-}
-
-func fig14(r *runner.Result) error {
-	random, tagged, err := sim.Fig14PacketTagging(*topos, *seed)
-	if err != nil {
-		return err
-	}
-	r.AddSeries("random client pair", "bit/s/Hz", random)
-	r.AddSeries("tag-driven client pair", "bit/s/Hz", tagged)
-	_, _, gain := sim.SummarizeGain(random, tagged)
-	r.AddMetric("median tagging gain", gain*100, "%", "paper: ≈50%")
-	return nil
-}
-
-func e2eOpts() sim.E2EOpts {
-	return sim.E2EOpts{Topologies: *topos, SimTime: *simTime, Seed: *seed}
-}
-
-func fig15(r *runner.Result) error {
-	cas, midas := sim.Fig15EndToEnd(e2eOpts())
-	r.AddSeries("CAS network capacity", "bit/s/Hz", cas)
-	r.AddSeries("MIDAS network capacity", "bit/s/Hz", midas)
-	_, _, gain := sim.SummarizeGain(cas, midas)
-	r.AddMetric("median end-to-end gain", gain*100, "%", "paper: ≈200%")
-	return nil
-}
-
-func fig16(r *runner.Result) error {
-	o := e2eOpts()
-	if o.Topologies > 20 {
-		o.Topologies = 20 // 8-AP DES is costly; 20 topologies suffice for the CDF shape
-	}
-	cas, midas, err := sim.Fig16LargeScale(o)
-	if err != nil {
-		return err
-	}
-	r.AddSeries("CAS 8-AP capacity", "bit/s/Hz", cas)
-	r.AddSeries("MIDAS 8-AP capacity", "bit/s/Hz", midas)
-	_, _, gain := sim.SummarizeGain(cas, midas)
-	r.AddMetric("median large-scale gain", gain*100, "%", "paper: >150%")
-	return nil
-}
-
-func decomp(r *runner.Result) error {
-	o := e2eOpts()
-	if o.Topologies > 20 {
-		o.Topologies = 20
-	}
-	res := sim.Decomposition(o)
-	r.AddMetric("CAS baseline median", res.CAS.MustMedian(), "bit/s/Hz", "")
-	r.AddMetric("+ smart precoding median", res.CASPlusPrecoding.MustMedian(), "bit/s/Hz", "")
-	r.AddMetric("+ DAS deployment median", res.DASPlusPrecoding.MustMedian(), "bit/s/Hz", "")
-	r.AddMetric("+ DAS-aware MAC median (full MIDAS)", res.FullMIDAS.MustMedian(), "bit/s/Hz", "")
-	return nil
-}
-
-func ablations(r *runner.Result) error {
-	o := e2eOpts()
-	if o.Topologies > 12 {
-		o.Topologies = 12
-	}
-	for _, w := range []int{1, 2, 3, 4} {
-		res := sim.AblationTagWidth([]int{w}, o)
-		r.AddMetric(fmt.Sprintf("tag width %d median", w), res[w].MustMedian(), "bit/s/Hz", "")
-	}
-	for _, w := range []time.Duration{0, 34 * time.Microsecond, 68 * time.Microsecond} {
-		res := sim.AblationWaitWindow([]time.Duration{w}, o)
-		r.AddMetric(fmt.Sprintf("wait window %v median", w), res[w].MustMedian(), "bit/s/Hz", "")
-	}
-	sched := sim.AblationScheduler(o)
-	for _, name := range []string{"drr", "rr", "random"} {
-		r.AddMetric("scheduler "+name+" median", sched[name].MustMedian(), "bit/s/Hz", "")
-	}
-	corr := sim.AblationCorrelation([]float64{0, 0.3, 0.6, 0.9}, 40, *seed)
-	for _, rho := range []float64{0, 0.3, 0.6, 0.9} {
-		r.AddMetric(fmt.Sprintf("CAS correlation rho %.1f median", rho), corr[rho].MustMedian(), "bit/s/Hz", "")
-	}
-	return nil
-}
-
-// extBeamforming quantifies §7's localized single-user beamforming.
-func extBeamforming(r *runner.Result) error {
-	for _, win := range []float64{6, 12, 30} {
-		res := sim.BeamformingStudy(*topos, win, *seed)
-		r.AddMetric(fmt.Sprintf("window %.0f dB SNR full", win), res.SNRFull.MustMedian(), "dB", "")
-		r.AddMetric(fmt.Sprintf("window %.0f dB SNR local", win), res.SNRLocal.MustMedian(), "dB", "")
-		r.AddMetric(fmt.Sprintf("window %.0f dB silenced area full", win), res.SilencedFull.MustMedian()*100, "%", "")
-		r.AddMetric(fmt.Sprintf("window %.0f dB silenced area local", win), res.SilencedLocal.MustMedian()*100, "%", "")
-	}
-	return nil
-}
-
-// extPlacement quantifies the §7 open problem of optimising antenna
-// placement.
-func extPlacement(r *runner.Result) error {
-	res, err := sim.PlacementStudy(*topos/2, 30, *seed)
-	if err != nil {
-		return err
-	}
-	r.AddSeries("random placement coverage objective", "dB", res.RandomCoverage)
-	r.AddSeries("optimized placement coverage objective", "dB", res.OptimizedCoverage)
-	r.AddSeries("random placement capacity", "bit/s/Hz", res.RandomCapacity)
-	r.AddSeries("optimized placement capacity", "bit/s/Hz", res.OptimizedCapacity)
-	r.AddMetric("median coverage gain",
-		res.OptimizedCoverage.MustMedian()-res.RandomCoverage.MustMedian(), "dB", "")
-	r.AddMetric("capacity ratio",
-		res.OptimizedCapacity.MustMedian()/res.RandomCapacity.MustMedian(), "", "")
-	return nil
 }

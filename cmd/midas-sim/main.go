@@ -1,12 +1,22 @@
-// Command midas-sim runs one configurable MIDAS-vs-CAS network scenario
-// and prints per-AP and network-level results — the quickest way to poke
-// at the simulator interactively. With -runs N it replicates the
-// scenario over N consecutive seeds on the internal/runner worker pool
-// (-parallel bounds the pool) and appends capacity statistics across
-// replicates; per-replicate output and statistics are identical at any
-// -parallel value.
+// Command midas-sim runs MIDAS-vs-CAS simulations interactively. It has
+// two modes:
 //
-// Usage:
+// Scenario mode (-scenario, -spec or -list) resolves a registered
+// experiment from the internal/scenario registry — every figure of the
+// paper's evaluation plus the beyond-paper workloads — and drives it
+// from a declarative JSON spec. -spec loads a spec file, -set overrides
+// individual fields (a comma-separated value declares a sweep), and the
+// expanded runs execute on the internal/runner pool:
+//
+//	midas-sim -list
+//	midas-sim -scenario fig12 -seed 7
+//	midas-sim -scenario fig15 -spec examples/office/spec.json -set clients=8
+//	midas-sim -scenario dense-venue -set clients=2,4,8 -format json
+//
+// Legacy mode (no -scenario/-spec) runs one hand-configured network and
+// prints per-AP and network-level results. With -runs N it replicates
+// the scenario over N consecutive seeds on the worker pool (-parallel
+// bounds it); per-replicate output is identical at any -parallel value.
 //
 //	midas-sim [-aps 1|3|8] [-mode midas|cas|both] [-clients N] [-antennas N]
 //	          [-seed S] [-simtime D] [-txop D] [-tagwidth N] [-scheduler drr|rr|random]
@@ -19,11 +29,15 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/channel"
 	"repro/internal/rng"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -43,10 +57,47 @@ var (
 	parallel  = flag.Int("parallel", 0, "replicates evaluated concurrently (0 = GOMAXPROCS)")
 	memStats  = flag.Bool("memstats", false,
 		"report heap allocations per simulated TXOP (single replicate only) — the steady-state precoding path should contribute none")
+
+	scenarioName = flag.String("scenario", "", "run a registered scenario (see -list); unique prefixes resolve")
+	specPath     = flag.String("spec", "", "load scenario overrides from this JSON spec file")
+	listAll      = flag.Bool("list", false, "list registered scenarios and exit")
+	format       = flag.String("format", "text", "scenario-mode output format: text, json or csv")
+	outPath      = flag.String("out", "", "scenario-mode: write results to this file instead of stdout")
+	setFlags     multiFlag
 )
+
+func init() {
+	flag.Var(&setFlags, "set",
+		"scenario-mode spec override key=value (repeatable); a comma-separated value sweeps, e.g. -set clients=2,4,8")
+}
+
+// multiFlag collects repeated -set flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, " ") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	flag.Parse()
+	if *listAll {
+		listScenarios(os.Stdout)
+		return
+	}
+	if *scenarioName != "" || *specPath != "" || len(setFlags) > 0 {
+		if err := runScenarioMode(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	// Mirror of the scenario-mode legacy-flag rejection: scenario-only
+	// output flags must not be silently ignored on the legacy path.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "format" || f.Name == "out" {
+			fmt.Fprintf(os.Stderr, "-%s applies to scenario mode only (add -scenario or -spec)\n", f.Name)
+			os.Exit(2)
+		}
+	})
 	if *runs < 1 {
 		fmt.Fprintf(os.Stderr, "-runs must be >= 1 (got %d)\n", *runs)
 		os.Exit(2)
@@ -61,6 +112,313 @@ func main() {
 	if *mode == "cas" || *mode == "both" {
 		runAll(sim.KindCAS, topology.CAS)
 	}
+}
+
+// listScenarios prints the registry with each scenario's description.
+func listScenarios(w *os.File) {
+	names := scenario.Names()
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	for _, n := range names {
+		sc, _ := scenario.Get(n)
+		about := ""
+		if a, ok := sc.(scenario.About); ok {
+			about = a.About()
+		}
+		fmt.Fprintf(w, "%-*s  %s\n", width, n, about)
+	}
+}
+
+// runScenarioMode resolves the scenario, assembles the override spec
+// from -spec, -set and any explicitly passed shared flags, and renders
+// the result through a runner sink.
+func runScenarioMode() error {
+	overrides := scenario.Spec{}
+	if *specPath != "" {
+		var err error
+		overrides, err = scenario.LoadSpec(*specPath)
+		if err != nil {
+			return err
+		}
+	}
+	// Shared legacy flags participate when explicitly set, so
+	// `-scenario fig15 -seed 7 -clients 8` works as expected. Legacy
+	// flags with no spec equivalent are rejected rather than silently
+	// dropped — the run would otherwise not measure what was asked.
+	var flagErr error
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			if *seed == 0 {
+				// Merge treats 0 as "inherit the scenario default", so an
+				// explicit 0 cannot be expressed; refuse it loudly.
+				flagErr = fmt.Errorf("midas-sim: -seed 0 cannot be used in scenario mode (0 means \"inherit\"); pick a nonzero seed")
+				return
+			}
+			overrides.Seed = *seed
+		case "clients":
+			overrides.Clients = *clients
+		case "antennas":
+			overrides.Antennas = *antennas
+		case "simtime":
+			overrides.SimTime = scenario.Duration(*simTime)
+		case "runs":
+			overrides.Replicates = *runs
+		case "parallel":
+			overrides.Parallelism = *parallel
+		case "aps", "mode", "txop", "tagwidth", "scheduler", "memstats":
+			flagErr = fmt.Errorf("midas-sim: -%s applies to legacy mode only and is not part of the scenario spec (use -set, or drop -scenario/-spec)", f.Name)
+		}
+	})
+	if flagErr != nil {
+		return flagErr
+	}
+	for _, kv := range setFlags {
+		if err := applySet(&overrides, kv); err != nil {
+			return err
+		}
+	}
+	name := *scenarioName
+	if name == "" {
+		name = overrides.Scenario
+	}
+	if name == "" {
+		return fmt.Errorf("midas-sim: no scenario named (use -scenario, or a spec file with a \"scenario\" field; -list shows all)")
+	}
+	sc, err := scenario.Find(name)
+	if err != nil {
+		return err
+	}
+	// A spec file that names a different scenario than -scenario is a
+	// conflict, not something to silently override: the file's knob
+	// values were tuned for the scenario it declares.
+	if *scenarioName != "" && overrides.Scenario != "" {
+		fromSpec, err := scenario.Find(overrides.Scenario)
+		if err != nil {
+			return fmt.Errorf("midas-sim: -scenario %s given, but the spec file names %q: %w", sc.Name(), overrides.Scenario, err)
+		}
+		if fromSpec.Name() != sc.Name() {
+			return fmt.Errorf("midas-sim: -scenario %s conflicts with the spec file's scenario %s (drop one)", sc.Name(), fromSpec.Name())
+		}
+	}
+	// Resolve up front: the recorded metadata must describe the spec the
+	// run actually executes (scenario defaults + file + -set), and a bad
+	// spec or -format should fail before any simulation starts.
+	spec, err := scenario.Resolve(sc, overrides)
+	if err != nil {
+		return err
+	}
+	var buf strings.Builder
+	var sink runner.Sink
+	switch *format {
+	case "text":
+		sink = &runner.TextSink{W: &buf}
+	case "json":
+		sink = &runner.JSONSink{W: &buf}
+	case "csv":
+		sink = &runner.CSVSink{W: &buf}
+	default:
+		return fmt.Errorf("midas-sim: unknown format %q (want text, json or csv)", *format)
+	}
+
+	// Parallelize at one level: when the spec expands to several runs
+	// the engine's pool already fans out, so each run's inner topology
+	// sweep gets an even share of the budget instead of a full-width
+	// pool per run (which would just oversubscribe the scheduler).
+	sim.Parallelism = spec.SplitParallelism()
+	res, err := scenario.Run(context.Background(), sc, spec)
+	if err != nil {
+		return err
+	}
+
+	effParallel := spec.Parallelism
+	if effParallel <= 0 {
+		effParallel = runtime.GOMAXPROCS(0)
+	}
+	meta := runner.Meta{
+		Tool:        "midas-sim",
+		Seed:        spec.Seed,
+		Topologies:  spec.Topologies,
+		Parallelism: effParallel,
+	}
+	if spec.SimTime > 0 {
+		meta.SimTime = time.Duration(spec.SimTime).String()
+	}
+	if err := sink.Begin(meta); err != nil {
+		return err
+	}
+	if err := sink.Result(res.RunnerResult()); err != nil {
+		return err
+	}
+	if err := sink.Close(); err != nil {
+		return err
+	}
+	if *outPath != "" {
+		return os.WriteFile(*outPath, []byte(buf.String()), 0o644)
+	}
+	_, err = os.Stdout.WriteString(buf.String())
+	return err
+}
+
+// setters maps every -set key to its parser/assignment; the "unknown
+// key" error derives its vocabulary from this table, so the two cannot
+// drift apart. In the spec itself 0 means "inherit the scenario
+// default", so count keys reject non-positive values here — a literal
+// -set clients=0 must error, not silently run the default.
+var setters = map[string]func(spec *scenario.Spec, key, val string) error{
+	"scenario":    func(s *scenario.Spec, _, v string) error { s.Scenario = v; return nil },
+	"clients":     func(s *scenario.Spec, k, v string) error { return setCount(&s.Clients, k, v) },
+	"antennas":    func(s *scenario.Spec, k, v string) error { return setCount(&s.Antennas, k, v) },
+	"topologies":  func(s *scenario.Spec, k, v string) error { return setCount(&s.Topologies, k, v) },
+	"topos":       func(s *scenario.Spec, k, v string) error { return setCount(&s.Topologies, k, v) },
+	"replicates":  func(s *scenario.Spec, k, v string) error { return setCount(&s.Replicates, k, v) },
+	"runs":        func(s *scenario.Spec, k, v string) error { return setCount(&s.Replicates, k, v) },
+	"parallelism": func(s *scenario.Spec, k, v string) error { return setInt(&s.Parallelism, k, v) },
+	"parallel":    func(s *scenario.Spec, k, v string) error { return setInt(&s.Parallelism, k, v) },
+	"size": func(s *scenario.Spec, k, v string) error {
+		if err := setCount(&s.Antennas, k, v); err != nil {
+			return err
+		}
+		s.Clients = s.Antennas
+		return nil
+	},
+	"seed": func(s *scenario.Spec, k, v string) error {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("midas-sim: -set %s wants an integer (got %q)", k, v)
+		}
+		if n == 0 {
+			// 0 means "inherit the scenario default" in the spec, so an
+			// explicit 0 would be silently replaced; refuse it.
+			return fmt.Errorf("midas-sim: -set seed=0 cannot be expressed (0 means \"inherit\"); pick a nonzero seed")
+		}
+		s.Seed = n
+		return nil
+	},
+	"simtime": func(s *scenario.Spec, k, v string) error {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return fmt.Errorf("midas-sim: -set %s wants a duration like 300ms (got %q)", k, v)
+		}
+		s.SimTime = scenario.Duration(d)
+		return nil
+	},
+	"aps": func(s *scenario.Spec, k, v string) error {
+		n, err := parseCount(k, v)
+		if err != nil {
+			return err
+		}
+		ensureVenue(s).APs = n
+		return nil
+	},
+	"width":           func(s *scenario.Spec, k, v string) error { return setFloat(&ensureVenue(s).Width, k, v) },
+	"height":          func(s *scenario.Spec, k, v string) error { return setFloat(&ensureVenue(s).Height, k, v) },
+	"coverage_radius": func(s *scenario.Spec, k, v string) error { return setFloat(&ensureVenue(s).CoverageRadius, k, v) },
+	"sigma_db":        func(s *scenario.Spec, k, v string) error { return setShadow(&ensureShadow(s).SigmaDB, k, v) },
+	"cas_correlation": func(s *scenario.Spec, k, v string) error { return setShadow(&ensureShadow(s).CASCorrelation, k, v) },
+	"wall_db":         func(s *scenario.Spec, k, v string) error { return setShadow(&ensureShadow(s).WallDB, k, v) },
+	"max_wall_db":     func(s *scenario.Spec, k, v string) error { return setShadow(&ensureShadow(s).MaxWallDB, k, v) },
+	"room_w":          func(s *scenario.Spec, k, v string) error { return setShadow(&ensureShadow(s).RoomW, k, v) },
+	"room_h":          func(s *scenario.Spec, k, v string) error { return setShadow(&ensureShadow(s).RoomH, k, v) },
+}
+
+func parseCount(key, val string) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, fmt.Errorf("midas-sim: -set %s wants an integer (got %q)", key, val)
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("midas-sim: -set %s must be >= 1 (got %d)", key, n)
+	}
+	return n, nil
+}
+
+func setCount(dst *int, key, val string) error {
+	n, err := parseCount(key, val)
+	if err != nil {
+		return err
+	}
+	*dst = n
+	return nil
+}
+
+func setInt(dst *int, key, val string) error {
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return fmt.Errorf("midas-sim: -set %s wants an integer (got %q)", key, val)
+	}
+	*dst = n
+	return nil
+}
+
+func setFloat(dst *float64, key, val string) error {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("midas-sim: -set %s wants a number (got %q)", key, val)
+	}
+	*dst = f
+	return nil
+}
+
+func setShadow(dst **float64, key, val string) error {
+	var f float64
+	if err := setFloat(&f, key, val); err != nil {
+		return err
+	}
+	*dst = &f
+	return nil
+}
+
+func ensureVenue(s *scenario.Spec) *scenario.Venue {
+	if s.Venue == nil {
+		s.Venue = &scenario.Venue{}
+	}
+	return s.Venue
+}
+
+func ensureShadow(s *scenario.Spec) *scenario.Shadowing {
+	if s.Shadowing == nil {
+		s.Shadowing = &scenario.Shadowing{}
+	}
+	return s.Shadowing
+}
+
+// applySet applies one -set key=value override. A comma-separated value
+// declares a sweep over the listed values.
+func applySet(spec *scenario.Spec, kv string) error {
+	key, val, ok := strings.Cut(kv, "=")
+	if !ok || key == "" || val == "" {
+		return fmt.Errorf("midas-sim: bad -set %q (want key=value)", kv)
+	}
+	if strings.Contains(val, ",") {
+		vals := []float64{}
+		for _, part := range strings.Split(val, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return fmt.Errorf("midas-sim: bad -set sweep value %q in %q", part, kv)
+			}
+			vals = append(vals, v)
+		}
+		if spec.Sweep == nil {
+			spec.Sweep = map[string][]float64{}
+		}
+		spec.Sweep[key] = vals
+		return nil
+	}
+	set, ok := setters[key]
+	if !ok {
+		known := make([]string, 0, len(setters))
+		for k := range setters {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return fmt.Errorf("midas-sim: unknown -set key %q (known: %s)", key, strings.Join(known, ", "))
+	}
+	return set(spec, key, val)
 }
 
 // runResult is one replicate's formatted report plus its headline

@@ -1,50 +1,62 @@
-// Dense: the §5.5 large-scale scenario — eight APs in a 60×60 m floor,
-// full MAC+PHY discrete-event simulation of CAS versus MIDAS, plus a CSI
-// trace recorded and replayed to show the trace-driven path (Fig 16's
+// Dense: the beyond-paper dense-venue workload — 16 APs in a 104×104 m
+// floor (4× the paper's area), full MAC+PHY discrete-event simulation
+// of CAS versus MIDAS swept over client density, resolved from the
+// scenario registry and driven by a spec file. A CSI trace is then
+// recorded and replayed to show the trace-driven path (Fig 16's
 // methodology).
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"time"
+	"os"
 
 	"repro/internal/channel"
 	"repro/internal/rng"
+	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
 func main() {
-	topos := flag.Int("topos", 5, "random deployments")
-	simTime := flag.Duration("simtime", 300*time.Millisecond, "simulated airtime per run")
-	seed := flag.Int64("seed", 11, "random seed")
+	specPath := flag.String("spec", "examples/dense/spec.json", "scenario spec file")
 	flag.Parse()
-
-	// Closed-loop DES comparison.
-	o := sim.E2EOpts{Topologies: *topos, SimTime: *simTime, Seed: *seed}
-	cas, midas, err := sim.Fig16LargeScale(o)
+	spec, err := scenario.LoadSpec(*specPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	mc, mm, gain := sim.SummarizeGain(cas, midas)
-	region := topology.DefaultLargeScale(topology.DAS).Region
-	fmt.Printf("8-AP %.0f×%.0f m, %d deployments, %v each:\n",
-		region.Width(), region.Height(), *topos, *simTime)
-	fmt.Printf("  CAS   median network capacity %5.2f bit/s/Hz\n", mc)
-	fmt.Printf("  MIDAS median network capacity %5.2f bit/s/Hz  (%+.0f%%)\n\n", mm, gain*100)
 
-	// Trace-driven path: record CSI from one deployment, round-trip it
-	// through the binary format, replay through both precoders.
-	dep, err := topology.LargeScale(topology.DefaultLargeScale(topology.DAS), rng.New(*seed))
+	// Closed-loop DES comparison, spec-driven through the registry (the
+	// spec file names the dense-venue scenario and sweeps clients/AP).
+	res, err := scenario.RunByName(context.Background(), spec.Scenario, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sink := &runner.TextSink{W: os.Stdout, Points: 8}
+	if err := sink.Begin(runner.Meta{Tool: "example-dense", Seed: spec.Seed}); err != nil {
+		log.Fatal(err)
+	}
+	if err := sink.Result(res.RunnerResult()); err != nil {
+		log.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Trace-driven path: record CSI from one large-scale deployment,
+	// round-trip it through the binary format, replay through both
+	// precoders.
+	dep, err := topology.LargeScale(topology.DefaultLargeScale(topology.DAS), rng.New(spec.Seed))
 	if err != nil {
 		log.Fatal(err)
 	}
 	p := channel.Default()
-	tr, err := sim.RecordDeployment(dep, p, 40, rng.New(*seed+1))
+	tr, err := sim.RecordDeployment(dep, p, 40, rng.New(spec.Seed+1))
 	if err != nil {
 		log.Fatal(err)
 	}

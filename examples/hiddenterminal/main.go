@@ -1,78 +1,42 @@
 // Hiddenterminal: the §5.3.3–5.3.4 coverage studies — deadzone maps and
 // hidden-terminal spot counting for co-located versus distributed
-// antennas, rendered as ASCII maps and summary statistics.
+// antennas, resolved from the scenario registry and driven by a spec
+// file. The deadzone scenario's text block carries the ASCII coverage
+// maps ('#' = deadspot).
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
-	"strings"
+	"log"
+	"os"
 
-	"repro/internal/sim"
+	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 func main() {
-	deployments := flag.Int("deployments", 10, "random antenna deployments to average")
-	seed := flag.Int64("seed", 23, "random seed")
+	specPath := flag.String("spec", "examples/hiddenterminal/spec.json", "scenario spec file")
 	flag.Parse()
-
-	dz := sim.Fig13Deadzones(*deployments, *seed)
-	fmt.Printf("deadzones over %d deployments (%d spots on a 0.5 m grid):\n", *deployments, dz.Spots)
-	fmt.Printf("  CAS deadspots: %d\n  DAS deadspots: %d\n  reduction: %.0f%% (paper: 91%%)\n\n",
-		dz.CASDeadspots, dz.DASDeadspots,
-		100*(1-float64(dz.DASDeadspots)/float64(dz.CASDeadspots)))
-
-	fmt.Println("example coverage maps ('#' = deadspot):")
-	fmt.Println(sideBySide(renderMap(dz.CASMap, dz.MapCols), renderMap(dz.DASMap, dz.MapCols), "CAS", "MIDAS"))
-
-	ht := sim.HiddenTerminals(*deployments, *seed)
-	fmt.Printf("hidden terminals over %d deployments (%d spots on a 1 m grid):\n", *deployments, ht.Spots)
-	fmt.Printf("  CAS spots: %d\n  DAS spots: %d\n  reduction: %.0f%% (paper: 94%%)\n",
-		ht.CASSpots, ht.DASSpots, 100*(1-float64(ht.DASSpots)/float64(ht.CASSpots)))
-}
-
-func renderMap(m []bool, cols int) []string {
-	if cols == 0 {
-		return nil
+	spec, err := scenario.LoadSpec(*specPath)
+	if err != nil {
+		log.Fatal(err)
 	}
-	const step = 3
-	var out []string
-	for r := 0; r*cols < len(m); r += step {
-		var b strings.Builder
-		for c := 0; c < cols; c += step {
-			i := r*cols + c
-			if i >= len(m) {
-				break
-			}
-			if m[i] {
-				b.WriteByte('#')
-			} else {
-				b.WriteByte('.')
-			}
+
+	sink := &runner.TextSink{W: os.Stdout, Points: 8}
+	if err := sink.Begin(runner.Meta{Tool: "example-hiddenterminal", Seed: spec.Seed}); err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range []string{"fig13-deadzones", "ht-hidden-terminals"} {
+		res, err := scenario.RunByName(context.Background(), name, spec)
+		if err != nil {
+			log.Fatal(err)
 		}
-		out = append(out, b.String())
-	}
-	return out
-}
-
-func sideBySide(a, b []string, la, lb string) string {
-	var out strings.Builder
-	width := 0
-	for _, r := range a {
-		if len(r) > width {
-			width = len(r)
+		if err := sink.Result(res.RunnerResult()); err != nil {
+			log.Fatal(err)
 		}
 	}
-	fmt.Fprintf(&out, "%-*s   %s\n", width, la, lb)
-	for i := 0; i < len(a) || i < len(b); i++ {
-		var ra, rb string
-		if i < len(a) {
-			ra = a[i]
-		}
-		if i < len(b) {
-			rb = b[i]
-		}
-		fmt.Fprintf(&out, "%-*s   %s\n", width, ra, rb)
+	if err := sink.Close(); err != nil {
+		log.Fatal(err)
 	}
-	return out.String()
 }

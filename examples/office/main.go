@@ -1,38 +1,44 @@
 // Office: the paper's §5.2.2 capacity experiment — MU-MIMO capacity CDFs
 // for co-located versus distributed antennas in the two office
-// environments (enterprise Office A, crowded lab Office B), printed as
-// plot-ready series. This regenerates the workload behind Figures 8–9.
+// environments (enterprise Office A, crowded lab Office B). The
+// workload behind Figures 8–9 is resolved from the scenario registry
+// and driven by a spec file whose sweep covers both array sizes; edit
+// the JSON (or pass -spec) to change scale, seed or sweep without
+// touching Go.
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
 	"log"
+	"os"
 
-	"repro/internal/sim"
+	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 func main() {
-	topos := flag.Int("topos", 60, "random topologies per curve")
-	seed := flag.Int64("seed", 7, "random seed")
+	specPath := flag.String("spec", "examples/office/spec.json", "scenario spec file")
 	flag.Parse()
+	spec, err := scenario.LoadSpec(*specPath)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	for _, office := range []sim.Office{sim.OfficeA, sim.OfficeB} {
-		for _, antennas := range []int{2, 4} {
-			cas, midas, err := sim.FigCapacityCDF(office, antennas, *topos, *seed)
-			if err != nil {
-				log.Fatal(err)
-			}
-			mc, mm, gain := sim.SummarizeGain(cas, midas)
-			fmt.Printf("%v %dx%d MU-MIMO over %d topologies:\n", office, antennas, antennas, *topos)
-			fmt.Printf("  CAS   median %5.2f bit/s/Hz\n", mc)
-			fmt.Printf("  MIDAS median %5.2f bit/s/Hz  (%+.0f%%)\n\n", mm, gain*100)
-			fmt.Println("  capacity\tF(CAS)\tF(MIDAS)")
-			cc, mcdf := cas.ECDF(), midas.ECDF()
-			for x := 0.0; x <= 30; x += 3 {
-				fmt.Printf("  %4.0f\t%.2f\t%.2f\n", x, cc.At(x), mcdf.At(x))
-			}
-			fmt.Println()
+	sink := &runner.TextSink{W: os.Stdout, Points: 10}
+	if err := sink.Begin(runner.Meta{Tool: "example-office", Seed: spec.Seed}); err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range []string{"fig8-office-a", "fig9-office-b"} {
+		res, err := scenario.RunByName(context.Background(), name, spec)
+		if err != nil {
+			log.Fatal(err)
 		}
+		if err := sink.Result(res.RunnerResult()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -216,5 +217,52 @@ func TestMapZeroTasks(t *testing.T) {
 	})
 	if err != nil || res != nil {
 		t.Fatalf("got (%v, %v), want (nil, nil)", res, err)
+	}
+}
+
+// TestSweepErrorCancelsRemainingShards is the direct Sweep-level
+// cancellation contract the scenario engine relies on: when one shard
+// of a sweep fails, the context handed to in-flight shards is
+// cancelled, no further shards are dispatched, and the lowest-index
+// failure is the one reported. Shards before the failing index return
+// instantly, so the failing shard is deterministically the lowest
+// error.
+func TestSweepErrorCancelsRemainingShards(t *testing.T) {
+	const n, failAt = 64, 3
+	var started atomic.Int32
+	res, err := Sweep(context.Background(), n, 99, "exp", Options{Parallelism: 2},
+		func(ctx context.Context, i int, src *rng.Source) (int, error) {
+			started.Add(1)
+			if i < failAt {
+				return i, nil
+			}
+			if i == failAt {
+				return 0, fmt.Errorf("shard %d exploded", i)
+			}
+			// Later shards are slow but cancellation-aware: if the pool
+			// failed to cancel them, this test would crawl through all
+			// 64 at 100 ms each instead of finishing immediately.
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(100 * time.Millisecond):
+				return i, nil
+			}
+		})
+	if res != nil {
+		t.Fatalf("failed sweep must not return partial results (got %d)", len(res))
+	}
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %v (%T) is not a *TaskError", err, err)
+	}
+	if te.Index != failAt {
+		t.Errorf("reported error index %d, want the lowest failure %d", te.Index, failAt)
+	}
+	if !strings.Contains(err.Error(), "exploded") {
+		t.Errorf("error %q must carry the task's own message", err)
+	}
+	if got := started.Load(); got >= n {
+		t.Errorf("%d of %d shards started despite the early failure — remaining shards were not cancelled", got, n)
 	}
 }

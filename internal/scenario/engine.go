@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/rng"
+	"repro/internal/runner"
+)
+
+// Resolve merges overrides onto the scenario's defaults and validates
+// the result — the spec every Run ultimately executes. Overriding a
+// knob the scenario declares it ignores is an error: the run would
+// otherwise proceed and silently measure the default configuration.
+func Resolve(sc Scenario, overrides Spec) (Spec, error) {
+	if ig, ok := sc.(Ignorer); ok {
+		defaults := sc.DefaultSpec()
+		for _, knob := range ig.IgnoredKnobs() {
+			if overrides.changesKnob(defaults, knob) {
+				return Spec{}, fmt.Errorf("scenario: %s does not use the %s knob (it ignores: %s)",
+					sc.Name(), knob, strings.Join(ig.IgnoredKnobs(), ", "))
+			}
+		}
+	}
+	spec := sc.DefaultSpec().Merge(overrides)
+	// An explicit scalar beats an inherited default sweep over the same
+	// field: `clients=8` against dense-venue's default clients sweep
+	// runs 8, rather than the sweep silently overwriting the override.
+	// A sweep the override itself supplies always stands.
+	if overrides.Sweep == nil {
+		for key := range spec.Sweep {
+			if overrides.scalarOverrides(key) {
+				delete(spec.Sweep, key)
+			}
+		}
+	}
+	spec.Scenario = sc.Name()
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// Run resolves the spec, expands its sweep × replicates and dispatches
+// the expanded runs through the internal/runner worker pool at the
+// spec's parallelism. A single-run spec returns the scenario's result
+// untouched; multi-run specs merge per-run results with a "[label]"
+// prefix on every series, metric and text line, in expansion order.
+// Expanded-run errors cancel outstanding runs and surface the
+// lowest-index failure, exactly like any other runner sweep.
+func Run(ctx context.Context, sc Scenario, overrides Spec) (Result, error) {
+	spec, err := Resolve(sc, overrides)
+	if err != nil {
+		return Result{}, err
+	}
+	runs := spec.expand()
+	// Only a truly unswept spec skips labelling: a sweep that expands to
+	// one point keeps its "[clients=8]" prefix, so output schema does
+	// not depend on sweep cardinality.
+	if len(runs) == 1 && runs[0].Label == "" {
+		return sc.Run(runs[0].Spec, rng.New(runs[0].Spec.Seed))
+	}
+
+	opts := runner.Options{Parallelism: spec.Parallelism}
+	results, err := runner.Map(ctx, len(runs), opts, func(_ context.Context, i int) (Result, error) {
+		return sc.Run(runs[i].Spec, rng.New(runs[i].Spec.Seed))
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	merged := Result{Scenario: sc.Name()}
+	for i, res := range results {
+		prefix := "[" + runs[i].Label + "] "
+		for _, s := range res.Series {
+			s.Label = prefix + s.Label
+			merged.Series = append(merged.Series, s)
+		}
+		for _, m := range res.Metrics {
+			m.Name = prefix + m.Name
+			merged.Metrics = append(merged.Metrics, m)
+		}
+		for _, line := range res.Text {
+			merged.Text = append(merged.Text, prefix+line)
+		}
+	}
+	return merged, nil
+}
+
+// RunByName resolves name through the registry (exact, then unique
+// prefix) and runs it.
+func RunByName(ctx context.Context, name string, overrides Spec) (Result, error) {
+	sc, err := Find(name)
+	if err != nil {
+		return Result{}, err
+	}
+	return Run(ctx, sc, overrides)
+}

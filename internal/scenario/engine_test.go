@@ -1,0 +1,273 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// TestRegistryMatchesDirectCalls pins the acceptance criterion of the
+// scenario layer: resolving an experiment from the registry produces
+// bit-identical numbers to the pre-registry direct sim.FigX call path,
+// for one representative of each experiment family (PHY sweep, MAC
+// geometry, end-to-end DES).
+func TestRegistryMatchesDirectCalls(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("fig3-phy", func(t *testing.T) {
+		res, err := RunByName(ctx, "fig3-naive-scaling-drop", Spec{Topologies: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cas, das, err := sim.Fig3NaiveScalingDrop(4, defaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSeries(t, res, "CAS capacity drop", cas.Values())
+		wantSeries(t, res, "DAS capacity drop", das.Values())
+	})
+
+	t.Run("fig12-mac", func(t *testing.T) {
+		res, err := RunByName(ctx, "fig12", Spec{Topologies: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := sim.Fig12SpatialReuse(4, defaultSeed)
+		var ratios []float64
+		for _, p := range direct {
+			ratios = append(ratios, p.Ratio)
+		}
+		// The series is sorted (CDF order); sort the direct ratios the
+		// same way via a sample.
+		wantSeriesUnsorted(t, res, "simultaneous-stream ratio MIDAS/CAS", ratios)
+	})
+
+	t.Run("fig15-e2e", func(t *testing.T) {
+		res, err := RunByName(ctx, "fig15", Spec{Topologies: 2, SimTime: Duration(30 * time.Millisecond)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cas, midas := sim.Fig15EndToEnd(sim.E2EOpts{Topologies: 2, SimTime: 30 * time.Millisecond, Seed: defaultSeed})
+		wantSeries(t, res, "CAS network capacity", cas.Values())
+		wantSeries(t, res, "MIDAS network capacity", midas.Values())
+	})
+}
+
+func findSeries(t *testing.T, res Result, label string) []float64 {
+	t.Helper()
+	for _, s := range res.Series {
+		if s.Label == label {
+			return s.Values
+		}
+	}
+	t.Fatalf("result has no series %q (have %d series)", label, len(res.Series))
+	return nil
+}
+
+func wantSeries(t *testing.T, res Result, label string, want []float64) {
+	t.Helper()
+	got := findSeries(t, res, label)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("series %q differs from the direct call:\n got %v\nwant %v", label, got, want)
+	}
+}
+
+func wantSeriesUnsorted(t *testing.T, res Result, label string, want []float64) {
+	t.Helper()
+	got := findSeries(t, res, label)
+	sorted := append([]float64(nil), want...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	if !reflect.DeepEqual(got, sorted) {
+		t.Errorf("series %q differs from the direct call:\n got %v\nwant %v", label, got, sorted)
+	}
+}
+
+// TestSweepExpansionThroughEngine verifies a swept spec produces one
+// labelled result block per point, each bit-identical to running that
+// point alone.
+func TestSweepExpansionThroughEngine(t *testing.T) {
+	ctx := context.Background()
+	swept, err := RunByName(ctx, "fig8-office-a", Spec{Topologies: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The default spec sweeps size over {2,4}; check the size=2 block
+	// against a direct single-point run.
+	direct, _, err := sim.FigCapacityCDF(sim.OfficeA, 2, 3, defaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeries(t, swept, "[size=2] CAS capacity", direct.Values())
+	if len(swept.Series) != 4 {
+		t.Errorf("2-point sweep with 2 series per point should merge to 4 series, got %d", len(swept.Series))
+	}
+}
+
+// TestEngineParallelismInvariance runs a swept scenario at parallelism
+// 1 and 8 (outer engine pool and inner experiment pool both) and
+// requires identical results — the determinism contract the golden
+// suite leans on.
+func TestEngineParallelismInvariance(t *testing.T) {
+	ctx := context.Background()
+	results := map[int]Result{}
+	for _, par := range []int{1, 8} {
+		old := sim.Parallelism
+		sim.Parallelism = par
+		res, err := RunByName(ctx, "fig9-office-b", Spec{Topologies: 3, Parallelism: par})
+		sim.Parallelism = old
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[par] = res
+	}
+	if !reflect.DeepEqual(results[1], results[8]) {
+		t.Errorf("results differ across parallelism:\np=1 %+v\np=8 %+v", results[1], results[8])
+	}
+}
+
+// TestReplicatesAdvanceSeeds verifies replicate r runs with seed+r and
+// results are labelled per replicate.
+func TestReplicatesAdvanceSeeds(t *testing.T) {
+	ctx := context.Background()
+	res, err := RunByName(ctx, "fig12", Spec{Topologies: 2, Replicates: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		direct := sim.Fig12SpatialReuse(2, 5+int64(r))
+		var ratios []float64
+		for _, p := range direct {
+			ratios = append(ratios, p.Ratio)
+		}
+		wantSeriesUnsorted(t, res, fmt.Sprintf("[rep=%d] simultaneous-stream ratio MIDAS/CAS", r), ratios)
+	}
+}
+
+// TestScalarOverrideCancelsDefaultSweep verifies that an explicit
+// scalar override of a field the scenario's *default* sweep controls
+// wins: the inherited sweep key is dropped rather than silently
+// overwriting the override. A sweep supplied by the override itself
+// still stands.
+func TestScalarOverrideCancelsDefaultSweep(t *testing.T) {
+	sc, _ := Get("fig8-office-a") // default sweep: size over {2,4}
+	spec, err := Resolve(sc, Spec{Topologies: 2, Antennas: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.sweepHas("size") {
+		t.Errorf("explicit antennas=8 must cancel the default size sweep, got sweep %v", spec.Sweep)
+	}
+	if spec.Antennas != 8 {
+		t.Errorf("antennas = %d, want the explicit 8", spec.Antennas)
+	}
+
+	// Untouched fields keep the default sweep.
+	spec, err = Resolve(sc, Spec{Topologies: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.sweepHas("size") {
+		t.Error("default sweep must survive when its field is not overridden")
+	}
+
+	// An override-supplied sweep is never dropped.
+	spec, err = Resolve(sc, Spec{Topologies: 2, Sweep: map[string][]float64{"size": {2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.sweepHas("size") {
+		t.Error("override-supplied sweep must stand")
+	}
+}
+
+// TestIgnoredKnobsAreRejected verifies that overriding a knob a
+// scenario declares it does not consume is a Resolve error — never a
+// silent no-op run — while re-submitting default values (as the golden
+// replay does with fully resolved specs) stays legal.
+func TestIgnoredKnobsAreRejected(t *testing.T) {
+	ctx := context.Background()
+	reject := []struct {
+		name      string
+		overrides Spec
+		wantKnob  string
+	}{
+		{"fig13-deadzones", Spec{Topologies: 1, Clients: 8}, "clients"},
+		{"fig12-spatial-reuse", Spec{Topologies: 1, Antennas: 8}, "antennas"},
+		{"fig12-spatial-reuse", Spec{Topologies: 1, Sweep: map[string][]float64{"size": {2, 4}}}, "clients"},
+		{"fig3-naive-scaling-drop", Spec{Topologies: 1, Venue: &Venue{Width: 80, Height: 80}}, "venue region"},
+		{"ext-placement", Spec{Topologies: 1, Shadowing: &Shadowing{SigmaDB: f64(9)}}, "shadowing"},
+		{"ablation-correlation", Spec{Topologies: 1, Venue: &Venue{CoverageRadius: 20}}, "coverage_radius"},
+	}
+	for _, tc := range reject {
+		_, err := RunByName(ctx, tc.name, tc.overrides)
+		if err == nil {
+			t.Errorf("%s accepted an override of its ignored %s knob", tc.name, tc.wantKnob)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantKnob) {
+			t.Errorf("%s: error %q does not name the ignored knob %q", tc.name, err, tc.wantKnob)
+		}
+	}
+
+	// A fully resolved spec re-submitted as overrides must pass the
+	// knob check (its counts equal the defaults).
+	sc, _ := Get("fig13-deadzones")
+	spec, err := Resolve(sc, Spec{Topologies: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resolve(sc, spec); err != nil {
+		t.Errorf("re-resolving a resolved spec must succeed, got %v", err)
+	}
+}
+
+// TestScenarioErrorCancelsSweep is the engine-level cancellation
+// contract: when one expanded run of a sweep fails, outstanding runs
+// are cancelled (far fewer than all runs start) and the lowest-index
+// failure surfaces.
+func TestScenarioErrorCancelsSweep(t *testing.T) {
+	const failFrom = 3 // replicate seeds 1,2 succeed; 3.. fail
+	var started atomic.Int32
+	sc := &scenarioFunc{
+		name: "test-failing-scenario",
+		defaults: Spec{
+			Topologies: 1, Seed: 1, Antennas: 1, Clients: 1,
+			Replicates: 64, Parallelism: 2,
+		},
+		run: func(spec Spec, _ *rng.Source, r *Result) error {
+			started.Add(1)
+			if spec.Seed >= failFrom {
+				return fmt.Errorf("shard with seed %d exploded", spec.Seed)
+			}
+			r.AddMetric("ok", float64(spec.Seed), "", "")
+			return nil
+		},
+	}
+	_, err := Run(context.Background(), sc, Spec{})
+	if err == nil {
+		t.Fatal("engine must surface the run error")
+	}
+	var te *runner.TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %v (%T) is not a runner.TaskError", err, err)
+	}
+	if te.Index != failFrom-1 {
+		t.Errorf("surfaced error index %d, want the lowest failing run %d", te.Index, failFrom-1)
+	}
+	if n := started.Load(); n >= 64 {
+		t.Errorf("all %d runs started despite the early failure — cancellation is not propagating", n)
+	}
+}

@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Scenario is one registered experiment: a name, the spec that
+// reproduces its paper (or default) configuration, and a Run that
+// evaluates one concrete spec. Run receives a validated, merged spec
+// with no sweep and exactly one replicate — the engine handles
+// expansion — and must derive all randomness from src, so runs are
+// deterministic in (spec, seed) and safe to dispatch concurrently.
+type Scenario interface {
+	Name() string
+	DefaultSpec() Spec
+	Run(spec Spec, src *rng.Source) (Result, error)
+}
+
+// About is optionally implemented by scenarios that carry a one-line
+// description (shown by midas-sim -list).
+type About interface {
+	About() string
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Scenario{}
+	regOrder []string
+)
+
+// Register adds a scenario to the global registry. Registering a
+// duplicate name panics: names are the CLI and golden-file namespace.
+func Register(sc Scenario) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := sc.Name()
+	if name == "" {
+		panic("scenario: Register with empty name")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", name))
+	}
+	registry[name] = sc
+	regOrder = append(regOrder, name)
+}
+
+// Names returns all registered scenario names in registration (paper)
+// order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), regOrder...)
+}
+
+// Get returns the scenario registered under exactly name.
+func Get(name string) (Scenario, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	sc, ok := registry[name]
+	return sc, ok
+}
+
+// Find resolves a user-supplied name: an exact match first, then a
+// unique prefix ("fig12" resolves to "fig12-spatial-reuse"). Ambiguous
+// or unknown names return an error listing the candidates.
+func Find(name string) (Scenario, error) {
+	if sc, ok := Get(name); ok {
+		return sc, nil
+	}
+	var matches []string
+	for _, n := range Names() {
+		if strings.HasPrefix(n, name) {
+			matches = append(matches, n)
+		}
+	}
+	switch len(matches) {
+	case 1:
+		sc, _ := Get(matches[0])
+		return sc, nil
+	case 0:
+		return nil, fmt.Errorf("scenario: unknown scenario %q (midas-sim -list shows all %d)", name, len(Names()))
+	default:
+		sort.Strings(matches)
+		return nil, fmt.Errorf("scenario: ambiguous scenario %q: matches %s", name, strings.Join(matches, ", "))
+	}
+}
+
+// Ignorer is optionally implemented by scenarios that do not use some
+// spec knobs; Resolve rejects overrides that set an ignored knob, so a
+// user can never believe they measured a configuration the experiment
+// silently dropped.
+type Ignorer interface {
+	IgnoredKnobs() []string
+}
+
+// scenarioFunc is the concrete Scenario the built-in registrations use.
+type scenarioFunc struct {
+	name     string
+	about    string
+	defaults Spec
+	// ignores lists the spec knobs this experiment does not consume
+	// (Knob* constants). Overriding one is a Resolve error.
+	ignores []string
+	run     func(spec Spec, src *rng.Source, r *Result) error
+}
+
+func (s *scenarioFunc) Name() string           { return s.name }
+func (s *scenarioFunc) About() string          { return s.about }
+func (s *scenarioFunc) DefaultSpec() Spec      { return s.defaults.clone() }
+func (s *scenarioFunc) IgnoredKnobs() []string { return s.ignores }
+
+func (s *scenarioFunc) Run(spec Spec, src *rng.Source) (Result, error) {
+	r := Result{Scenario: s.name}
+	if err := s.run(spec, src, &r); err != nil {
+		return Result{}, err
+	}
+	return r, nil
+}

@@ -1,0 +1,54 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/runner"
+	"repro/internal/stats"
+)
+
+// Result is everything one scenario run produced. Unlike runner.Result
+// it carries no wall-clock timing, so marshalling it is deterministic —
+// the property the golden-figure suite pins byte-for-byte.
+type Result struct {
+	Scenario string          `json:"scenario"`
+	Series   []runner.Series `json:"series,omitempty"`
+	Metrics  []runner.Metric `json:"metrics,omitempty"`
+	Text     []string        `json:"text,omitempty"`
+}
+
+// AddSeries appends a curve built from a sample.
+func (r *Result) AddSeries(label, unit string, s *stats.Sample) {
+	r.Series = append(r.Series, runner.SampleSeries(label, unit, s))
+}
+
+// AddMetric appends a scalar result.
+func (r *Result) AddMetric(name string, value float64, unit, note string) {
+	r.Metrics = append(r.Metrics, runner.Metric{Name: name, Value: value, Unit: unit, Note: note})
+}
+
+// AddText appends a free-form output line.
+func (r *Result) AddText(format string, args ...any) {
+	r.Text = append(r.Text, fmt.Sprintf(format, args...))
+}
+
+// RunnerResult adapts the scenario result to the runner sink model
+// (TextSink/JSONSink/CSVSink); the caller stamps timing if it wants it.
+func (r Result) RunnerResult() runner.Result {
+	return runner.Result{
+		Name:    r.Scenario,
+		Series:  r.Series,
+		Metrics: r.Metrics,
+		Text:    r.Text,
+	}
+}
+
+// MarshalIndent renders the canonical golden-file JSON for the result.
+func (r Result) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

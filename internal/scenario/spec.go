@@ -1,0 +1,539 @@
+// Package scenario makes the MIDAS evaluation declarative: every
+// experiment of the paper (Figures 3–16, the hidden-terminal study, the
+// ablations) plus the beyond-paper workloads is registered behind one
+// interface and driven by a JSON Spec instead of hard-coded Go. Specs
+// carry venue dimensions, antenna/client counts, shadowing parameters,
+// seeds, replicate counts and parallelism; sweeps expand to a
+// cross-product of runs dispatched through internal/runner. The
+// committed golden suite (testdata/golden) pins every registered
+// scenario's output byte-for-byte at parallelism 1 and 8.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Duration marshals as a Go duration string ("300ms"), so spec files
+// stay human-readable. time.Duration.String round-trips losslessly
+// through time.ParseDuration.
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("scenario: simtime must be a duration string like \"300ms\": %w", err)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// Venue overrides the physical deployment geometry. Zero fields keep
+// the scenario's defaults.
+type Venue struct {
+	// Width and Height set the large-scale deployment region in metres
+	// (paper: 52×52). Both must be set together.
+	Width  float64 `json:"width,omitempty"`
+	Height float64 `json:"height,omitempty"`
+	// APs overrides the large-scale AP count (paper: 8).
+	APs int `json:"aps,omitempty"`
+	// CoverageRadius overrides the per-AP coverage radius in metres.
+	CoverageRadius float64 `json:"coverage_radius,omitempty"`
+}
+
+// Shadowing overrides the channel's obstruction and fading parameters.
+// Nil fields keep the scenario's environment defaults; explicit zeros
+// are honoured (a sigma of 0 disables shadowing).
+type Shadowing struct {
+	SigmaDB        *float64 `json:"sigma_db,omitempty"`
+	CASCorrelation *float64 `json:"cas_correlation,omitempty"`
+	WallDB         *float64 `json:"wall_db,omitempty"`
+	MaxWallDB      *float64 `json:"max_wall_db,omitempty"`
+	RoomW          *float64 `json:"room_w,omitempty"`
+	RoomH          *float64 `json:"room_h,omitempty"`
+}
+
+// Spec is the declarative description of one scenario run. Zero fields
+// inherit the scenario's DefaultSpec via Merge, so a spec file only
+// states what it changes.
+type Spec struct {
+	// Scenario optionally names the registered scenario this spec
+	// targets, making spec files self-describing (midas-sim -spec
+	// file.json needs no -scenario flag then).
+	Scenario string `json:"scenario,omitempty"`
+	// Topologies is the number of independent random topologies (or
+	// deployments) the experiment averages over.
+	Topologies int `json:"topologies,omitempty"`
+	// Seed is the root random seed; replicate r runs with Seed+r.
+	Seed int64 `json:"seed,omitempty"`
+	// SimTime is the simulated airtime of each end-to-end run.
+	SimTime Duration `json:"simtime,omitempty"`
+	// Antennas and Clients are per-AP counts.
+	Antennas int `json:"antennas,omitempty"`
+	Clients  int `json:"clients,omitempty"`
+	// Replicates repeats the whole run over consecutive seeds.
+	Replicates int `json:"replicates,omitempty"`
+	// Parallelism bounds how many expanded runs (sweep points ×
+	// replicates) execute concurrently; 0 selects GOMAXPROCS. Results
+	// never depend on it.
+	Parallelism int        `json:"parallelism,omitempty"`
+	Venue       *Venue     `json:"venue,omitempty"`
+	Shadowing   *Shadowing `json:"shadowing,omitempty"`
+	// Sweep expands the spec into the cross-product of the listed
+	// values, e.g. {"clients": [2,4,8]}. Keys: clients, antennas, size
+	// (sets antennas and clients together), topologies, seed, aps.
+	Sweep map[string][]float64 `json:"sweep,omitempty"`
+}
+
+// sweepKeys are the spec fields a sweep may vary, with their setters.
+var sweepKeys = map[string]func(*Spec, float64){
+	"clients":    func(s *Spec, v float64) { s.Clients = int(v) },
+	"antennas":   func(s *Spec, v float64) { s.Antennas = int(v) },
+	"size":       func(s *Spec, v float64) { s.Antennas = int(v); s.Clients = int(v) },
+	"topologies": func(s *Spec, v float64) { s.Topologies = int(v) },
+	"seed":       func(s *Spec, v float64) { s.Seed = int64(v) },
+	"aps":        func(s *Spec, v float64) { ensureVenue(s).APs = int(v) },
+}
+
+// maxExpandedRuns bounds a sweep × replicate expansion; anything larger
+// is almost certainly a typo'd spec.
+const maxExpandedRuns = 256
+
+func ensureVenue(s *Spec) *Venue {
+	if s.Venue == nil {
+		s.Venue = &Venue{}
+	}
+	return s.Venue
+}
+
+// DecodeSpec parses a spec from JSON, rejecting unknown fields so a
+// misspelled knob fails loudly instead of silently running defaults.
+func DecodeSpec(r io.Reader) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: bad spec: %w", err)
+	}
+	// A spec file is one object; trailing junk is an error.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return Spec{}, fmt.Errorf("scenario: trailing data after spec object")
+	}
+	return s, nil
+}
+
+// LoadSpec reads and decodes a spec file.
+func LoadSpec(path string) (Spec, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := DecodeSpec(bytes.NewReader(b))
+	if err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Merge overlays o on s: every zero/nil field of o inherits s's value.
+// A non-nil o.Sweep replaces s's sweep wholesale (set to an empty map
+// to cancel a default sweep); Venue and Shadowing merge field-wise.
+func (s Spec) Merge(o Spec) Spec {
+	out := s.clone()
+	if o.Scenario != "" {
+		out.Scenario = o.Scenario
+	}
+	if o.Topologies != 0 {
+		out.Topologies = o.Topologies
+	}
+	if o.Seed != 0 {
+		out.Seed = o.Seed
+	}
+	if o.SimTime != 0 {
+		out.SimTime = o.SimTime
+	}
+	if o.Antennas != 0 {
+		out.Antennas = o.Antennas
+	}
+	if o.Clients != 0 {
+		out.Clients = o.Clients
+	}
+	if o.Replicates != 0 {
+		out.Replicates = o.Replicates
+	}
+	if o.Parallelism != 0 {
+		out.Parallelism = o.Parallelism
+	}
+	if o.Venue != nil {
+		v := *o.Venue
+		if out.Venue != nil {
+			base := *out.Venue
+			if v.Width == 0 {
+				v.Width = base.Width
+			}
+			if v.Height == 0 {
+				v.Height = base.Height
+			}
+			if v.APs == 0 {
+				v.APs = base.APs
+			}
+			if v.CoverageRadius == 0 {
+				v.CoverageRadius = base.CoverageRadius
+			}
+		}
+		out.Venue = &v
+	}
+	if o.Shadowing != nil {
+		sh := *o.Shadowing
+		if out.Shadowing != nil {
+			base := *out.Shadowing
+			if sh.SigmaDB == nil {
+				sh.SigmaDB = base.SigmaDB
+			}
+			if sh.CASCorrelation == nil {
+				sh.CASCorrelation = base.CASCorrelation
+			}
+			if sh.WallDB == nil {
+				sh.WallDB = base.WallDB
+			}
+			if sh.MaxWallDB == nil {
+				sh.MaxWallDB = base.MaxWallDB
+			}
+			if sh.RoomW == nil {
+				sh.RoomW = base.RoomW
+			}
+			if sh.RoomH == nil {
+				sh.RoomH = base.RoomH
+			}
+		}
+		out.Shadowing = sh.clone()
+	}
+	if o.Sweep != nil {
+		out.Sweep = cloneSweep(o.Sweep)
+	}
+	return out
+}
+
+// clone returns a deep copy (the pointer-valued members are copied, not
+// shared), so callers can mutate the result freely.
+func (s Spec) clone() Spec {
+	out := s
+	if s.Venue != nil {
+		v := *s.Venue
+		out.Venue = &v
+	}
+	if s.Shadowing != nil {
+		out.Shadowing = s.Shadowing.clone()
+	}
+	out.Sweep = cloneSweep(s.Sweep)
+	return out
+}
+
+// clone deep-copies the override set, including the pointed-to values.
+func (sh Shadowing) clone() *Shadowing {
+	out := sh
+	out.SigmaDB = copyFloat(sh.SigmaDB)
+	out.CASCorrelation = copyFloat(sh.CASCorrelation)
+	out.WallDB = copyFloat(sh.WallDB)
+	out.MaxWallDB = copyFloat(sh.MaxWallDB)
+	out.RoomW = copyFloat(sh.RoomW)
+	out.RoomH = copyFloat(sh.RoomH)
+	return &out
+}
+
+func copyFloat(p *float64) *float64 {
+	if p == nil {
+		return nil
+	}
+	v := *p
+	return &v
+}
+
+func cloneSweep(m map[string][]float64) map[string][]float64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string][]float64, len(m))
+	for k, v := range m {
+		out[k] = append([]float64(nil), v...)
+	}
+	return out
+}
+
+// Validate rejects specs that would panic or silently misbehave
+// downstream. It is called on the merged spec, after scenario defaults
+// are applied.
+func (s Spec) Validate() error {
+	if s.Topologies < 1 {
+		return fmt.Errorf("scenario: topologies must be >= 1 (got %d)", s.Topologies)
+	}
+	if s.Antennas < 1 {
+		return fmt.Errorf("scenario: antennas must be >= 1 per AP (got %d)", s.Antennas)
+	}
+	if s.Clients < 1 {
+		return fmt.Errorf("scenario: clients must be >= 1 per AP (got %d)", s.Clients)
+	}
+	if s.Replicates < 1 {
+		return fmt.Errorf("scenario: replicates must be >= 1 (got %d)", s.Replicates)
+	}
+	if s.Parallelism < 0 {
+		return fmt.Errorf("scenario: parallelism must be >= 0 (got %d)", s.Parallelism)
+	}
+	if s.SimTime < 0 {
+		return fmt.Errorf("scenario: simtime must be positive (got %v)", time.Duration(s.SimTime))
+	}
+	if v := s.Venue; v != nil {
+		if v.Width < 0 || v.Height < 0 {
+			return fmt.Errorf("scenario: venue dimensions must be positive (got %g×%g m)", v.Width, v.Height)
+		}
+		if (v.Width == 0) != (v.Height == 0) {
+			return fmt.Errorf("scenario: venue width and height must be set together (got %g×%g m)", v.Width, v.Height)
+		}
+		if v.APs < 0 {
+			return fmt.Errorf("scenario: venue aps must be >= 1 (got %d)", v.APs)
+		}
+		if v.CoverageRadius < 0 {
+			return fmt.Errorf("scenario: coverage_radius must be positive (got %g m)", v.CoverageRadius)
+		}
+	}
+	if sh := s.Shadowing; sh != nil {
+		if sh.SigmaDB != nil && (*sh.SigmaDB < 0 || !isFinite(*sh.SigmaDB)) {
+			return fmt.Errorf("scenario: shadowing sigma_db must be >= 0 (got %g)", *sh.SigmaDB)
+		}
+		if sh.CASCorrelation != nil && (*sh.CASCorrelation < 0 || *sh.CASCorrelation >= 1 || !isFinite(*sh.CASCorrelation)) {
+			return fmt.Errorf("scenario: cas_correlation must be in [0,1) (got %g)", *sh.CASCorrelation)
+		}
+		if sh.WallDB != nil && (*sh.WallDB < 0 || !isFinite(*sh.WallDB)) {
+			return fmt.Errorf("scenario: wall_db must be >= 0 (got %g)", *sh.WallDB)
+		}
+		if sh.MaxWallDB != nil && (*sh.MaxWallDB < 0 || !isFinite(*sh.MaxWallDB)) {
+			return fmt.Errorf("scenario: max_wall_db must be >= 0 (got %g)", *sh.MaxWallDB)
+		}
+		if sh.RoomW != nil && (*sh.RoomW <= 0 || !isFinite(*sh.RoomW)) {
+			return fmt.Errorf("scenario: room_w must be > 0 (got %g)", *sh.RoomW)
+		}
+		if sh.RoomH != nil && (*sh.RoomH <= 0 || !isFinite(*sh.RoomH)) {
+			return fmt.Errorf("scenario: room_h must be > 0 (got %g)", *sh.RoomH)
+		}
+	}
+	total := 1
+	for key, vals := range s.Sweep {
+		if _, ok := sweepKeys[key]; !ok {
+			return fmt.Errorf("scenario: unknown sweep key %q (want one of %s)", key, strings.Join(sweepKeyNames(), ", "))
+		}
+		if len(vals) == 0 {
+			return fmt.Errorf("scenario: sweep %q has no values", key)
+		}
+		for _, v := range vals {
+			if !isFinite(v) {
+				return fmt.Errorf("scenario: sweep %q value %g is not finite", key, v)
+			}
+			if v != math.Trunc(v) {
+				return fmt.Errorf("scenario: sweep %q value %g must be an integer", key, v)
+			}
+			if key != "seed" && v < 1 {
+				return fmt.Errorf("scenario: sweep %q value %g must be >= 1", key, v)
+			}
+		}
+		total *= len(vals)
+	}
+	if total*s.Replicates > maxExpandedRuns {
+		return fmt.Errorf("scenario: sweep × replicates expands to %d runs (max %d)", total*s.Replicates, maxExpandedRuns)
+	}
+	return nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Knob names a group of spec fields a scenario may declare it does not
+// use (see scenarioFunc.ignores): overriding an ignored knob is an
+// error, not a silent no-op.
+const (
+	KnobClients   = "clients"
+	KnobAntennas  = "antennas"
+	KnobShadowing = "shadowing"
+	KnobCoverage  = "coverage_radius"
+	KnobRegion    = "venue region" // venue width/height/aps
+)
+
+func (s Spec) sweepHas(key string) bool {
+	_, ok := s.Sweep[key]
+	return ok
+}
+
+// scalarOverrides reports whether this override spec sets, as a plain
+// scalar, the field(s) the named sweep key controls — the case where an
+// inherited default sweep must yield to the explicit value.
+func (s Spec) scalarOverrides(key string) bool {
+	switch key {
+	case "clients":
+		return s.Clients != 0
+	case "antennas":
+		return s.Antennas != 0
+	case "size":
+		return s.Antennas != 0 || s.Clients != 0
+	case "topologies":
+		return s.Topologies != 0
+	case "seed":
+		return s.Seed != 0
+	case "aps":
+		return s.Venue != nil && s.Venue.APs != 0
+	}
+	return false
+}
+
+// changesKnob reports whether this override spec would move the named
+// knob away from the scenario defaults d, directly or through a sweep.
+// Re-submitting a default value is not a change, so a fully resolved
+// spec (as the golden suite replays) always passes.
+func (o Spec) changesKnob(d Spec, knob string) bool {
+	coverage := func(v *Venue) float64 {
+		if v == nil {
+			return 0
+		}
+		return v.CoverageRadius
+	}
+	switch knob {
+	case KnobClients:
+		return (o.Clients != 0 && o.Clients != d.Clients) || o.sweepHas("clients") || o.sweepHas("size")
+	case KnobAntennas:
+		return (o.Antennas != 0 && o.Antennas != d.Antennas) || o.sweepHas("antennas") || o.sweepHas("size")
+	case KnobShadowing:
+		return o.Shadowing != nil && !reflect.DeepEqual(o.Shadowing, d.Shadowing)
+	case KnobCoverage:
+		oc := coverage(o.Venue)
+		return oc != 0 && oc != coverage(d.Venue)
+	case KnobRegion:
+		if o.sweepHas("aps") {
+			return true
+		}
+		if o.Venue == nil {
+			return false
+		}
+		var dv Venue
+		if d.Venue != nil {
+			dv = *d.Venue
+		}
+		return (o.Venue.Width != 0 && o.Venue.Width != dv.Width) ||
+			(o.Venue.Height != 0 && o.Venue.Height != dv.Height) ||
+			(o.Venue.APs != 0 && o.Venue.APs != dv.APs)
+	}
+	return false
+}
+
+func sweepKeyNames() []string {
+	names := make([]string, 0, len(sweepKeys))
+	for k := range sweepKeys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// run is one expanded point of a spec: a concrete Spec (no sweep, one
+// replicate) plus the label the engine prefixes its results with.
+type run struct {
+	Label string
+	Spec  Spec
+}
+
+// ExpandedRuns returns how many concrete runs this spec expands to
+// (sweep cross-product × replicates) — what the engine dispatches
+// through the worker pool.
+func (s Spec) ExpandedRuns() int {
+	n := 1
+	for _, vals := range s.Sweep {
+		n *= len(vals)
+	}
+	if s.Replicates > 1 {
+		n *= s.Replicates
+	}
+	return n
+}
+
+// SplitParallelism returns the worker budget each expanded run should
+// hand its *inner* topology sweep (sim.Parallelism): when the engine's
+// run pool already fans out over several expanded runs, giving every
+// run a full-width inner pool would square the requested bound, so the
+// budget is divided across the concurrent runs instead. For a
+// single-run spec it returns Parallelism unchanged (0 = GOMAXPROCS).
+func (s Spec) SplitParallelism() int {
+	n := s.ExpandedRuns()
+	if n <= 1 {
+		return s.Parallelism
+	}
+	budget := s.Parallelism
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	return (budget + n - 1) / n
+}
+
+// expand unrolls the sweep cross-product (keys in sorted order, values
+// in listed order) and the replicates into concrete runs. A spec with
+// no sweep and one replicate expands to a single unlabelled run.
+func (s Spec) expand() []run {
+	keys := make([]string, 0, len(s.Sweep))
+	for k := range s.Sweep {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	points := []run{{Spec: s.clone()}}
+	for _, key := range keys {
+		set := sweepKeys[key]
+		next := make([]run, 0, len(points)*len(s.Sweep[key]))
+		for _, p := range points {
+			for _, v := range s.Sweep[key] {
+				q := p.Spec.clone()
+				set(&q, v)
+				label := fmt.Sprintf("%s=%g", key, v)
+				if p.Label != "" {
+					label = p.Label + "," + label
+				}
+				next = append(next, run{Label: label, Spec: q})
+			}
+		}
+		points = next
+	}
+
+	out := make([]run, 0, len(points)*s.Replicates)
+	for _, p := range points {
+		for r := 0; r < s.Replicates; r++ {
+			q := p.Spec.clone()
+			q.Sweep = nil
+			q.Replicates = 1
+			q.Seed += int64(r)
+			label := p.Label
+			if s.Replicates > 1 {
+				rep := fmt.Sprintf("rep=%d", r)
+				if label != "" {
+					label += "," + rep
+				} else {
+					label = rep
+				}
+			}
+			out = append(out, run{Label: label, Spec: q})
+		}
+	}
+	return out
+}

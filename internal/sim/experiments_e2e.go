@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/channel"
+	"repro/internal/geom"
 	"repro/internal/precoding"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -14,13 +15,23 @@ import (
 // of Figure 15, the 8-AP large-scale simulation of Figure 16, and the
 // decomposition/ablation variants DESIGN.md §5 calls for.
 
-// E2EOpts configures an end-to-end run.
+// E2EOpts configures an end-to-end run. Every field past Seed is
+// optional; zero values reproduce the paper configuration.
 type E2EOpts struct {
 	Topologies int
 	SimTime    time.Duration
 	Seed       int64
 	// ClientsPerAP overrides the default (4) when > 0.
 	ClientsPerAP int
+	// AntennasPerAP overrides the default (4) when > 0.
+	AntennasPerAP int
+	// Env adjusts the channel parameters and coverage radius.
+	Env EnvOverrides
+	// VenueWidth/VenueHeight override the large-scale deployment region
+	// (paper: 52×52 m) when both > 0; VenueAPs overrides its AP count
+	// (paper: 8) when > 0. Only the large-scale experiments read these.
+	VenueWidth, VenueHeight float64
+	VenueAPs                int
 }
 
 // DefaultE2E mirrors §5.4: 60 topologies.
@@ -28,9 +39,43 @@ func DefaultE2E(seed int64) E2EOpts {
 	return E2EOpts{Topologies: 60, SimTime: 300 * time.Millisecond, Seed: seed}
 }
 
+// params is the channel model for this run.
+func (o E2EOpts) params() channel.Params { return o.Env.Params(channel.Default()) }
+
+// config is the per-AP testbed topology for this run.
+func (o E2EOpts) config(mode topology.Mode) topology.Config {
+	cfg := o.Env.Topology(topology.DefaultConfig(mode))
+	if o.ClientsPerAP > 0 {
+		cfg.ClientsPerAP = o.ClientsPerAP
+	}
+	if o.AntennasPerAP > 0 {
+		cfg.AntennasPerAP = o.AntennasPerAP
+	}
+	return cfg
+}
+
+// largeConfig is the §5.5 large-scale configuration for this run, with
+// the venue overrides applied.
+func (o E2EOpts) largeConfig(mode topology.Mode) topology.LargeScaleConfig {
+	cfg := topology.DefaultLargeScale(mode)
+	cfg.Config = o.Env.Topology(cfg.Config)
+	if o.ClientsPerAP > 0 {
+		cfg.ClientsPerAP = o.ClientsPerAP
+	}
+	if o.AntennasPerAP > 0 {
+		cfg.AntennasPerAP = o.AntennasPerAP
+	}
+	if o.VenueWidth > 0 && o.VenueHeight > 0 {
+		cfg.Region = geom.NewRect(0, 0, o.VenueWidth, o.VenueHeight)
+	}
+	if o.VenueAPs > 0 {
+		cfg.NumAPs = o.VenueAPs
+	}
+	return cfg
+}
+
 // runOne builds and runs a network, returning its delivered capacity.
-func runOne(dep *topology.Deployment, opts StationOpts, src *rng.Source, simTime time.Duration) float64 {
-	p := channel.Default()
+func runOne(dep *topology.Deployment, p channel.Params, opts StationOpts, src *rng.Source, simTime time.Duration) float64 {
 	EnsureAssociated(dep, p, src.Split("model"))
 	net := NewNetwork(dep, p, opts, src)
 	net.Run(simTime)
@@ -43,21 +88,18 @@ type arm2 struct{ a, b float64 }
 // Fig15EndToEnd reproduces Figure 15: network capacity CDFs of the 3-AP
 // testbed under conventional CAS and under MIDAS, over random topologies.
 func Fig15EndToEnd(o E2EOpts) (cas, midas *stats.Sample) {
+	p := o.params()
 	res := sweep(o.Topologies, o.Seed, "fig15", func(t int, src *rng.Source) arm2 {
-		cfgC := topology.DefaultConfig(topology.CAS)
-		cfgM := topology.DefaultConfig(topology.DAS)
-		if o.ClientsPerAP > 0 {
-			cfgC.ClientsPerAP = o.ClientsPerAP
-			cfgM.ClientsPerAP = o.ClientsPerAP
-		}
+		cfgC := o.config(topology.CAS)
+		cfgM := o.config(topology.DAS)
 		depC := topology.ThreeAPTestbed(cfgC, src.Split("topo"))
 		depM := topology.ThreeAPTestbed(cfgM, src.Split("topo"))
 		// §5.4 premise: the three APs overhear each other.
-		runC := OverhearingSource(depC, channel.Default(), src.Split("runC"), 64)
-		runM := OverhearingSource(depM, channel.Default(), src.Split("runM"), 64)
+		runC := OverhearingSource(depC, p, src.Split("runC"), 64)
+		runM := OverhearingSource(depM, p, src.Split("runM"), 64)
 		return arm2{
-			a: runOne(depC, DefaultStationOpts(KindCAS), runC, o.SimTime),
-			b: runOne(depM, DefaultStationOpts(KindMIDAS), runM, o.SimTime),
+			a: runOne(depC, p, DefaultStationOpts(KindCAS), runC, o.SimTime),
+			b: runOne(depM, p, DefaultStationOpts(KindMIDAS), runM, o.SimTime),
 		}
 	})
 	cas, midas = stats.NewSample(), stats.NewSample()
@@ -75,13 +117,10 @@ func Fig15EndToEnd(o E2EOpts) (cas, midas *stats.Sample) {
 // did, and the denser region restores the inter-cell coupling their
 // deployment had (see EXPERIMENTS.md).
 func Fig16LargeScale(o E2EOpts) (cas, midas *stats.Sample, err error) {
+	p := o.params()
 	res, err := sweepErr(o.Topologies, o.Seed, "fig16", func(t int, src *rng.Source) (arm2, error) {
-		cfgC := topology.DefaultLargeScale(topology.CAS)
-		cfgM := topology.DefaultLargeScale(topology.DAS)
-		if o.ClientsPerAP > 0 {
-			cfgC.ClientsPerAP = o.ClientsPerAP
-			cfgM.ClientsPerAP = o.ClientsPerAP
-		}
+		cfgC := o.largeConfig(topology.CAS)
+		cfgM := o.largeConfig(topology.DAS)
 		depC, err := topology.LargeScale(cfgC, src.Split("topo"))
 		if err != nil {
 			return arm2{}, err
@@ -91,8 +130,8 @@ func Fig16LargeScale(o E2EOpts) (cas, midas *stats.Sample, err error) {
 			return arm2{}, err
 		}
 		return arm2{
-			a: runOne(depC, DefaultStationOpts(KindCAS), src.Split("runC"), o.SimTime),
-			b: runOne(depM, DefaultStationOpts(KindMIDAS), src.Split("runM"), o.SimTime),
+			a: runOne(depC, p, DefaultStationOpts(KindCAS), src.Split("runC"), o.SimTime),
+			b: runOne(depM, p, DefaultStationOpts(KindMIDAS), src.Split("runM"), o.SimTime),
 		}, nil
 	})
 	if err != nil {
@@ -123,22 +162,23 @@ type DecompositionResult struct {
 // Decomposition runs the 3-AP testbed in four configurations that add
 // MIDAS's mechanisms one at a time.
 func Decomposition(o E2EOpts) *DecompositionResult {
+	p := o.params()
 	vals := sweep(o.Topologies, o.Seed, "decomp", func(t int, src *rng.Source) [4]float64 {
-		depC := topology.ThreeAPTestbed(topology.DefaultConfig(topology.CAS), src.Split("topo"))
-		depM := topology.ThreeAPTestbed(topology.DefaultConfig(topology.DAS), src.Split("topo"))
+		depC := topology.ThreeAPTestbed(o.config(topology.CAS), src.Split("topo"))
+		depM := topology.ThreeAPTestbed(o.config(topology.DAS), src.Split("topo"))
 
 		base := DefaultStationOpts(KindCAS)
-		srcC := OverhearingSource(depC, channel.Default(), src.Split("rC"), 64)
-		srcM := OverhearingSource(depM, channel.Default(), src.Split("rM"), 64)
+		srcC := OverhearingSource(depC, p, src.Split("rC"), 64)
+		srcM := OverhearingSource(depM, p, src.Split("rM"), 64)
 
 		prec := base
 		prec.Precoder = PrecoderPowerBalanced
 		dasCAS := prec // DAS antennas, conventional MAC
 		return [4]float64{
-			runOne(depC, base, srcC, o.SimTime),
-			runOne(depC, prec, srcC, o.SimTime),
-			runOne(depM, dasCAS, srcM, o.SimTime),
-			runOne(depM, DefaultStationOpts(KindMIDAS), srcM, o.SimTime),
+			runOne(depC, p, base, srcC, o.SimTime),
+			runOne(depC, p, prec, srcC, o.SimTime),
+			runOne(depM, p, dasCAS, srcM, o.SimTime),
+			runOne(depM, p, DefaultStationOpts(KindMIDAS), srcM, o.SimTime),
 		}
 	})
 	res := &DecompositionResult{
@@ -157,13 +197,14 @@ func Decomposition(o E2EOpts) *DecompositionResult {
 // AblationTagWidth sweeps the number of antennas tagged per packet
 // (§3.2.4 discusses 1, 2 and all-antennas).
 func AblationTagWidth(widths []int, o E2EOpts) map[int]*stats.Sample {
+	p := o.params()
 	vals := sweep(o.Topologies, o.Seed, "tagwidth", func(t int, src *rng.Source) []float64 {
-		dep := topology.ThreeAPTestbed(topology.DefaultConfig(topology.DAS), src.Split("topo"))
+		dep := topology.ThreeAPTestbed(o.config(topology.DAS), src.Split("topo"))
 		caps := make([]float64, len(widths))
 		for i, w := range widths {
 			opts := DefaultStationOpts(KindMIDAS)
 			opts.TagWidth = w
-			caps[i] = runOne(dep, opts, src.SplitN("run", w), o.SimTime)
+			caps[i] = runOne(dep, p, opts, src.SplitN("run", w), o.SimTime)
 		}
 		return caps
 	})
@@ -182,14 +223,15 @@ func AblationTagWidth(widths []int, o E2EOpts) map[int]*stats.Sample {
 // AblationWaitWindow sweeps the opportunistic-selection wait window
 // (§3.2.3 argues one DIFS is the right balance).
 func AblationWaitWindow(windows []time.Duration, o E2EOpts) map[time.Duration]*stats.Sample {
+	p := o.params()
 	vals := sweep(o.Topologies, o.Seed, "waitwin", func(t int, src *rng.Source) []float64 {
-		dep := topology.ThreeAPTestbed(topology.DefaultConfig(topology.DAS), src.Split("topo"))
+		dep := topology.ThreeAPTestbed(o.config(topology.DAS), src.Split("topo"))
 		caps := make([]float64, len(windows))
 		for i, w := range windows {
 			opts := DefaultStationOpts(KindMIDAS)
 			opts.WaitWindow = w
 			opts.HasWaitWindow = true
-			caps[i] = runOne(dep, opts, src.SplitN("run", i), o.SimTime)
+			caps[i] = runOne(dep, p, opts, src.SplitN("run", i), o.SimTime)
 		}
 		return caps
 	})
@@ -209,13 +251,14 @@ func AblationWaitWindow(windows []time.Duration, o E2EOpts) map[time.Duration]*s
 // the paper's choice; round-robin and random are the ablations).
 func AblationScheduler(o E2EOpts) map[string]*stats.Sample {
 	names := []string{"drr", "rr", "random"}
+	p := o.params()
 	vals := sweep(o.Topologies, o.Seed, "sched", func(t int, src *rng.Source) []float64 {
-		dep := topology.ThreeAPTestbed(topology.DefaultConfig(topology.DAS), src.Split("topo"))
+		dep := topology.ThreeAPTestbed(o.config(topology.DAS), src.Split("topo"))
 		caps := make([]float64, len(names))
 		for i, name := range names {
 			opts := DefaultStationOpts(KindMIDAS)
 			opts.SchedulerName = name
-			caps[i] = runOne(dep, opts, src.Split("run-"+name), o.SimTime)
+			caps[i] = runOne(dep, p, opts, src.Split("run-"+name), o.SimTime)
 		}
 		return caps
 	})
@@ -271,6 +314,46 @@ func AblationCorrelation(rhos []float64, topos int, seed int64) map[float64]*sta
 		}
 	}
 	return out
+}
+
+// ClientChurn is a beyond-paper variant of the Figure 15 end-to-end
+// experiment: the client population turns over during the run. The
+// simulated airtime is split into epochs; every epoch after the first
+// re-draws all client positions (APs and antennas stay fixed, modelling
+// people moving through a venue while the infrastructure does not).
+// MIDAS's per-antenna sensing and tagging must re-learn the client map
+// each epoch, so churn stresses exactly the mechanisms the static
+// experiment lets settle. Returns per-topology mean epoch capacities
+// for CAS and MIDAS.
+func ClientChurn(o E2EOpts, epochs int) (cas, midas *stats.Sample) {
+	if epochs < 1 {
+		epochs = 1
+	}
+	p := o.params()
+	epochTime := o.SimTime / time.Duration(epochs)
+	res := sweep(o.Topologies, o.Seed, "churn", func(t int, src *rng.Source) arm2 {
+		depC := topology.ThreeAPTestbed(o.config(topology.CAS), src.Split("topo"))
+		depM := topology.ThreeAPTestbed(o.config(topology.DAS), src.Split("topo"))
+		var sumC, sumM float64
+		for e := 0; e < epochs; e++ {
+			es := src.SplitN("epoch", e)
+			if e > 0 {
+				depC.ReplaceClients(es.Split("churnC"))
+				depM.ReplaceClients(es.Split("churnM"))
+			}
+			runC := OverhearingSource(depC, p, es.Split("runC"), 64)
+			runM := OverhearingSource(depM, p, es.Split("runM"), 64)
+			sumC += runOne(depC, p, DefaultStationOpts(KindCAS), runC, epochTime)
+			sumM += runOne(depM, p, DefaultStationOpts(KindMIDAS), runM, epochTime)
+		}
+		return arm2{a: sumC / float64(epochs), b: sumM / float64(epochs)}
+	})
+	cas, midas = stats.NewSample(), stats.NewSample()
+	for _, r := range res {
+		cas.Add(r.a)
+		midas.Add(r.b)
+	}
+	return cas, midas
 }
 
 // problemFromModel assembles a full-deployment precoding problem.

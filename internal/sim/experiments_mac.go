@@ -45,10 +45,16 @@ type Fig12Result struct {
 // procedure at AP granularity gives the CAS count. Returns per-topology
 // results; the paper plots the CDF of MIDAS/CAS.
 func Fig12SpatialReuse(topos int, seed int64) []Fig12Result {
-	p := channel.Default()
+	return Fig12SpatialReuseOpts(topos, seed, EnvOverrides{})
+}
+
+// Fig12SpatialReuseOpts is Fig12SpatialReuse with environment
+// overrides; the zero EnvOverrides reproduces the paper run.
+func Fig12SpatialReuseOpts(topos int, seed int64, env EnvOverrides) []Fig12Result {
+	p := env.Params(channel.Default())
 	csDBm := -82.0
 	return sweep(topos, seed, "fig12", func(t int, src *rng.Source) Fig12Result {
-		cfg := topology.DefaultConfig(topology.DAS)
+		cfg := env.Topology(topology.DefaultConfig(topology.DAS))
 		dep := topology.ThreeAPTestbed(cfg, src.Split("topo"))
 		// §5.3.1 premise: the three APs overhear each other; choose a
 		// floor plan satisfying it.
@@ -117,7 +123,12 @@ const minServiceSNRdB = 4.0
 // usable mean SNR. Averages over `deployments` random DAS layouts (the
 // CAS layout is fixed, as in the paper).
 func Fig13Deadzones(deployments int, seed int64) DeadzoneResult {
-	p := channel.Default()
+	return Fig13DeadzonesOpts(deployments, seed, EnvOverrides{})
+}
+
+// Fig13DeadzonesOpts is Fig13Deadzones with environment overrides.
+func Fig13DeadzonesOpts(deployments int, seed int64, env EnvOverrides) DeadzoneResult {
+	p := env.Params(channel.Default())
 	// deadzoneTask is one deployment's tally; the example maps are kept
 	// only for deployment 0, as before.
 	type deadzoneTask struct {
@@ -127,10 +138,10 @@ func Fig13Deadzones(deployments int, seed int64) DeadzoneResult {
 	}
 	tasks := sweep(deployments, seed, "fig13", func(d int, src *rng.Source) deadzoneTask {
 		var out deadzoneTask
-		casDep := topology.SingleAP(topology.DefaultConfig(topology.CAS), src.Split("cas"))
-		dasDep := topology.SingleAP(topology.DefaultConfig(topology.DAS), src.Split("das"))
+		casDep := topology.SingleAP(env.Topology(topology.DefaultConfig(topology.CAS)), src.Split("cas"))
+		dasDep := topology.SingleAP(env.Topology(topology.DefaultConfig(topology.DAS)), src.Split("das"))
 		f := p.NewField(src.Split("field").Seed())
-		r := topology.DefaultConfig(topology.CAS).CoverageRadius
+		r := env.Topology(topology.DefaultConfig(topology.CAS)).CoverageRadius
 		rect := geom.NewRect(-r, -r, r, r)
 		geom.Grid(rect, 0.5, func(pt geom.Point) {
 			if pt.Dist(geom.Pt(0, 0)) > r {
@@ -193,18 +204,23 @@ type HiddenTerminalResult struct {
 // both widens each AP's sensing footprint and evens out the delivered
 // power — the two effects the paper credits for the reduction.
 func HiddenTerminals(deployments int, seed int64) HiddenTerminalResult {
-	p := channel.Default()
+	return HiddenTerminalsOpts(deployments, seed, EnvOverrides{})
+}
+
+// HiddenTerminalsOpts is HiddenTerminals with environment overrides.
+func HiddenTerminalsOpts(deployments int, seed int64, env EnvOverrides) HiddenTerminalResult {
+	p := env.Params(channel.Default())
 	const csDBm = -82.0
 	const decodeDBm = -82.0 // conflict-relevant power, not payload decode
 	type htTask struct{ cas, das, spots int }
 	tasks := sweep(deployments, seed, "ht", func(d int, src *rng.Source) htTask {
 		var out htTask
-		cfg := topology.DefaultConfig(topology.DAS)
+		cfg := env.Topology(topology.DefaultConfig(topology.DAS))
 		cfg.DASInnerFrac = 0.5
 		cfg.DASOuterFrac = 0.75
 		apDist := 20.0 // near enough for the both-reach midzone to exist
 		aps := []geom.Point{geom.Pt(0, 0), geom.Pt(apDist, 0)}
-		casDep := topology.MultiAP(topology.DefaultConfig(topology.CAS), aps, src.Split("cas"))
+		casDep := topology.MultiAP(env.Topology(topology.DefaultConfig(topology.CAS)), aps, src.Split("cas"))
 		dasDep := topology.MultiAP(cfg, aps, src.Split("das"))
 		// §5.3.4 premise: the APs cannot overhear each other; choose a
 		// floor plan satisfying it.

@@ -60,12 +60,13 @@ func officeTopology(o Office, mode topology.Mode, antennas int) topology.Config 
 }
 
 // phyProblem draws one topology + channel realisation and returns the
-// precoding problem over all clients and antennas.
-func phyProblem(o Office, mode topology.Mode, antennas, clients int, src *rng.Source) (precoding.Problem, *channel.Model, *topology.Deployment) {
-	cfg := officeTopology(o, mode, antennas)
+// precoding problem over all clients and antennas. env adjusts the
+// office defaults; the zero EnvOverrides keeps them.
+func phyProblem(o Office, mode topology.Mode, antennas, clients int, env EnvOverrides, src *rng.Source) (precoding.Problem, *channel.Model, *topology.Deployment) {
+	cfg := env.Topology(officeTopology(o, mode, antennas))
 	cfg.ClientsPerAP = clients
 	dep := topology.SingleAP(cfg, src.Split("topo"))
-	p := officeParams(o)
+	p := env.Params(officeParams(o))
 	m := dep.Model(p, src.Split("chan"))
 	prob := precoding.Problem{
 		H:               m.Matrix(nil, nil),
@@ -80,16 +81,22 @@ func phyProblem(o Office, mode topology.Mode, antennas, clients int, src *rng.So
 // per-antenna power constraint by one global scale factor, for CAS and
 // DAS 4×4 topologies.
 func Fig3NaiveScalingDrop(topos int, seed int64) (cas, das *stats.Sample, err error) {
+	return Fig3NaiveScalingDropOpts(PhyOpts{Topologies: topos, Seed: seed})
+}
+
+// Fig3NaiveScalingDropOpts is Fig3NaiveScalingDrop with the full
+// parameter set; the zero optional fields reproduce the paper run.
+func Fig3NaiveScalingDropOpts(o PhyOpts) (cas, das *stats.Sample, err error) {
 	cas, das = stats.NewSample(), stats.NewSample()
 	for _, mode := range []topology.Mode{topology.CAS, topology.DAS} {
 		out := cas
 		if mode == topology.DAS {
 			out = das
 		}
-		drops, err := sweepErr(topos, seed, "fig3-"+mode.String(), func(t int, src *rng.Source) (float64, error) {
+		drops, err := sweepErr(o.Topologies, o.Seed, "fig3-"+mode.String(), func(t int, src *rng.Source) (float64, error) {
 			sv := getSolver()
 			defer putSolver(sv)
-			prob, _, _ := phyProblem(OfficeB, mode, 4, 4, src)
+			prob, _, _ := phyProblem(OfficeB, mode, o.antennas(), o.clients(), o.Env, src)
 			// Solver results are overwritten by the next precoder call, so
 			// each rate is taken before the next solve.
 			ideal, err := sv.ZFBF(prob)
@@ -119,14 +126,19 @@ func Fig3NaiveScalingDrop(topos int, seed int64) (cas, das *stats.Sample, err er
 // DAS with the greedy client→antenna mapping of §5.2.1 (strongest pair
 // first, each antenna and client used once).
 func Fig7LinkSNR(topos int, seed int64) (cas, das *stats.Sample) {
+	return Fig7LinkSNROpts(PhyOpts{Topologies: topos, Seed: seed})
+}
+
+// Fig7LinkSNROpts is Fig7LinkSNR with the full parameter set.
+func Fig7LinkSNROpts(o PhyOpts) (cas, das *stats.Sample) {
 	cas, das = stats.NewSample(), stats.NewSample()
 	for _, mode := range []topology.Mode{topology.CAS, topology.DAS} {
 		out := cas
 		if mode == topology.DAS {
 			out = das
 		}
-		snrs := sweep(topos, seed, "fig7-"+mode.String(), func(t int, src *rng.Source) []float64 {
-			_, m, _ := phyProblem(OfficeA, mode, 4, 4, src)
+		snrs := sweep(o.Topologies, o.Seed, "fig7-"+mode.String(), func(t int, src *rng.Source) []float64 {
+			_, m, _ := phyProblem(OfficeA, mode, o.antennas(), o.clients(), o.Env, src)
 			return greedySISOMap(m)
 		})
 		for _, s := range snrs {
@@ -169,19 +181,24 @@ func greedySISOMap(m *channel.Model) []float64 {
 // precoding) with the given antenna count (2 → "2x2", 4 → "4x4") in the
 // given office.
 func FigCapacityCDF(o Office, antennas, topos int, seed int64) (cas, midas *stats.Sample, err error) {
+	return FigCapacityCDFOpts(o, PhyOpts{Topologies: topos, Seed: seed, Antennas: antennas})
+}
+
+// FigCapacityCDFOpts is FigCapacityCDF with the full parameter set.
+func FigCapacityCDFOpts(o Office, po PhyOpts) (cas, midas *stats.Sample, err error) {
 	// One source for both arms: §5.2.2 fixes the clients and varies
 	// only the antenna deployment between CAS and DAS.
-	label := fmt.Sprintf("fig89-%v-%d", o, antennas)
-	res, err := sweepErr(topos, seed, label, func(t int, src *rng.Source) (arm2, error) {
+	label := fmt.Sprintf("fig89-%v-%d", o, po.antennas())
+	res, err := sweepErr(po.Topologies, po.Seed, label, func(t int, src *rng.Source) (arm2, error) {
 		sv := getSolver()
 		defer putSolver(sv)
-		probC, _, _ := phyProblem(o, topology.CAS, antennas, antennas, src)
+		probC, _, _ := phyProblem(o, topology.CAS, po.antennas(), po.clients(), po.Env, src)
 		vC, err := sv.NaiveScaled(probC)
 		if err != nil {
 			return arm2{}, err
 		}
 		rateC := sv.SumRate(probC.H, vC, probC.Noise)
-		probM, _, _ := phyProblem(o, topology.DAS, antennas, antennas, src)
+		probM, _, _ := phyProblem(o, topology.DAS, po.antennas(), po.clients(), po.Env, src)
 		vM, _, err := sv.PowerBalanced(probM)
 		if err != nil {
 			return arm2{}, err
@@ -210,15 +227,21 @@ type Fig10Curves struct {
 // Fig10SmartPrecoding reproduces Figure 10: the impact of power-balanced
 // precoding on CAS and on DAS separately (4×4, Office B).
 func Fig10SmartPrecoding(topos int, seed int64) (*Fig10Curves, error) {
+	return Fig10SmartPrecodingOpts(PhyOpts{Topologies: topos, Seed: seed})
+}
+
+// Fig10SmartPrecodingOpts is Fig10SmartPrecoding with the full
+// parameter set.
+func Fig10SmartPrecodingOpts(o PhyOpts) (*Fig10Curves, error) {
 	// [casNaive, casBalanced, dasNaive, dasBalanced] per topology; the
 	// per-mode child streams keep their original labels.
-	vals, err := sweepRootErr(topos, seed, "fig10", func(t int, root *rng.Source) ([4]float64, error) {
+	vals, err := sweepRootErr(o.Topologies, o.Seed, "fig10", func(t int, root *rng.Source) ([4]float64, error) {
 		var out [4]float64
 		sv := getSolver()
 		defer putSolver(sv)
 		for mi, mode := range []topology.Mode{topology.CAS, topology.DAS} {
 			src := root.SplitN("fig10-"+mode.String(), t)
-			prob, _, _ := phyProblem(OfficeB, mode, 4, 4, src)
+			prob, _, _ := phyProblem(OfficeB, mode, o.antennas(), o.clients(), o.Env, src)
 			naive, err := sv.NaiveScaled(prob)
 			if err != nil {
 				return out, err
@@ -261,11 +284,16 @@ type Fig11Point struct {
 // channel that has evolved during its (simulated) seconds-long solve —
 // the effect that let MIDAS beat "optimal" on some testbed topologies.
 func Fig11OptimalGap(topos int, seed int64, testbed bool) ([]Fig11Point, error) {
+	return Fig11OptimalGapOpts(PhyOpts{Topologies: topos, Seed: seed}, testbed)
+}
+
+// Fig11OptimalGapOpts is Fig11OptimalGap with the full parameter set.
+func Fig11OptimalGapOpts(o PhyOpts, testbed bool) ([]Fig11Point, error) {
 	opts := precoding.DefaultOptimalOptions()
-	return sweepErr(topos, seed, "fig11", func(t int, src *rng.Source) (Fig11Point, error) {
+	return sweepErr(o.Topologies, o.Seed, "fig11", func(t int, src *rng.Source) (Fig11Point, error) {
 		sv := getSolver()
 		defer putSolver(sv)
-		prob, m, _ := phyProblem(OfficeB, topology.DAS, 4, 4, src)
+		prob, m, _ := phyProblem(OfficeB, topology.DAS, o.antennas(), o.clients(), o.Env, src)
 		// bal stays valid across the OptimalZF call (the numerical
 		// reference solver does not share the Solver's buffers).
 		bal, _, err := sv.PowerBalanced(prob)
@@ -300,17 +328,29 @@ func Fig11OptimalGap(topos int, seed int64, testbed bool) ([]Fig11Point, error) 
 // tagging selects the client pair versus a random pair, and the CDF of
 // the resulting 2-stream capacity is compared.
 func Fig14PacketTagging(topos int, seed int64) (random, tagged *stats.Sample, err error) {
-	res, err := sweepErr(topos, seed, "fig14", func(t int, src *rng.Source) (arm2, error) {
+	return Fig14PacketTaggingOpts(PhyOpts{Topologies: topos, Seed: seed})
+}
+
+// Fig14PacketTaggingOpts is Fig14PacketTagging with the full parameter
+// set.
+func Fig14PacketTaggingOpts(o PhyOpts) (random, tagged *stats.Sample, err error) {
+	// The experiment disables two of the antennas and compares client
+	// *pairs*, so degenerate arrays cannot run it.
+	if o.antennas() < 2 || o.clients() < 2 {
+		return nil, nil, fmt.Errorf("fig14: packet tagging needs at least 2 antennas and 2 clients (got %d antennas × %d clients)",
+			o.antennas(), o.clients())
+	}
+	res, err := sweepErr(o.Topologies, o.Seed, "fig14", func(t int, src *rng.Source) (arm2, error) {
 		sv := getSolver()
 		defer putSolver(sv)
-		_, m, dep := phyProblem(OfficeB, topology.DAS, 4, 4, src)
-		avail := pickTwoAntennas(src)
+		_, m, dep := phyProblem(OfficeB, topology.DAS, o.antennas(), o.clients(), o.Env, src)
+		avail := pickTwoAntennas(src, o.antennas())
 		// Tag-driven choice: rank clients by mean RSSI on the available
 		// antennas (the §3.2.4 preference), pick the top client of each
 		// available antenna, distinct.
 		tagClients := tagDrivenPair(m, dep, avail)
 		randClients := randomPair(src, m.NumClients())
-		p := officeParams(OfficeB)
+		p := o.Env.Params(officeParams(OfficeB))
 		capOf := func(clients []int) (float64, error) {
 			sub := precoding.Problem{
 				H:               m.Matrix(clients, avail),
@@ -344,8 +384,8 @@ func Fig14PacketTagging(topos int, seed int64) (random, tagged *stats.Sample, er
 	return random, tagged, nil
 }
 
-func pickTwoAntennas(src *rng.Source) []int {
-	perm := src.Split("avail").Perm(4)
+func pickTwoAntennas(src *rng.Source, nAntennas int) []int {
+	perm := src.Split("avail").Perm(nAntennas)
 	a, b := perm[0], perm[1]
 	if a > b {
 		a, b = b, a

@@ -241,9 +241,11 @@ func (c *CDF) Table(points int) string {
 		points = n
 	}
 	for i := 0; i < points; i++ {
-		j := i * (n - 1) / (points - 1)
-		if points == 1 {
-			j = n - 1
+		// A single-row table shows the maximum (F=1); guard before the
+		// division, which a one-point CDF would otherwise hit as /0.
+		j := n - 1
+		if points > 1 {
+			j = i * (n - 1) / (points - 1)
 		}
 		fmt.Fprintf(&b, "%.4g\t%.4f\n", c.X[j], c.F[j])
 	}

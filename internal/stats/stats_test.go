@@ -168,6 +168,19 @@ func TestCDFTable(t *testing.T) {
 	}
 }
 
+// TestCDFTableSinglePoint pins the n=1 edge: a one-observation series
+// (e.g. a 1-topology scenario run through the text sink) must render
+// one row, not divide by zero.
+func TestCDFTableSinglePoint(t *testing.T) {
+	got := NewSample(7.5).ECDF().Table(20)
+	if got != "7.5\t1.0000\n" {
+		t.Errorf("one-point table = %q, want %q", got, "7.5\t1.0000\n")
+	}
+	if got := NewSample(1, 2, 3).ECDF().Table(1); got != "3\t1.0000\n" {
+		t.Errorf("one-row table = %q, want the maximum row", got)
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	h := NewHistogram(0, 10, 5)
 	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 11} {

@@ -264,6 +264,23 @@ func (d *Deployment) placeClient(apPos geom.Point, src *rng.Source) geom.Point {
 	return geom.Pt(apPos.X+x, apPos.Y+y)
 }
 
+// ReplaceClients re-draws every client position from src, keeping the
+// APs, antennas and per-AP client counts fixed, and re-associates —
+// the population-churn primitive used by sim.ClientChurn. The draw
+// discipline matches MultiAP's (one child stream per AP), so a churned
+// deployment is statistically identical to a freshly generated one with
+// the same infrastructure.
+func (d *Deployment) ReplaceClients(src *rng.Source) {
+	d.Clients = d.Clients[:0]
+	for ap, pos := range d.APs {
+		s := src.SplitN("ap", ap)
+		for c := 0; c < d.Cfg.ClientsPerAP; c++ {
+			d.Clients = append(d.Clients, d.placeClient(pos, s))
+		}
+	}
+	d.associate()
+}
+
 // associate assigns each client to the nearest AP.
 func (d *Deployment) associate() {
 	d.ClientAP = make([]int, len(d.Clients))
