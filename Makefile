@@ -6,12 +6,12 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test test-race golden examples bench-smoke bench bench-snapshot alloc-guard fmt
+.PHONY: ci fmt-check vet build test test-race golden examples bench-smoke bench bench-snapshot alloc-guard cover fmt
 
 # (`test` already runs the golden suite once and `test-race` replays it
 # under the race detector; the explicit `golden` target is for focused
 # local runs, not a third CI pass.)
-ci: fmt-check vet build test test-race alloc-guard bench-smoke examples
+ci: fmt-check vet build test test-race alloc-guard cover bench-smoke examples
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -57,7 +57,8 @@ bench-smoke:
 	$(GO) run ./cmd/midas-bench -figure 12 -topos 8 -format json -out /dev/null
 	$(GO) run ./cmd/midas-bench -figure 15 -topos 4 -simtime 50ms -format csv > /dev/null
 	$(GO) run ./cmd/midas-sim -scenario fig12 -set topologies=4 -set seed=3,4 > /dev/null
-	$(GO) test -run='^$$' -bench=BenchmarkFig12 -benchtime=1x .
+	$(GO) run ./cmd/midas-sim -scenario fig12 -set topologies=2 -replicates 3 -format json > /dev/null
+	$(GO) test -run='^$$' -bench='BenchmarkFig12|BenchmarkFig15Replicated' -benchtime=1x .
 
 # Full-scale root benchmarks (slow).
 bench:
@@ -76,6 +77,23 @@ alloc-guard:
 #   go run ./cmd/midas-bench -kernels -topos 8 -out /tmp/now.json
 bench-snapshot:
 	$(GO) run ./cmd/midas-bench -kernels -topos 8 -rounds 3 -out BENCH_PR2.json
+
+# Coverage floors for the layers whose bugs are pure arithmetic (they
+# type-check and run fine while producing wrong statistics): the stats
+# accumulators and the scenario/replication engine must stay >= 80%
+# line-covered. The per-package totals print either way; a package
+# under its floor fails the target (and `make ci`).
+COVER_FLOOR = 80
+cover:
+	@set -e; for pkg in ./internal/stats ./internal/scenario; do \
+		profile=$$(mktemp); \
+		$(GO) test -coverprofile=$$profile $$pkg > /dev/null; \
+		pct=$$($(GO) tool cover -func=$$profile | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+		rm -f $$profile; \
+		echo "coverage $$pkg: $$pct% (floor $(COVER_FLOOR)%)"; \
+		awk -v p="$$pct" -v m="$(COVER_FLOOR)" 'BEGIN { exit (p >= m) ? 0 : 1 }' || \
+			{ echo "coverage of $$pkg fell below $(COVER_FLOOR)%"; exit 1; }; \
+	done
 
 fmt:
 	gofmt -w .

@@ -15,6 +15,7 @@
 package repro
 
 import (
+	"context"
 	"flag"
 	"os"
 	"testing"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/precoding"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -180,6 +182,35 @@ func BenchmarkFig15EndToEnd(b *testing.B) {
 		cas, midas := sim.Fig15EndToEnd(o)
 		_, _, gain := sim.SummarizeGain(cas, midas)
 		b.ReportMetric(gain*100, "median-gain-%")
+	}
+}
+
+// BenchmarkFig15Replicated resolves the replicated scenario from the
+// registry (replicates > 1) at reduced scale — the smoke that keeps the
+// registry → engine → replicate-aggregation path exercised end to end
+// (`make bench-smoke` runs it at -benchtime=1x). The reported numbers
+// are the CI-band summary of the MIDAS median capacity.
+func BenchmarkFig15Replicated(b *testing.B) {
+	overrides := scenario.Spec{Topologies: 2, SimTime: scenario.Duration(20 * time.Millisecond), Replicates: 3}
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.RunByName(context.Background(), "fig15-replicated", overrides)
+		if err != nil {
+			b.Fatal(err)
+		}
+		found := false
+		for _, s := range res.Summaries {
+			if s.Name == "median MIDAS network capacity" {
+				found = true
+				b.ReportMetric(s.Mean, "median-mean")
+				b.ReportMetric(s.CI95, "ci95-halfwidth")
+				if s.N != 3 {
+					b.Fatalf("summary aggregated %d replicates, want 3", s.N)
+				}
+			}
+		}
+		if !found {
+			b.Fatal("replicated run produced no median MIDAS network capacity summary")
+		}
 	}
 }
 

@@ -14,8 +14,12 @@
 // Usage:
 //
 //	midas-bench [-figure all|3|7|8|9|10|11|12|13|14|15|16|ht|decomp|ablations|<scenario-prefix>]
-//	            [-topos N] [-seed S] [-simtime D] [-points N]
+//	            [-topos N] [-seed S] [-simtime D] [-points N] [-replicates N]
 //	            [-parallel N] [-format text|json|csv] [-out FILE] [-progress]
+//
+// -replicates N re-runs every selected experiment over N split seeds
+// and reports {mean, stddev, ci95, n} summaries per metric; the
+// snapshot meta records the replicate count.
 package main
 
 import (
@@ -36,12 +40,14 @@ import (
 )
 
 var (
-	figure   = flag.String("figure", "all", "which figure to regenerate (comma-separated)")
-	topos    = flag.Int("topos", 60, "topologies per experiment")
-	seed     = flag.Int64("seed", 2014, "root random seed")
-	simTime  = flag.Duration("simtime", 300*time.Millisecond, "simulated airtime per end-to-end run")
-	points   = flag.Int("points", 20, "rows per printed CDF (text format)")
-	parallel = flag.Int("parallel", 0, "topology tasks evaluated concurrently (0 = GOMAXPROCS)")
+	figure     = flag.String("figure", "all", "which figure to regenerate (comma-separated)")
+	topos      = flag.Int("topos", 60, "topologies per experiment")
+	seed       = flag.Int64("seed", 2014, "root random seed")
+	simTime    = flag.Duration("simtime", 300*time.Millisecond, "simulated airtime per end-to-end run")
+	points     = flag.Int("points", 20, "rows per printed CDF (text format)")
+	parallel   = flag.Int("parallel", 0, "topology tasks evaluated concurrently (0 = GOMAXPROCS)")
+	replicates = flag.Int("replicates", 1,
+		"replicate every selected experiment over split seeds and report {mean, stddev, ci95, n} summaries (recorded in the snapshot meta)")
 	format   = flag.String("format", "text", "output format: text, json or csv")
 	outPath  = flag.String("out", "", "write results to this file instead of stdout")
 	progress = flag.Bool("progress", false, "report per-task timing on stderr")
@@ -82,6 +88,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-rounds must be >= 1 (got %d)\n", *rounds)
 		os.Exit(2)
 	}
+	if *replicates < 1 {
+		// 0 would merge as "inherit the scenario default" — refuse the
+		// inexpressible value instead of silently running unreplicated.
+		fmt.Fprintf(os.Stderr, "-replicates must be >= 1 (got %d)\n", *replicates)
+		os.Exit(2)
+	}
 	sim.Parallelism = *parallel
 	if *kernels {
 		// Kernel measurements are single-threaded on purpose: the
@@ -120,6 +132,8 @@ func main() {
 			overrides.SimTime = scenario.Duration(*simTime)
 		case "parallel":
 			overrides.Parallelism = *parallel
+		case "replicates":
+			overrides.Replicates = *replicates
 		}
 	})
 
@@ -168,12 +182,16 @@ func main() {
 	// passed. Topologies/SimTime are recorded only when explicitly set —
 	// at defaults they vary per scenario (fig16 runs 20, fig12 30, …)
 	// and a single number here would misdescribe most results.
+	// Replicates follows the same explicit-only rule: recorded when the
+	// flag was passed (scenarios with replicated defaults, like
+	// fig15-replicated, describe themselves in their own results).
 	meta := runner.Meta{
 		Tool:        "midas-bench",
 		Seed:        *seed,
 		Topologies:  overrides.Topologies,
 		Parallelism: effParallel,
 		SimTime:     overridesSimTime(overrides),
+		Replicates:  overrides.Replicates,
 	}
 	if err := sink.Begin(meta); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -196,7 +214,7 @@ func main() {
 				return err
 			}
 			rr := out.RunnerResult()
-			r.Series, r.Metrics, r.Text = rr.Series, rr.Metrics, rr.Text
+			r.Series, r.Metrics, r.Summaries, r.Text = rr.Series, rr.Metrics, rr.Summaries, rr.Text
 			return nil
 		})
 		if err != nil {
@@ -232,17 +250,37 @@ func overridesSimTime(o scenario.Spec) string {
 // selected reports whether a scenario name matches one of the -figure
 // tokens: "all", a figure number ("12" matches "fig12-spatial-reuse"),
 // the "ablations" group, or any scenario-name prefix ("ht", "decomp",
-// "dense", "client-churn", or an exact name).
+// "dense", "client-churn", or an exact name). A figure number or the
+// bare stem it shares with its base figure selects only the paper's own
+// figure — beyond-paper variants like fig15-replicated run under "all"
+// or when their distinguishing suffix is (partially) named
+// ("-figure fig15-rep"), never silently alongside the figure they
+// extend.
 func selected(want []string, name string) bool {
 	for _, w := range want {
 		if w == "" {
 			continue
 		}
-		if w == "all" || strings.HasPrefix(name, "fig"+w+"-") ||
+		if w == "all" || prefixSelects(name, "fig"+w+"-") ||
 			(w == "ablations" && strings.HasPrefix(name, "ablation-")) ||
-			strings.HasPrefix(name, w) {
+			prefixSelects(name, w) {
 			return true
 		}
 	}
 	return false
+}
+
+// prefixSelects is prefix matching with one carve-out: a replicated
+// variant is chosen only by a prefix that reaches past the stem it
+// shares with its base figure ("fig15-r" does, "fig15" and "fig15-"
+// do not), so asking for a paper figure never silently adds its
+// 5-replicate variant.
+func prefixSelects(name, w string) bool {
+	if !strings.HasPrefix(name, w) {
+		return false
+	}
+	if i := strings.LastIndex(name, "-replicated"); i >= 0 {
+		return len(w) > i+1
+	}
+	return true
 }

@@ -10,8 +10,13 @@
 //
 //	midas-sim -list
 //	midas-sim -scenario fig12 -seed 7
-//	midas-sim -scenario fig15 -spec examples/office/spec.json -set clients=8
+//	midas-sim -scenario fig15-end -spec examples/office/spec.json -set clients=8
 //	midas-sim -scenario dense-venue -set clients=2,4,8 -format json
+//	midas-sim -scenario fig15-end -replicates 8    # mean ± 95% CI summaries
+//
+// -replicates N (or -set replicates=N) fans every run over N split
+// seeds and reports {mean, stddev, ci95, n} summaries per metric and
+// per series median instead of raw per-replicate output.
 //
 // Legacy mode (no -scenario/-spec) runs one hand-configured network and
 // prints per-AP and network-level results. With -runs N it replicates
@@ -44,18 +49,20 @@ import (
 )
 
 var (
-	nAPs      = flag.Int("aps", 3, "number of APs: 1, 3 (testbed triangle) or 8 (60×60 m)")
-	mode      = flag.String("mode", "both", "midas, cas or both")
-	clients   = flag.Int("clients", 4, "clients per AP")
-	antennas  = flag.Int("antennas", 4, "antennas per AP")
-	seed      = flag.Int64("seed", 1, "random seed (run r uses seed+r)")
-	simTime   = flag.Duration("simtime", 500*time.Millisecond, "simulated airtime")
-	txop      = flag.Duration("txop", 3*time.Millisecond, "TXOP data-phase duration")
-	tagWidth  = flag.Int("tagwidth", 2, "antennas tagged per packet (MIDAS)")
-	scheduler = flag.String("scheduler", "drr", "client scheduler: drr, rr or random")
-	runs      = flag.Int("runs", 1, "replicates over consecutive seeds")
-	parallel  = flag.Int("parallel", 0, "replicates evaluated concurrently (0 = GOMAXPROCS)")
-	memStats  = flag.Bool("memstats", false,
+	nAPs       = flag.Int("aps", 3, "number of APs: 1, 3 (testbed triangle) or 8 (60×60 m)")
+	mode       = flag.String("mode", "both", "midas, cas or both")
+	clients    = flag.Int("clients", 4, "clients per AP")
+	antennas   = flag.Int("antennas", 4, "antennas per AP")
+	seed       = flag.Int64("seed", 1, "random seed (run r uses seed+r)")
+	simTime    = flag.Duration("simtime", 500*time.Millisecond, "simulated airtime")
+	txop       = flag.Duration("txop", 3*time.Millisecond, "TXOP data-phase duration")
+	tagWidth   = flag.Int("tagwidth", 2, "antennas tagged per packet (MIDAS)")
+	scheduler  = flag.String("scheduler", "drr", "client scheduler: drr, rr or random")
+	runs       = flag.Int("runs", 1, "legacy mode: replicates over consecutive seeds with per-replicate output; in scenario mode an alias for -replicates (split seeds, merged summaries)")
+	parallel   = flag.Int("parallel", 0, "replicates evaluated concurrently (0 = GOMAXPROCS)")
+	replicates = flag.Int("replicates", 1,
+		"scenario-mode: replicate every run over split seeds and report {mean, stddev, ci95, n} summaries instead of raw per-replicate output")
+	memStats = flag.Bool("memstats", false,
 		"report heap allocations per simulated TXOP (single replicate only) — the steady-state precoding path should contribute none")
 
 	scenarioName = flag.String("scenario", "", "run a registered scenario (see -list); unique prefixes resolve")
@@ -93,8 +100,8 @@ func main() {
 	// Mirror of the scenario-mode legacy-flag rejection: scenario-only
 	// output flags must not be silently ignored on the legacy path.
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "format" || f.Name == "out" {
-			fmt.Fprintf(os.Stderr, "-%s applies to scenario mode only (add -scenario or -spec)\n", f.Name)
+		if f.Name == "format" || f.Name == "out" || f.Name == "replicates" {
+			fmt.Fprintf(os.Stderr, "-%s applies to scenario mode only (add -scenario or -spec; legacy mode replicates with -runs)\n", f.Name)
 			os.Exit(2)
 		}
 	})
@@ -146,10 +153,11 @@ func runScenarioMode() error {
 		}
 	}
 	// Shared legacy flags participate when explicitly set, so
-	// `-scenario fig15 -seed 7 -clients 8` works as expected. Legacy
+	// `-scenario fig15-end -seed 7 -clients 8` works as expected. Legacy
 	// flags with no spec equivalent are rejected rather than silently
 	// dropped — the run would otherwise not measure what was asked.
 	var flagErr error
+	runsSet, replicatesSet := false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "seed":
@@ -166,8 +174,21 @@ func runScenarioMode() error {
 			overrides.Antennas = *antennas
 		case "simtime":
 			overrides.SimTime = scenario.Duration(*simTime)
-		case "runs":
-			overrides.Replicates = *runs
+		case "runs", "replicates":
+			// Two spellings of the spec's replicate count (-runs is the
+			// legacy one). 0 would merge as "inherit the scenario
+			// default", so non-positive counts are refused loudly.
+			v := *runs
+			if f.Name == "replicates" {
+				v, replicatesSet = *replicates, true
+			} else {
+				runsSet = true
+			}
+			if v < 1 {
+				flagErr = fmt.Errorf("midas-sim: -%s must be >= 1 (got %d)", f.Name, v)
+				return
+			}
+			overrides.Replicates = v
 		case "parallel":
 			overrides.Parallelism = *parallel
 		case "aps", "mode", "txop", "tagwidth", "scheduler", "memstats":
@@ -176,6 +197,9 @@ func runScenarioMode() error {
 	})
 	if flagErr != nil {
 		return flagErr
+	}
+	if runsSet && replicatesSet && *runs != *replicates {
+		return fmt.Errorf("midas-sim: -runs %d conflicts with -replicates %d (they are the same knob; drop one)", *runs, *replicates)
 	}
 	for _, kv := range setFlags {
 		if err := applySet(&overrides, kv); err != nil {
@@ -247,6 +271,12 @@ func runScenarioMode() error {
 	}
 	if spec.SimTime > 0 {
 		meta.SimTime = time.Duration(spec.SimTime).String()
+	}
+	// Replicates is recorded whenever the resolved spec replicates, so a
+	// snapshot always says how many seeds its summaries aggregate; an
+	// unreplicated run keeps the historical meta block.
+	if spec.Replicates > 1 {
+		meta.Replicates = spec.Replicates
 	}
 	if err := sink.Begin(meta); err != nil {
 		return err

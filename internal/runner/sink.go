@@ -42,13 +42,35 @@ type Metric struct {
 	Note  string  `json:"note,omitempty"` // e.g. "paper: ≈200%"
 }
 
-// Result is everything one experiment produced.
+// Summary is one replicate-aggregated statistic: the mean of a value
+// across N independent replicate runs, its sample standard deviation,
+// and the half-width of the two-sided 95% Student-t confidence interval
+// on the mean (the true mean lies in Mean ± CI95 at 95% confidence,
+// assuming independent replicates).
+type Summary struct {
+	Name   string  `json:"name"`
+	Unit   string  `json:"unit,omitempty"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	CI95   float64 `json:"ci95"`
+	N      int     `json:"n"`
+}
+
+// SummaryOf converts a streaming accumulator into a Summary.
+func SummaryOf(name, unit string, s *stats.Summary) Summary {
+	return Summary{Name: name, Unit: unit, Mean: s.Mean(), Stddev: s.Std(), CI95: s.CI95(), N: s.N()}
+}
+
+// Result is everything one experiment produced. Summaries is populated
+// only by replicated runs, so single-replicate output (the golden
+// suite's format) marshals unchanged.
 type Result struct {
-	Name    string   `json:"name"`
-	Seconds float64  `json:"seconds"` // wall time of the experiment
-	Series  []Series `json:"series,omitempty"`
-	Metrics []Metric `json:"metrics,omitempty"`
-	Text    []string `json:"text,omitempty"` // free-form lines (maps, tables)
+	Name      string    `json:"name"`
+	Seconds   float64   `json:"seconds"` // wall time of the experiment
+	Series    []Series  `json:"series,omitempty"`
+	Metrics   []Metric  `json:"metrics,omitempty"`
+	Summaries []Summary `json:"summaries,omitempty"`
+	Text      []string  `json:"text,omitempty"` // free-form lines (maps, tables)
 }
 
 // AddSeries appends a curve built from a sample.
@@ -66,13 +88,15 @@ func (r *Result) AddText(format string, args ...any) {
 	r.Text = append(r.Text, fmt.Sprintf(format, args...))
 }
 
-// Meta records how a snapshot was produced.
+// Meta records how a snapshot was produced. Replicates is recorded
+// only when replication was requested (it is 0, omitted, otherwise).
 type Meta struct {
 	Tool        string `json:"tool"`
 	Seed        int64  `json:"seed"`
 	Topologies  int    `json:"topologies,omitempty"`
 	Parallelism int    `json:"parallelism"`
 	SimTime     string `json:"simtime,omitempty"`
+	Replicates  int    `json:"replicates,omitempty"`
 }
 
 // Snapshot is a full run: metadata plus every experiment's Result.
@@ -130,6 +154,13 @@ func (t *TextSink) Result(r Result) error {
 		}
 		fmt.Fprintln(t.W)
 	}
+	for _, s := range r.Summaries {
+		fmt.Fprintf(t.W, "%s: %s ± %s", s.Name, formatMetric(s.Mean), formatMetric(s.CI95))
+		if s.Unit != "" {
+			fmt.Fprintf(t.W, " %s", s.Unit)
+		}
+		fmt.Fprintf(t.W, " (95%% CI, n=%d, std %s)\n", s.N, formatMetric(s.Stddev))
+	}
 	for _, line := range r.Text {
 		fmt.Fprintln(t.W, line)
 	}
@@ -181,8 +212,11 @@ func (j *JSONSink) Close() error {
 //	experiment,kind,label,index,value,unit,note
 //
 // Series rows have kind "series" and ascending per-series indices;
-// metric rows have kind "metric" and index 0. Free-form text lines are
-// omitted (they are presentation, not data).
+// metric rows have kind "metric" and index 0. Each replicate summary
+// flattens to four rows — kinds "summary-mean", "summary-stddev",
+// "summary-ci95" and "summary-n" — sharing the summary's name as their
+// label. Free-form text lines are omitted (they are presentation, not
+// data).
 type CSVSink struct {
 	W  io.Writer
 	cw *csv.Writer
@@ -207,6 +241,21 @@ func (c *CSVSink) Result(r Result) error {
 	for _, m := range r.Metrics {
 		if err := c.cw.Write([]string{r.Name, "metric", m.Name, "0", fmtF(m.Value), m.Unit, m.Note}); err != nil {
 			return err
+		}
+	}
+	for _, s := range r.Summaries {
+		for _, row := range []struct {
+			kind string
+			v    float64
+		}{
+			{"summary-mean", s.Mean},
+			{"summary-stddev", s.Stddev},
+			{"summary-ci95", s.CI95},
+			{"summary-n", float64(s.N)},
+		} {
+			if err := c.cw.Write([]string{r.Name, row.kind, s.Name, "0", fmtF(row.v), s.Unit, ""}); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

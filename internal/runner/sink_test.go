@@ -95,6 +95,85 @@ func TestCSVSinkRows(t *testing.T) {
 	}
 }
 
+// TestSinksRenderSummaries verifies every sink carries the replicate
+// summaries: JSON round-trips the struct, CSV flattens each summary to
+// its four stat rows, and text prints the mean ± CI line.
+func TestSinksRenderSummaries(t *testing.T) {
+	var w stats.Summary
+	w.Add(10)
+	w.Add(14)
+	w.Add(12)
+	r := Result{Name: "fig0-demo"}
+	r.Summaries = append(r.Summaries, SummaryOf("median capacity", "bit/s/Hz", &w))
+
+	var jbuf strings.Builder
+	jsink := &JSONSink{W: &jbuf}
+	if err := jsink.Begin(Meta{Replicates: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jsink.Result(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := jsink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(jbuf.String()), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Meta.Replicates != 3 {
+		t.Errorf("meta replicates = %d, want 3", snap.Meta.Replicates)
+	}
+	got := snap.Results[0].Summaries
+	if len(got) != 1 || got[0].Mean != 12 || got[0].N != 3 || got[0].CI95 != w.CI95() {
+		t.Errorf("JSON summaries = %+v, want mean 12, n 3, ci95 %v", got, w.CI95())
+	}
+
+	var cbuf strings.Builder
+	csink := &CSVSink{W: &cbuf}
+	if err := csink.Begin(Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := csink.Result(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := csink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(cbuf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+4 { // header + mean/stddev/ci95/n
+		t.Fatalf("got %d rows: %v", len(rows), rows)
+	}
+	kinds := map[string]bool{}
+	for _, row := range rows[1:] {
+		kinds[row[1]] = true
+		if row[2] != "median capacity" {
+			t.Errorf("summary row label = %q", row[2])
+		}
+	}
+	for _, k := range []string{"summary-mean", "summary-stddev", "summary-ci95", "summary-n"} {
+		if !kinds[k] {
+			t.Errorf("missing CSV summary kind %q (have %v)", k, kinds)
+		}
+	}
+
+	var tbuf strings.Builder
+	tsink := &TextSink{W: &tbuf}
+	if err := tsink.Begin(Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tsink.Result(r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbuf.String(), "median capacity: 12 ± ") ||
+		!strings.Contains(tbuf.String(), "(95% CI, n=3, std 2)") {
+		t.Errorf("text sink missing the summary line:\n%s", tbuf.String())
+	}
+}
+
 // TestTextSinkFormat spot-checks the banner, CDF header and metric line.
 func TestTextSinkFormat(t *testing.T) {
 	var buf strings.Builder

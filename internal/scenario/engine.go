@@ -42,37 +42,62 @@ func Resolve(sc Scenario, overrides Spec) (Spec, error) {
 	return spec, nil
 }
 
-// Run resolves the spec, expands its sweep × replicates and dispatches
-// the expanded runs through the internal/runner worker pool at the
-// spec's parallelism. A single-run spec returns the scenario's result
-// untouched; multi-run specs merge per-run results with a "[label]"
-// prefix on every series, metric and text line, in expansion order.
-// Expanded-run errors cancel outstanding runs and surface the
-// lowest-index failure, exactly like any other runner sweep.
+// Run resolves the spec, expands its sweep into points, fans every
+// point into Replicates runs over split seeds, and dispatches the whole
+// flattened task list through the internal/runner worker pool at the
+// spec's parallelism. A single-point, single-replicate spec returns the
+// scenario's result untouched. Replicated points are merged into
+// {mean, stddev, ci95, n} summaries (see aggregateReplicates); multiple
+// sweep points merge with a "[label]" prefix on every series, metric,
+// summary and text line, in expansion order. Task errors cancel
+// outstanding runs and surface the lowest-index failure, exactly like
+// any other runner sweep.
 func Run(ctx context.Context, sc Scenario, overrides Spec) (Result, error) {
 	spec, err := Resolve(sc, overrides)
 	if err != nil {
 		return Result{}, err
 	}
-	runs := spec.expand()
+	points := spec.expand()
+	reps := spec.Replicates
+	if reps < 1 {
+		reps = 1
+	}
 	// Only a truly unswept spec skips labelling: a sweep that expands to
 	// one point keeps its "[clients=8]" prefix, so output schema does
 	// not depend on sweep cardinality.
-	if len(runs) == 1 && runs[0].Label == "" {
-		return sc.Run(runs[0].Spec, rng.New(runs[0].Spec.Seed))
+	if len(points) == 1 && points[0].Label == "" && reps == 1 {
+		return sc.Run(points[0].Spec, rng.New(points[0].Spec.Seed))
 	}
 
+	tasks := make([]Spec, 0, len(points)*reps)
+	for _, p := range points {
+		tasks = append(tasks, p.Spec.replicateSpecs()...)
+	}
 	opts := runner.Options{Parallelism: spec.Parallelism}
-	results, err := runner.Map(ctx, len(runs), opts, func(_ context.Context, i int) (Result, error) {
-		return sc.Run(runs[i].Spec, rng.New(runs[i].Spec.Seed))
+	results, err := runner.Map(ctx, len(tasks), opts, func(_ context.Context, i int) (Result, error) {
+		return sc.Run(tasks[i], rng.New(tasks[i].Seed))
 	})
 	if err != nil {
 		return Result{}, err
 	}
 
+	// Fold each point's replicate group; results arrive in task order,
+	// so group pi occupies results[pi*reps : (pi+1)*reps].
+	folded := make([]Result, len(points))
+	for pi := range points {
+		if reps == 1 {
+			folded[pi] = results[pi]
+		} else {
+			folded[pi] = aggregateReplicates(sc.Name(), results[pi*reps:(pi+1)*reps])
+		}
+	}
+	if len(points) == 1 && points[0].Label == "" {
+		return folded[0], nil
+	}
+
 	merged := Result{Scenario: sc.Name()}
-	for i, res := range results {
-		prefix := "[" + runs[i].Label + "] "
+	for i, res := range folded {
+		prefix := "[" + points[i].Label + "] "
 		for _, s := range res.Series {
 			s.Label = prefix + s.Label
 			merged.Series = append(merged.Series, s)
@@ -80,6 +105,10 @@ func Run(ctx context.Context, sc Scenario, overrides Spec) (Result, error) {
 		for _, m := range res.Metrics {
 			m.Name = prefix + m.Name
 			merged.Metrics = append(merged.Metrics, m)
+		}
+		for _, s := range res.Summaries {
+			s.Name = prefix + s.Name
+			merged.Summaries = append(merged.Summaries, s)
 		}
 		for _, line := range res.Text {
 			merged.Text = append(merged.Text, prefix+line)

@@ -52,7 +52,7 @@ func TestRegistryMatchesDirectCalls(t *testing.T) {
 	})
 
 	t.Run("fig15-e2e", func(t *testing.T) {
-		res, err := RunByName(ctx, "fig15", Spec{Topologies: 2, SimTime: Duration(30 * time.Millisecond)})
+		res, err := RunByName(ctx, "fig15-end", Spec{Topologies: 2, SimTime: Duration(30 * time.Millisecond)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,21 +138,33 @@ func TestEngineParallelismInvariance(t *testing.T) {
 	}
 }
 
-// TestReplicatesAdvanceSeeds verifies replicate r runs with seed+r and
-// results are labelled per replicate.
-func TestReplicatesAdvanceSeeds(t *testing.T) {
-	ctx := context.Background()
-	res, err := RunByName(ctx, "fig12", Spec{Topologies: 2, Replicates: 2, Seed: 5})
-	if err != nil {
-		t.Fatal(err)
+// TestReplicateSeedDerivation verifies the per-replicate seed contract:
+// replicate 0 runs the base seed unchanged (so a replicated run's first
+// replicate is bit-identical to the unreplicated run) and replicate
+// r >= 1 derives its seed from rng.New(seed).SplitN("replicate", r).
+func TestReplicateSeedDerivation(t *testing.T) {
+	s := Spec{Topologies: 1, Seed: 5, Antennas: 1, Clients: 1, Replicates: 3}
+	specs := s.replicateSpecs()
+	if len(specs) != 3 {
+		t.Fatalf("3 replicates expanded to %d specs", len(specs))
 	}
-	for r := 0; r < 2; r++ {
-		direct := sim.Fig12SpatialReuse(2, 5+int64(r))
-		var ratios []float64
-		for _, p := range direct {
-			ratios = append(ratios, p.Ratio)
+	if specs[0].Seed != 5 {
+		t.Errorf("replicate 0 seed = %d, want the base seed 5", specs[0].Seed)
+	}
+	root := rng.New(5)
+	for r := 1; r < 3; r++ {
+		want := root.SplitN("replicate", r).Seed()
+		if specs[r].Seed != want {
+			t.Errorf("replicate %d seed = %d, want the split-derived %d", r, specs[r].Seed, want)
 		}
-		wantSeriesUnsorted(t, res, fmt.Sprintf("[rep=%d] simultaneous-stream ratio MIDAS/CAS", r), ratios)
+		if specs[r].Seed == 5+int64(r) {
+			t.Errorf("replicate %d landed on the consecutive seed %d — split derivation must decorrelate from user-picked seed+r streams", r, specs[r].Seed)
+		}
+	}
+	for r, q := range specs {
+		if q.Replicates != 1 || q.Sweep != nil {
+			t.Errorf("replicate %d spec must be concrete: %+v", r, q)
+		}
 	}
 }
 
@@ -239,13 +251,18 @@ func TestIgnoredKnobsAreRejected(t *testing.T) {
 // are cancelled (far fewer than all runs start) and the lowest-index
 // failure surfaces.
 func TestScenarioErrorCancelsSweep(t *testing.T) {
-	const failFrom = 3 // replicate seeds 1,2 succeed; 3.. fail
+	const failFrom = 3 // sweep seeds 1,2 succeed; 3.. fail
+	seeds := make([]float64, 64)
+	for i := range seeds {
+		seeds[i] = float64(i + 1)
+	}
 	var started atomic.Int32
 	sc := &scenarioFunc{
 		name: "test-failing-scenario",
 		defaults: Spec{
 			Topologies: 1, Seed: 1, Antennas: 1, Clients: 1,
-			Replicates: 64, Parallelism: 2,
+			Replicates: 1, Parallelism: 2,
+			Sweep: map[string][]float64{"seed": seeds},
 		},
 		run: func(spec Spec, _ *rng.Source, r *Result) error {
 			started.Add(1)

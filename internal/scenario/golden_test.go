@@ -38,6 +38,9 @@ func goldenOverrides(name string) Spec {
 	case "fig15-end-to-end", "decomp-gain-breakdown", "client-churn",
 		"ablation-tagwidth", "ablation-waitwindow", "ablation-scheduler":
 		return Spec{Topologies: 2, SimTime: short}
+	case "fig15-replicated": // 3 replicates of a short e2e run, so the
+		// golden pins the {mean, stddev, ci95, n} summary schema
+		return Spec{Topologies: 2, SimTime: short, Replicates: 3}
 	case "fig16-large-scale":
 		return Spec{Topologies: 2, SimTime: short}
 	case "dense-venue": // 16-AP DES × the clients sweep

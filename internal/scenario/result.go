@@ -15,7 +15,11 @@ type Result struct {
 	Scenario string          `json:"scenario"`
 	Series   []runner.Series `json:"series,omitempty"`
 	Metrics  []runner.Metric `json:"metrics,omitempty"`
-	Text     []string        `json:"text,omitempty"`
+	// Summaries carries the replicate-aggregated statistics of a
+	// Replicates > 1 run; single-replicate results omit it, keeping
+	// their serialization byte-identical to the pre-replication format.
+	Summaries []runner.Summary `json:"summaries,omitempty"`
+	Text      []string         `json:"text,omitempty"`
 }
 
 // AddSeries appends a curve built from a sample.
@@ -37,10 +41,11 @@ func (r *Result) AddText(format string, args ...any) {
 // (TextSink/JSONSink/CSVSink); the caller stamps timing if it wants it.
 func (r Result) RunnerResult() runner.Result {
 	return runner.Result{
-		Name:    r.Scenario,
-		Series:  r.Series,
-		Metrics: r.Metrics,
-		Text:    r.Text,
+		Name:      r.Scenario,
+		Series:    r.Series,
+		Metrics:   r.Metrics,
+		Summaries: r.Summaries,
+		Text:      r.Text,
 	}
 }
 

@@ -279,19 +279,34 @@ func init() {
 		},
 	})
 
+	runFig15 := func(spec Spec, _ *rng.Source, r *Result) error {
+		cas, midas := sim.Fig15EndToEnd(spec.e2eOpts())
+		r.AddSeries("CAS network capacity", "bit/s/Hz", cas)
+		r.AddSeries("MIDAS network capacity", "bit/s/Hz", midas)
+		_, _, gain := sim.SummarizeGain(cas, midas)
+		r.AddMetric("median end-to-end gain", gain*100, "%", "paper: ≈200%")
+		return nil
+	}
 	Register(&scenarioFunc{
 		name:     "fig15-end-to-end",
 		ignores:  []string{KnobRegion},
 		about:    "Figure 15: 3-AP testbed network capacity, CAS vs full MIDAS",
 		defaults: e2eSpec(60),
-		run: func(spec Spec, _ *rng.Source, r *Result) error {
-			cas, midas := sim.Fig15EndToEnd(spec.e2eOpts())
-			r.AddSeries("CAS network capacity", "bit/s/Hz", cas)
-			r.AddSeries("MIDAS network capacity", "bit/s/Hz", midas)
-			_, _, gain := sim.SummarizeGain(cas, midas)
-			r.AddMetric("median end-to-end gain", gain*100, "%", "paper: ≈200%")
-			return nil
-		},
+		run:      runFig15,
+	})
+
+	// The replicated variant runs the same experiment body; the engine's
+	// replication layer fans it over split seeds and reports every
+	// metric and series median as mean ± 95% CI instead of a single-seed
+	// point estimate.
+	replDefaults := e2eSpec(20)
+	replDefaults.Replicates = 5
+	Register(&scenarioFunc{
+		name:     "fig15-replicated",
+		ignores:  []string{KnobRegion},
+		about:    "Beyond-paper: Figure 15's testbed replicated over split seeds, reported as mean ± 95% CI per metric",
+		defaults: replDefaults,
+		run:      runFig15,
 	})
 
 	Register(&scenarioFunc{

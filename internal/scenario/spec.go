@@ -83,14 +83,20 @@ type Spec struct {
 	// Topologies is the number of independent random topologies (or
 	// deployments) the experiment averages over.
 	Topologies int `json:"topologies,omitempty"`
-	// Seed is the root random seed; replicate r runs with Seed+r.
+	// Seed is the root random seed. Replicate 0 runs it directly;
+	// replicate r >= 1 derives a decorrelated seed from it via
+	// rng.Source.Split (see replicateSpecs).
 	Seed int64 `json:"seed,omitempty"`
 	// SimTime is the simulated airtime of each end-to-end run.
 	SimTime Duration `json:"simtime,omitempty"`
 	// Antennas and Clients are per-AP counts.
 	Antennas int `json:"antennas,omitempty"`
 	Clients  int `json:"clients,omitempty"`
-	// Replicates repeats the whole run over consecutive seeds.
+	// Replicates repeats every sweep point over split seeds; the engine
+	// merges the N results into per-metric {mean, stddev, ci95, n}
+	// summaries instead of reporting each replicate individually.
+	// Replicates 1 (the default) is byte-identical to an unreplicated
+	// run.
 	Replicates int `json:"replicates,omitempty"`
 	// Parallelism bounds how many expanded runs (sweep points ×
 	// replicates) execute concurrently; 0 selects GOMAXPROCS. Results
@@ -343,6 +349,7 @@ func (s Spec) Validate() error {
 		if len(vals) == 0 {
 			return fmt.Errorf("scenario: sweep %q has no values", key)
 		}
+		seen := make(map[float64]bool, len(vals))
 		for _, v := range vals {
 			if !isFinite(v) {
 				return fmt.Errorf("scenario: sweep %q value %g is not finite", key, v)
@@ -353,6 +360,13 @@ func (s Spec) Validate() error {
 			if key != "seed" && v < 1 {
 				return fmt.Errorf("scenario: sweep %q value %g must be >= 1", key, v)
 			}
+			if seen[v] {
+				// Duplicates would expand to indistinguishable points with
+				// identical labels; the sweep cross-product contract says
+				// every point is unique.
+				return fmt.Errorf("scenario: sweep %q lists value %g twice", key, v)
+			}
+			seen[v] = true
 		}
 		total *= len(vals)
 	}
@@ -489,8 +503,14 @@ func (s Spec) SplitParallelism() int {
 }
 
 // expand unrolls the sweep cross-product (keys in sorted order, values
-// in listed order) and the replicates into concrete runs. A spec with
-// no sweep and one replicate expands to a single unlabelled run.
+// in listed order) into concrete sweep points. Contract (pinned by
+// TestSweepExpansionProperties): the point count equals the
+// cross-product of the value-list lengths, labels are unique, and the
+// expansion order is deterministic. Replicates are NOT unrolled here —
+// the engine fans each point into Replicates runs with split-derived
+// seeds (replicateSpecs) and merges them back into one summarized
+// result, so a sweep point is the unit of reporting. A spec with no
+// sweep expands to a single unlabelled point.
 func (s Spec) expand() []run {
 	keys := make([]string, 0, len(s.Sweep))
 	for k := range s.Sweep {
@@ -516,24 +536,8 @@ func (s Spec) expand() []run {
 		points = next
 	}
 
-	out := make([]run, 0, len(points)*s.Replicates)
-	for _, p := range points {
-		for r := 0; r < s.Replicates; r++ {
-			q := p.Spec.clone()
-			q.Sweep = nil
-			q.Replicates = 1
-			q.Seed += int64(r)
-			label := p.Label
-			if s.Replicates > 1 {
-				rep := fmt.Sprintf("rep=%d", r)
-				if label != "" {
-					label += "," + rep
-				} else {
-					label = rep
-				}
-			}
-			out = append(out, run{Label: label, Spec: q})
-		}
+	for i := range points {
+		points[i].Spec.Sweep = nil
 	}
-	return out
+	return points
 }

@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestSweepExpansionProperties pins, with randomized sweep maps, the
+// contract PR 3 left implicit and the replication layer now leans on:
+// for any valid sweep,
+//
+//  1. the number of expanded points equals the cross-product of the
+//     value-list lengths,
+//  2. point labels are unique (Validate rejects duplicate values, and
+//     the key=value labelling keeps distinct points distinct), and
+//  3. expansion order is deterministic — expanding the same spec twice
+//     yields deeply equal runs, regardless of map iteration order.
+func TestSweepExpansionProperties(t *testing.T) {
+	rnd := rand.New(rand.NewSource(20140812))
+	keys := make([]string, 0, len(sweepKeys))
+	for k := range sweepKeys {
+		keys = append(keys, k)
+	}
+
+	for iter := 0; iter < 300; iter++ {
+		s := Spec{
+			Topologies: 1 + rnd.Intn(4),
+			Seed:       int64(1 + rnd.Intn(1000)),
+			Antennas:   1 + rnd.Intn(4),
+			Clients:    1 + rnd.Intn(4),
+			Replicates: 1 + rnd.Intn(3),
+		}
+		// Pick a random subset of sweep keys with random distinct
+		// ascending values (Validate requires integers >= 1, no dups).
+		perm := rnd.Perm(len(keys))
+		nkeys := rnd.Intn(4) // 0..3 keys
+		wantPoints := 1
+		sweep := map[string][]float64{}
+		for _, ki := range perm[:nkeys] {
+			n := 1 + rnd.Intn(3)
+			vals := make([]float64, 0, n)
+			v := 0
+			for len(vals) < n {
+				v += 1 + rnd.Intn(3)
+				vals = append(vals, float64(v))
+			}
+			// Shuffle so listed order (preserved by expand) is exercised.
+			rnd.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+			sweep[keys[ki]] = vals
+			wantPoints *= n
+		}
+		if len(sweep) > 0 {
+			s.Sweep = sweep
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("iter %d: generator produced an invalid spec (%v): %+v", iter, err, s)
+		}
+
+		points := s.expand()
+		if len(points) != wantPoints {
+			t.Fatalf("iter %d: %d points, want cross-product %d (sweep %v)", iter, len(points), wantPoints, sweep)
+		}
+		seen := make(map[string]bool, len(points))
+		for _, p := range points {
+			if seen[p.Label] {
+				t.Fatalf("iter %d: duplicate label %q (sweep %v)", iter, p.Label, sweep)
+			}
+			seen[p.Label] = true
+			if p.Spec.Sweep != nil {
+				t.Fatalf("iter %d: point %q kept its sweep", iter, p.Label)
+			}
+			if p.Spec.Replicates != s.Replicates {
+				t.Fatalf("iter %d: point %q replicates = %d, want %d", iter, p.Label, p.Spec.Replicates, s.Replicates)
+			}
+		}
+		if again := s.expand(); !reflect.DeepEqual(points, again) {
+			t.Fatalf("iter %d: expansion is not deterministic (sweep %v)", iter, sweep)
+		}
+	}
+}

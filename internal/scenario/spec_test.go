@@ -166,8 +166,8 @@ func TestMerge(t *testing.T) {
 }
 
 // TestExpand verifies the sweep cross-product: sorted key order,
-// value order preserved, replicates advancing the seed, and stable
-// labels.
+// value order preserved, replicates left to the engine's replication
+// layer, and stable labels.
 func TestExpand(t *testing.T) {
 	s := Spec{
 		Topologies: 2, Seed: 10, Antennas: 4, Clients: 4, Replicates: 1,
@@ -189,15 +189,16 @@ func TestExpand(t *testing.T) {
 		t.Errorf("sweep values not applied: %+v", runs[1].Spec)
 	}
 
+	// Replicates are not unrolled by expand: the engine fans each sweep
+	// point through replicateSpecs and merges the results, so a
+	// replicated unswept spec is still a single (unlabelled) point.
 	s = Spec{Topologies: 1, Seed: 10, Antennas: 1, Clients: 1, Replicates: 3}
 	runs = s.expand()
-	if len(runs) != 3 {
-		t.Fatalf("3 replicates expanded to %d runs", len(runs))
+	if len(runs) != 1 || runs[0].Label != "" {
+		t.Fatalf("3 replicates must stay one sweep point, got %d runs (label %q)", len(runs), runs[0].Label)
 	}
-	for r, got := range runs {
-		if got.Spec.Seed != 10+int64(r) {
-			t.Errorf("replicate %d seed = %d, want %d", r, got.Spec.Seed, 10+r)
-		}
+	if runs[0].Spec.Replicates != 3 {
+		t.Errorf("sweep point must keep its replicate count, got %+v", runs[0].Spec)
 	}
 
 	s = Spec{Topologies: 1, Seed: 10, Antennas: 1, Clients: 1, Replicates: 1}

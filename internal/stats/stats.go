@@ -38,12 +38,21 @@ func Milliwatt(dbm float64) float64 { return Linear(dbm) }
 // stream of float64 observations without storing them.
 type Summary struct {
 	n        int
+	nans     int
 	mean, m2 float64
 	min, max float64
 }
 
-// Add records one observation.
+// Add records one observation. Non-finite observations (NaN, ±Inf) are
+// counted separately (see NaNs) and do not perturb the statistics — a
+// single bad replicate value must not poison a whole aggregation, and
+// one ±Inf would turn the running mean/variance into NaN on the next
+// finite observation.
 func (s *Summary) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		s.nans++
+		return
+	}
 	if s.n == 0 {
 		s.min, s.max = x, x
 	} else {
@@ -69,6 +78,9 @@ func (s *Summary) AddN(x float64, k int) {
 
 // N returns the number of observations recorded.
 func (s *Summary) N() int { return s.n }
+
+// NaNs returns the number of non-finite observations rejected by Add.
+func (s *Summary) NaNs() int { return s.nans }
 
 // Mean returns the running mean, or 0 if no observations were recorded.
 func (s *Summary) Mean() float64 { return s.mean }
@@ -100,30 +112,41 @@ func (s *Summary) String() string {
 // queries. The zero value is ready to use.
 type Sample struct {
 	xs     []float64
+	nans   int
 	sorted bool
 }
 
 // NewSample returns a Sample pre-seeded with xs (the slice is copied).
 func NewSample(xs ...float64) *Sample {
-	s := &Sample{xs: make([]float64, len(xs))}
-	copy(s.xs, xs)
+	s := &Sample{xs: make([]float64, 0, len(xs))}
+	s.AddAll(xs)
 	return s
 }
 
-// Add appends one observation.
+// Add appends one observation. NaN is rejected (counted via NaNs, never
+// stored): a NaN in the sample would make it unsortable and poison
+// every quantile.
 func (s *Sample) Add(x float64) {
+	if math.IsNaN(x) {
+		s.nans++
+		return
+	}
 	s.xs = append(s.xs, x)
 	s.sorted = false
 }
 
-// AddAll appends every observation in xs.
+// AddAll appends every observation in xs, rejecting NaNs like Add.
 func (s *Sample) AddAll(xs []float64) {
-	s.xs = append(s.xs, xs...)
-	s.sorted = false
+	for _, x := range xs {
+		s.Add(x)
+	}
 }
 
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
+
+// NaNs returns the number of NaN observations rejected by Add/AddAll.
+func (s *Sample) NaNs() int { return s.nans }
 
 // Values returns the observations in ascending order. The returned slice
 // is owned by the Sample and must not be modified.
@@ -145,7 +168,9 @@ func (s *Sample) Quantile(q float64) (float64, error) {
 	if len(s.xs) == 0 {
 		return 0, ErrEmpty
 	}
-	if q < 0 || q > 1 {
+	// NaN compares false against both bounds, so test it explicitly —
+	// otherwise it would flow into the index arithmetic below.
+	if math.IsNaN(q) || q < 0 || q > 1 {
 		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
 	}
 	s.sort()
@@ -206,8 +231,11 @@ func (s *Sample) ECDF() *CDF {
 	return c
 }
 
-// At returns F(x) — the fraction of mass at or below x.
+// At returns F(x) — the fraction of mass at or below x. F(NaN) is NaN.
 func (c *CDF) At(x float64) float64 {
+	if math.IsNaN(x) {
+		return math.NaN()
+	}
 	// First index with X[i] > x; F is the count of values <= x.
 	i := sort.SearchFloat64s(c.X, math.Nextafter(x, math.Inf(1)))
 	if i == 0 {
@@ -216,9 +244,10 @@ func (c *CDF) At(x float64) float64 {
 	return c.F[i-1]
 }
 
-// Quantile returns the smallest x with F(x) >= q.
+// Quantile returns the smallest x with F(x) >= q. An empty CDF or a NaN
+// q returns NaN.
 func (c *CDF) Quantile(q float64) float64 {
-	if len(c.X) == 0 {
+	if len(c.X) == 0 || math.IsNaN(q) {
 		return math.NaN()
 	}
 	i := sort.SearchFloat64s(c.F, q)
@@ -258,6 +287,7 @@ type Histogram struct {
 	Counts []int
 	under  int
 	over   int
+	nans   int
 }
 
 // NewHistogram creates a histogram with bins uniform bins spanning [lo,hi).
@@ -268,8 +298,15 @@ func NewHistogram(lo, hi float64, bins int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
 }
 
-// Add records one observation; out-of-range values are tallied separately.
+// Add records one observation; out-of-range values are tallied
+// separately, as are NaNs — a NaN compares false against both bounds
+// and would otherwise reach the bin index conversion, whose result is
+// undefined (an out-of-bounds panic on most platforms).
 func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		h.nans++
+		return
+	}
 	if x < h.Lo {
 		h.under++
 		return
@@ -296,6 +333,9 @@ func (h *Histogram) N() int {
 
 // Outliers returns the number of observations below Lo and at/above Hi.
 func (h *Histogram) Outliers() (under, over int) { return h.under, h.over }
+
+// NaNs returns the number of NaN observations rejected by Add.
+func (h *Histogram) NaNs() int { return h.nans }
 
 // Bin returns the [lo,hi) bounds of bin i.
 func (h *Histogram) Bin(i int) (lo, hi float64) {
