@@ -6,12 +6,16 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test test-race golden examples bench-smoke bench bench-snapshot alloc-guard cover fmt
+.PHONY: ci fmt-check vet build test test-race golden examples bench-smoke serve-smoke bench bench-snapshot bench-compare alloc-guard cover fmt
 
 # (`test` already runs the golden suite once and `test-race` replays it
 # under the race detector; the explicit `golden` target is for focused
 # local runs, not a third CI pass.)
-ci: fmt-check vet build test test-race alloc-guard cover bench-smoke examples
+#
+# This exact target is what .github/workflows/ci.yml runs — the
+# workflow is a thin wrapper, so the local gate and the per-commit gate
+# cannot diverge.
+ci: fmt-check vet build test test-race alloc-guard cover bench-smoke serve-smoke examples
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -29,10 +33,10 @@ test:
 	$(GO) test ./...
 
 # The race detector over the packages that own concurrency: the worker
-# pool, the scenario engine dispatching expanded runs through it, and
-# the experiment drivers.
+# pool, the scenario engine dispatching expanded runs through it, the
+# experiment drivers, and the serving layer's job pool + cache.
 test-race:
-	$(GO) test -race ./internal/scenario ./internal/runner ./internal/sim
+	$(GO) test -race ./internal/scenario ./internal/runner ./internal/sim ./internal/service
 
 # The golden-figure regression suite: replay every registered
 # scenario's committed spec at parallelism 1 and 8 and require
@@ -60,6 +64,14 @@ bench-smoke:
 	$(GO) run ./cmd/midas-sim -scenario fig12 -set topologies=2 -replicates 3 -format json > /dev/null
 	$(GO) test -run='^$$' -bench='BenchmarkFig12|BenchmarkFig15Replicated' -benchtime=1x .
 
+# End-to-end pass through the serving layer: start midas-serve on an
+# ephemeral port, submit a reduced-scale fig12 spec over HTTP, poll to
+# completion, diff the served result against `midas-sim -spec` for the
+# same spec (only the meta tool name may differ), verify the spec-hash
+# cache answers a resubmission byte-identically, and drain on SIGTERM.
+serve-smoke:
+	./scripts/serve-smoke.sh
+
 # Full-scale root benchmarks (slow).
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
@@ -74,18 +86,32 @@ alloc-guard:
 # scale figure benchmarks, and write the committed baseline. To check a
 # working tree against the committed file, write to a scratch path and
 # compare the "after" ns/op columns (timings never reproduce bitwise):
-#   go run ./cmd/midas-bench -kernels -topos 8 -out /tmp/now.json
+#   make bench-snapshot BENCH_OUT=/tmp/now.json bench-compare
+BENCH_OUT ?= BENCH_PR2.json
 bench-snapshot:
-	$(GO) run ./cmd/midas-bench -kernels -topos 8 -rounds 3 -out BENCH_PR2.json
+	$(GO) run ./cmd/midas-bench -kernels -topos 8 -rounds 3 -out $(BENCH_OUT)
 
-# Coverage floors for the layers whose bugs are pure arithmetic (they
-# type-check and run fine while producing wrong statistics): the stats
-# accumulators and the scenario/replication engine must stay >= 80%
-# line-covered. The per-package totals print either way; a package
-# under its floor fails the target (and `make ci`).
+# Column-wise regression gate against the committed baseline: fail if
+# any kernel regressed more than BENCH_MAX_REGRESS%. The default gate
+# metric is the after/before ns-op ratio, which is measured same-run
+# same-host inside each snapshot, so the comparison holds across
+# machines (the nightly runner vs whoever committed BENCH_PR2.json);
+# pass BENCH_METRIC=ns for an absolute same-machine comparison. The
+# nightly workflow snapshots to a scratch BENCH_OUT and runs this.
+BENCH_MAX_REGRESS ?= 25
+BENCH_METRIC ?= ratio
+bench-compare:
+	$(GO) run ./cmd/midas-benchdiff -base BENCH_PR2.json -new $(BENCH_OUT) -max-regress $(BENCH_MAX_REGRESS) -metric $(BENCH_METRIC)
+
+# Coverage floors for the layers whose bugs are subtle at runtime: the
+# stats accumulators and the scenario/replication engine (wrong numbers
+# type-check fine), and the serving layer (lifecycle/caching races
+# surface only under load) must stay >= 80% line-covered. The
+# per-package totals print either way; a package under its floor fails
+# the target (and `make ci`).
 COVER_FLOOR = 80
 cover:
-	@set -e; for pkg in ./internal/stats ./internal/scenario; do \
+	@set -e; for pkg in ./internal/stats ./internal/scenario ./internal/service; do \
 		profile=$$(mktemp); \
 		$(GO) test -coverprofile=$$profile $$pkg > /dev/null; \
 		pct=$$($(GO) tool cover -func=$$profile | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \

@@ -160,17 +160,13 @@ func main() {
 	if *outPath != "" {
 		w = &buf
 	}
-	var sink runner.Sink
-	switch *format {
-	case "text":
-		sink = &runner.TextSink{W: w, Points: *points}
-	case "json":
-		sink = &runner.JSONSink{W: w}
-	case "csv":
-		sink = &runner.CSVSink{W: w}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown format %q (want text, json or csv)\n", *format)
+	sink, err := runner.NewSink(*format, w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if ts, ok := sink.(*runner.TextSink); ok {
+		ts.Points = *points
 	}
 
 	effParallel := *parallel

@@ -1,0 +1,172 @@
+// Command midas-benchdiff compares two midas-bench -kernels snapshots
+// (the BENCH_*.json format) and fails when any kernel regressed beyond
+// a threshold — the gate the nightly workflow runs against the
+// committed baseline. Timings never reproduce bitwise, so the
+// comparison is column-wise per kernel, exactly as the Makefile's
+// bench-snapshot guidance prescribes:
+//
+//	midas-benchdiff -base BENCH_PR2.json -new /tmp/nightly.json -max-regress 25
+//
+// The default gate metric is the kernel's after/before ns/op *ratio*:
+// every snapshot re-measures the frozen pre-workspace implementation
+// ("before") and the live kernels ("after") in the same run on the
+// same machine, so the ratio is a host-speed-independent measure of
+// how much faster the live code is than the frozen reference. That
+// makes the committed baseline comparable across hardware — the
+// nightly runner need not resemble the machine that wrote
+// BENCH_PR2.json. A kernel regresses when its fresh ratio exceeds the
+// baseline ratio by more than -max-regress percent. -metric ns
+// switches to absolute "after" ns/op comparison for same-machine use
+// (checking a working tree against a snapshot you just wrote).
+//
+// A kernel present in the baseline but missing from the new snapshot
+// is an error (a silently dropped benchmark would hide a regression
+// forever); new kernels absent from the baseline are reported but do
+// not fail. Alloc counts are printed alongside for context; only the
+// gate metric fails the run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+var (
+	basePath   = flag.String("base", "BENCH_PR2.json", "committed baseline snapshot")
+	newPath    = flag.String("new", "", "freshly measured snapshot to check")
+	maxRegress = flag.Float64("max-regress", 25, "max allowed regression in percent")
+	metric     = flag.String("metric", "ratio",
+		"gate metric: \"ratio\" (after/before ns-op ratio, host-speed independent) or \"ns\" (absolute after ns/op, same-machine only)")
+)
+
+// measurement mirrors one column of the snapshot's kernel entries.
+type measurement struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp int64   `json:"allocs_op"`
+	BytesOp  int64   `json:"bytes_op"`
+}
+
+// kernel is one before/after pair.
+type kernel struct {
+	Name   string      `json:"name"`
+	Before measurement `json:"before"`
+	After  measurement `json:"after"`
+}
+
+// ratio is the host-normalized cost of the live kernel relative to the
+// frozen reference measured in the same run (lower is better; the
+// snapshot's "speedup" field is its reciprocal).
+func (k kernel) ratio() float64 { return k.After.NsOp / k.Before.NsOp }
+
+// snapshot is the subset of the midas-bench -kernels format the diff
+// needs; unknown fields (figures, host metadata) are ignored.
+type snapshot struct {
+	Schema  string   `json:"schema"`
+	Kernels []kernel `json:"kernels"`
+}
+
+func load(path string) (snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return snapshot{}, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return snapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Kernels) == 0 {
+		return snapshot{}, fmt.Errorf("%s: no kernels (schema %q) — not a midas-bench -kernels snapshot?", path, s.Schema)
+	}
+	for _, k := range s.Kernels {
+		if k.Before.NsOp <= 0 || k.After.NsOp <= 0 {
+			return snapshot{}, fmt.Errorf("%s: kernel %s has non-positive ns/op", path, k.Name)
+		}
+	}
+	return s, nil
+}
+
+func main() {
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "midas-benchdiff: -new is required")
+		os.Exit(2)
+	}
+	if *metric != "ratio" && *metric != "ns" {
+		fmt.Fprintf(os.Stderr, "midas-benchdiff: unknown -metric %q (want ratio or ns)\n", *metric)
+		os.Exit(2)
+	}
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "midas-benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// gateValue extracts the compared quantity from one kernel entry.
+func gateValue(k kernel) float64 {
+	if *metric == "ns" {
+		return k.After.NsOp
+	}
+	return k.ratio()
+}
+
+func gateLabel() string {
+	if *metric == "ns" {
+		return "after ns/op"
+	}
+	return "after/before ratio"
+}
+
+func run() error {
+	base, err := load(*basePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		return err
+	}
+	freshByName := make(map[string]kernel, len(fresh.Kernels))
+	for _, k := range fresh.Kernels {
+		freshByName[k.Name] = k
+	}
+	baseNames := make(map[string]bool, len(base.Kernels))
+
+	fmt.Printf("gate metric: %s (max regression +%.0f%%)\n\n", gateLabel(), *maxRegress)
+	fmt.Printf("%-22s %12s %12s %9s  %s\n", "kernel", "base", "new", "delta", "allocs (base→new)")
+	var failures []string
+	for _, b := range base.Kernels {
+		baseNames[b.Name] = true
+		n, ok := freshByName[b.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in %s but missing from %s", b.Name, *basePath, *newPath))
+			continue
+		}
+		bv, nv := gateValue(b), gateValue(n)
+		deltaPct := (nv - bv) / bv * 100
+		marker := ""
+		if deltaPct > *maxRegress {
+			marker = "  REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %s %.3f → %.3f (%+.1f%%, max +%.0f%%)",
+				b.Name, gateLabel(), bv, nv, deltaPct, *maxRegress))
+		}
+		fmt.Printf("%-22s %12.3f %12.3f %+8.1f%%  %d→%d%s\n",
+			b.Name, bv, nv, deltaPct, b.After.AllocsOp, n.After.AllocsOp, marker)
+	}
+	for _, k := range fresh.Kernels {
+		if !baseNames[k.Name] {
+			fmt.Printf("%-22s %12s %12.3f %9s  (new kernel, not in baseline)\n", k.Name, "-", gateValue(k), "-")
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Println()
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", f)
+		}
+		return fmt.Errorf("%d kernel(s) regressed beyond +%.0f%% against %s", len(failures), *maxRegress, *basePath)
+	}
+	fmt.Printf("\nOK: %d kernels within +%.0f%% of %s\n", len(base.Kernels), *maxRegress, *basePath)
+	return nil
+}

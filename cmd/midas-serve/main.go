@@ -1,0 +1,125 @@
+// Command midas-serve is the long-running scenario server: the whole
+// experiment registry behind an HTTP job API, with spec-hash result
+// caching, so identical specs are computed once and then served from
+// memory.
+//
+//	midas-serve [-addr host:port] [-workers N] [-queue N] [-cache N]
+//
+//	POST   /v1/jobs             submit a spec (midas-sim -spec schema)
+//	GET    /v1/jobs/{id}        status + progress
+//	GET    /v1/jobs/{id}/result result snapshot (JSON sink rendering)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/scenarios        registry listing with default specs
+//	GET    /healthz             liveness
+//	GET    /metrics             jobs by state, cache hit rate, queue depth
+//
+// -addr with port 0 binds an ephemeral port; the actual address is
+// printed as "midas-serve listening on http://host:port" so scripted
+// callers (make serve-smoke) can discover it. SIGINT/SIGTERM drain
+// gracefully: in-flight jobs finish, then the process exits; a second
+// signal cancels them.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+var (
+	addr    = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
+	workers = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS); each job also fans expanded runs over the engine pool")
+	queue   = flag.Int("queue", 0, "queued-job bound before submissions are rejected (0 = 64)")
+	cache   = flag.Int("cache", 0, "spec-hash result cache entries (0 = 128, negative disables)")
+	retain  = flag.Int("retain", 0, "terminal jobs kept pollable before the oldest are forgotten (0 = 512)")
+	drain   = flag.Duration("drain", time.Minute, "how long a shutdown signal waits for in-flight jobs before cancelling them")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "midas-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// Split the machine between the job workers once, up front: each
+	// job's expanded runs already parallelize at the spec's own
+	// parallelism (a per-run runner option), but the experiment
+	// drivers' inner topology sweeps use the package-global
+	// sim.Parallelism, which defaults to full GOMAXPROCS — with W
+	// concurrent jobs that would oversubscribe the scheduler W-fold,
+	// exactly what the CLIs' SplitParallelism dance avoids. The global
+	// cannot be reassigned per job (concurrent jobs would race on it),
+	// so divide the cores evenly across workers at startup.
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	sim.Parallelism = (runtime.GOMAXPROCS(0) + w - 1) / w
+	svc := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		JobRetention: *retain,
+	})
+	srv := &http.Server{Handler: svc.Handler()}
+
+	// The discovery line scripted callers parse; keep the format stable.
+	fmt.Printf("midas-serve listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	// Drain the job pool FIRST, with HTTP still up: the service
+	// rejects new submissions the moment Shutdown begins (503, and
+	// /healthz reports "draining"), while clients keep polling and can
+	// collect the results of the jobs that are finishing — computing a
+	// result during a drain and then refusing to serve it would waste
+	// the whole point of draining. Only once the jobs are settled does
+	// the listener close, with a short grace for in-flight requests.
+	fmt.Println("midas-serve draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := svc.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "midas-serve: drain expired, outstanding jobs cancelled:", err)
+	}
+	httpCtx, httpCancel := context.WithTimeout(context.Background(), httpExitGrace)
+	defer httpCancel()
+	if err := srv.Shutdown(httpCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Println("midas-serve stopped")
+	return nil
+}
+
+// httpExitGrace bounds how long the listener stays open after the job
+// drain for final status/result fetches; handlers are all sub-second,
+// so this is generous.
+const httpExitGrace = 5 * time.Second

@@ -237,16 +237,9 @@ func runScenarioMode() error {
 		return err
 	}
 	var buf strings.Builder
-	var sink runner.Sink
-	switch *format {
-	case "text":
-		sink = &runner.TextSink{W: &buf}
-	case "json":
-		sink = &runner.JSONSink{W: &buf}
-	case "csv":
-		sink = &runner.CSVSink{W: &buf}
-	default:
-		return fmt.Errorf("midas-sim: unknown format %q (want text, json or csv)", *format)
+	sink, err := runner.NewSink(*format, &buf)
+	if err != nil {
+		return fmt.Errorf("midas-sim: %w", err)
 	}
 
 	// Parallelize at one level: when the spec expands to several runs
@@ -259,25 +252,10 @@ func runScenarioMode() error {
 		return err
 	}
 
-	effParallel := spec.Parallelism
-	if effParallel <= 0 {
-		effParallel = runtime.GOMAXPROCS(0)
-	}
-	meta := runner.Meta{
-		Tool:        "midas-sim",
-		Seed:        spec.Seed,
-		Topologies:  spec.Topologies,
-		Parallelism: effParallel,
-	}
-	if spec.SimTime > 0 {
-		meta.SimTime = time.Duration(spec.SimTime).String()
-	}
-	// Replicates is recorded whenever the resolved spec replicates, so a
-	// snapshot always says how many seeds its summaries aggregate; an
-	// unreplicated run keeps the historical meta block.
-	if spec.Replicates > 1 {
-		meta.Replicates = spec.Replicates
-	}
+	// The meta conventions (effective parallelism, omitted zero fields)
+	// live on the spec itself, shared with midas-serve, so the two
+	// tools' snapshots for one spec differ only in the tool name.
+	meta := spec.SinkMeta("midas-sim")
 	if err := sink.Begin(meta); err != nil {
 		return err
 	}

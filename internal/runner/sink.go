@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -112,6 +113,44 @@ type Sink interface {
 	Begin(Meta) error
 	Result(Result) error
 	Close() error
+}
+
+// NewSink returns the sink that renders results to w in the named
+// format — the one switch the CLIs and the serving layer share, so a
+// new format (or a changed error message) lands everywhere at once.
+// Formats: "text", "json", "csv".
+func NewSink(format string, w io.Writer) (Sink, error) {
+	switch format {
+	case "text":
+		return &TextSink{W: w}, nil
+	case "json":
+		return &JSONSink{W: w}, nil
+	case "csv":
+		return &CSVSink{W: w}, nil
+	default:
+		return nil, fmt.Errorf("runner: unknown format %q (want text, json or csv)", format)
+	}
+}
+
+// RenderJSON renders one meta block and result set as the canonical
+// indented Snapshot JSON — what `-format json` writes and what
+// midas-serve serves from its result cache. Rendering carries no
+// wall-clock state, so the same inputs always produce the same bytes.
+func RenderJSON(meta Meta, results ...Result) ([]byte, error) {
+	var buf bytes.Buffer
+	sink := &JSONSink{W: &buf}
+	if err := sink.Begin(meta); err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		if err := sink.Result(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := sink.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // TextSink renders results as a human-readable report in the shape

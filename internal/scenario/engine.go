@@ -42,6 +42,18 @@ func Resolve(sc Scenario, overrides Spec) (Spec, error) {
 	return spec, nil
 }
 
+// RunOptions tune one engine invocation without being part of the spec
+// (they never affect the computed numbers, only how the run reports
+// itself while in flight).
+type RunOptions struct {
+	// OnProgress, when non-nil, observes every completed expanded run
+	// (sweep point × replicate) with the count finished so far and the
+	// total the spec expands to. Invocations are serialized and strictly
+	// monotonic in completed; a spec that expands to a single run
+	// reports (1, 1) once, on completion.
+	OnProgress func(completed, total int)
+}
+
 // Run resolves the spec, expands its sweep into points, fans every
 // point into Replicates runs over split seeds, and dispatches the whole
 // flattened task list through the internal/runner worker pool at the
@@ -57,6 +69,15 @@ func Run(ctx context.Context, sc Scenario, overrides Spec) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return RunResolved(ctx, sc, spec, RunOptions{})
+}
+
+// RunResolved is Run for callers that already hold a resolved spec
+// (Resolve output) — the serving layer resolves once up front to
+// compute the spec's cache address, then executes the same value here.
+// The spec must come from Resolve for this scenario; a raw override
+// spec would run without its scenario defaults.
+func RunResolved(ctx context.Context, sc Scenario, spec Spec, opts RunOptions) (Result, error) {
 	points := spec.expand()
 	reps := spec.Replicates
 	if reps < 1 {
@@ -66,15 +87,22 @@ func Run(ctx context.Context, sc Scenario, overrides Spec) (Result, error) {
 	// one point keeps its "[clients=8]" prefix, so output schema does
 	// not depend on sweep cardinality.
 	if len(points) == 1 && points[0].Label == "" && reps == 1 {
-		return sc.Run(points[0].Spec, rng.New(points[0].Spec.Seed))
+		res, err := sc.Run(points[0].Spec, rng.New(points[0].Spec.Seed))
+		if err == nil && opts.OnProgress != nil {
+			opts.OnProgress(1, 1)
+		}
+		return res, err
 	}
 
 	tasks := make([]Spec, 0, len(points)*reps)
 	for _, p := range points {
 		tasks = append(tasks, p.Spec.replicateSpecs()...)
 	}
-	opts := runner.Options{Parallelism: spec.Parallelism}
-	results, err := runner.Map(ctx, len(tasks), opts, func(_ context.Context, i int) (Result, error) {
+	ropts := runner.Options{Parallelism: spec.Parallelism}
+	if opts.OnProgress != nil {
+		ropts.OnDone = func(p runner.Progress) { opts.OnProgress(p.Completed, p.Total) }
+	}
+	results, err := runner.Map(ctx, len(tasks), ropts, func(_ context.Context, i int) (Result, error) {
 		return sc.Run(tasks[i], rng.New(tasks[i].Seed))
 	})
 	if err != nil {

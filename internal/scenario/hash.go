@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// CanonicalHash returns the content address of a resolved spec: a
+// sha256 over a canonical encoding with a fixed field order, sweep keys
+// sorted, nil pointer-sections distinguished from present-but-zero
+// ones, and the seed and replicate count included. Two specs that
+// would execute the same simulation hash identically; any field that
+// changes the numbers (scenario, counts, seed, simtime, venue,
+// shadowing, sweep, replicates) changes the hash.
+//
+// Parallelism is deliberately excluded: the engine's determinism
+// contract (pinned by the golden suite at parallelism 1 and 8)
+// guarantees results never depend on it, so a result computed at one
+// pool width is a valid cache hit for the same spec at another.
+//
+// Hash the *resolved* spec (Resolve output). Hashing raw overrides
+// would make "inherit the default" and "explicitly the default value"
+// distinct addresses for one identical computation.
+func (s Spec) CanonicalHash() string {
+	h := sha256.New()
+	writeCanonical(h, s)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeCanonical streams the canonical encoding of s into w. The
+// format is versioned ("spec/v1") so a future field addition can bump
+// it instead of silently colliding with old addresses; every field is
+// emitted (even zeros) under a fixed label, so field reordering in the
+// struct cannot change the hash.
+func writeCanonical(w io.Writer, s Spec) {
+	fmt.Fprintf(w, "spec/v1\n")
+	fmt.Fprintf(w, "scenario=%q\n", s.Scenario)
+	fmt.Fprintf(w, "topologies=%d\n", s.Topologies)
+	fmt.Fprintf(w, "seed=%d\n", s.Seed)
+	fmt.Fprintf(w, "simtime=%d\n", int64(s.SimTime))
+	fmt.Fprintf(w, "antennas=%d\n", s.Antennas)
+	fmt.Fprintf(w, "clients=%d\n", s.Clients)
+	fmt.Fprintf(w, "replicates=%d\n", s.Replicates)
+	if v := s.Venue; v == nil {
+		fmt.Fprintf(w, "venue=nil\n")
+	} else {
+		fmt.Fprintf(w, "venue={width=%v height=%v aps=%d coverage=%v}\n",
+			v.Width, v.Height, v.APs, v.CoverageRadius)
+	}
+	if sh := s.Shadowing; sh == nil {
+		fmt.Fprintf(w, "shadowing=nil\n")
+	} else {
+		fmt.Fprintf(w, "shadowing={")
+		writeOptFloat(w, "sigma_db", sh.SigmaDB)
+		writeOptFloat(w, "cas_correlation", sh.CASCorrelation)
+		writeOptFloat(w, "wall_db", sh.WallDB)
+		writeOptFloat(w, "max_wall_db", sh.MaxWallDB)
+		writeOptFloat(w, "room_w", sh.RoomW)
+		writeOptFloat(w, "room_h", sh.RoomH)
+		fmt.Fprintf(w, "}\n")
+	}
+	keys := make([]string, 0, len(s.Sweep))
+	for k := range s.Sweep {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "sweep[%s]=%v\n", k, s.Sweep[k])
+	}
+}
+
+func writeOptFloat(w io.Writer, name string, p *float64) {
+	if p == nil {
+		fmt.Fprintf(w, " %s=nil", name)
+	} else {
+		fmt.Fprintf(w, " %s=%v", name, *p)
+	}
+}
+
+// SinkMeta builds the runner.Meta block a sink records for a run of
+// this (resolved) spec — the one place the meta conventions live, so
+// midas-sim and midas-serve cannot drift apart and their snapshots for
+// the same spec differ only in the tool name:
+//
+//   - Parallelism records the effective pool width (GOMAXPROCS when the
+//     spec leaves it 0);
+//   - SimTime is recorded only when the spec sets it;
+//   - Replicates is recorded only when the run actually replicates, so
+//     an unreplicated snapshot keeps the historical meta block.
+func (s Spec) SinkMeta(tool string) runner.Meta {
+	eff := s.Parallelism
+	if eff <= 0 {
+		eff = runtime.GOMAXPROCS(0)
+	}
+	meta := runner.Meta{
+		Tool:        tool,
+		Seed:        s.Seed,
+		Topologies:  s.Topologies,
+		Parallelism: eff,
+	}
+	if s.SimTime > 0 {
+		meta.SimTime = time.Duration(s.SimTime).String()
+	}
+	if s.Replicates > 1 {
+		meta.Replicates = s.Replicates
+	}
+	return meta
+}

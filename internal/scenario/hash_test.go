@@ -1,0 +1,149 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// Pin the Spec field count: writeCanonical (and the mutation table in
+// TestCanonicalHashFieldSensitivity) enumerate fields by hand, so a
+// new Spec field that is not taught to them would silently alias
+// distinct specs onto one cache address — wrong results served with
+// "cached: true". Touch hash.go's writeCanonical and the mutation
+// table, then update the count here.
+func TestCanonicalHashCoversEverySpecField(t *testing.T) {
+	const known = 11 // fields writeCanonical encodes (Parallelism deliberately excluded but counted)
+	if n := reflect.TypeOf(Spec{}).NumField(); n != known {
+		t.Fatalf("Spec has %d fields but CanonicalHash was written for %d: "+
+			"teach writeCanonical (and TestCanonicalHashFieldSensitivity) the new field, then bump this pin", n, known)
+	}
+}
+
+func hashSpec() Spec {
+	sigma := 4.0
+	return Spec{
+		Scenario:   "fig12-spatial-reuse",
+		Topologies: 8,
+		Seed:       2014,
+		SimTime:    Duration(300 * time.Millisecond),
+		Antennas:   4,
+		Clients:    4,
+		Replicates: 3,
+		Venue:      &Venue{Width: 52, Height: 52, APs: 8},
+		Shadowing:  &Shadowing{SigmaDB: &sigma},
+		Sweep:      map[string][]float64{"clients": {2, 4, 8}, "seed": {1, 2}},
+	}
+}
+
+func TestCanonicalHashDeterministic(t *testing.T) {
+	a, b := hashSpec(), hashSpec()
+	if a.CanonicalHash() != b.CanonicalHash() {
+		t.Fatalf("identical specs hash differently: %s vs %s", a.CanonicalHash(), b.CanonicalHash())
+	}
+	// A deep clone (fresh pointers, fresh maps) is the same content.
+	if c := a.clone(); c.CanonicalHash() != a.CanonicalHash() {
+		t.Fatalf("clone hashes differently")
+	}
+	if got := a.CanonicalHash(); len(got) != 64 {
+		t.Fatalf("want a hex sha256 (64 chars), got %d: %q", len(got), got)
+	}
+}
+
+// Every simulation-relevant field must move the hash; parallelism must
+// not (results are pinned independent of pool width, so a cached result
+// is valid at any parallelism).
+func TestCanonicalHashFieldSensitivity(t *testing.T) {
+	base := hashSpec().CanonicalHash()
+	mutations := map[string]func(*Spec){
+		"scenario":   func(s *Spec) { s.Scenario = "fig13-deadzones" },
+		"topologies": func(s *Spec) { s.Topologies = 9 },
+		"seed":       func(s *Spec) { s.Seed = 7 },
+		"simtime":    func(s *Spec) { s.SimTime = Duration(20 * time.Millisecond) },
+		"antennas":   func(s *Spec) { s.Antennas = 8 },
+		"clients":    func(s *Spec) { s.Clients = 2 },
+		"replicates": func(s *Spec) { s.Replicates = 5 },
+		"venue":      func(s *Spec) { s.Venue.APs = 16 },
+		"venue-nil":  func(s *Spec) { s.Venue = nil },
+		"shadowing":  func(s *Spec) { *s.Shadowing.SigmaDB = 8 },
+		"shadow-nil": func(s *Spec) { s.Shadowing.SigmaDB = nil },
+		"sweep-vals": func(s *Spec) { s.Sweep["clients"] = []float64{2, 4} },
+		"sweep-key":  func(s *Spec) { delete(s.Sweep, "seed") },
+	}
+	for name, mutate := range mutations {
+		s := hashSpec()
+		mutate(&s)
+		if s.CanonicalHash() == base {
+			t.Errorf("mutating %s did not change the hash", name)
+		}
+	}
+	s := hashSpec()
+	s.Parallelism = 8
+	if s.CanonicalHash() != base {
+		t.Errorf("parallelism changed the hash; it must not (results are parallelism-independent)")
+	}
+}
+
+// A present-but-empty venue is a different spec value than a nil one
+// (Merge treats them differently), so they must not collide.
+func TestCanonicalHashNilVsZeroSections(t *testing.T) {
+	var a, b Spec
+	b.Venue = &Venue{}
+	if a.CanonicalHash() == b.CanonicalHash() {
+		t.Fatalf("nil venue and empty venue collide")
+	}
+	var c, d Spec
+	d.Shadowing = &Shadowing{}
+	if c.CanonicalHash() == d.CanonicalHash() {
+		t.Fatalf("nil shadowing and empty shadowing collide")
+	}
+}
+
+// Resolving the same overrides twice must produce one address — the
+// property the serving layer's result cache keys on.
+func TestCanonicalHashStableThroughResolve(t *testing.T) {
+	sc, err := Find("fig12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Resolve(sc, Spec{Topologies: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Resolve(sc, Spec{Topologies: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CanonicalHash() != b.CanonicalHash() {
+		t.Fatalf("same overrides resolve to different hashes")
+	}
+	// Explicitly restating a default is the same computation as
+	// inheriting it, and must land on the same cache address.
+	defaults := sc.DefaultSpec()
+	c, err := Resolve(sc, Spec{Topologies: 4, Seed: 9, Clients: defaults.Clients})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CanonicalHash() != a.CanonicalHash() {
+		t.Fatalf("restating the default clients count changed the hash")
+	}
+}
+
+func TestSinkMeta(t *testing.T) {
+	s := Spec{Seed: 7, Topologies: 4, Parallelism: 2,
+		SimTime: Duration(20 * time.Millisecond), Replicates: 3}
+	m := s.SinkMeta("midas-serve")
+	if m.Tool != "midas-serve" || m.Seed != 7 || m.Topologies != 4 ||
+		m.Parallelism != 2 || m.SimTime != "20ms" || m.Replicates != 3 {
+		t.Fatalf("unexpected meta: %+v", m)
+	}
+	// Parallelism 0 records the effective pool width; replicates 1 and
+	// simtime 0 stay omitted, preserving the historical meta block.
+	m = Spec{Seed: 7, Topologies: 4, Replicates: 1}.SinkMeta("midas-sim")
+	if m.Parallelism < 1 {
+		t.Fatalf("effective parallelism not recorded: %+v", m)
+	}
+	if m.SimTime != "" || m.Replicates != 0 {
+		t.Fatalf("zero fields must stay omitted: %+v", m)
+	}
+}

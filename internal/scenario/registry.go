@@ -28,13 +28,25 @@ type About interface {
 }
 
 var (
-	regMu    sync.RWMutex
-	registry = map[string]Scenario{}
-	regOrder []string
+	regMu      sync.RWMutex
+	registry   = map[string]Scenario{}
+	regOrder   []string
+	regAliases = map[string]string{}
 )
 
+// Aliaser is optionally implemented by scenarios that answer to extra
+// exact names ("fig15" for "fig15-end-to-end"). An alias resolves in
+// Find after exact registered names and before prefix matching, so a
+// figure stem that later becomes an ambiguous prefix (when a variant
+// scenario is registered next to the paper's own) keeps selecting the
+// paper figure.
+type Aliaser interface {
+	Aliases() []string
+}
+
 // Register adds a scenario to the global registry. Registering a
-// duplicate name panics: names are the CLI and golden-file namespace.
+// duplicate name or alias panics: names are the CLI and golden-file
+// namespace.
 func Register(sc Scenario) {
 	regMu.Lock()
 	defer regMu.Unlock()
@@ -44,6 +56,23 @@ func Register(sc Scenario) {
 	}
 	if _, dup := registry[name]; dup {
 		panic(fmt.Sprintf("scenario: duplicate registration of %q", name))
+	}
+	if owner, dup := regAliases[name]; dup {
+		panic(fmt.Sprintf("scenario: name %q already registered as an alias of %q", name, owner))
+	}
+	if al, ok := sc.(Aliaser); ok {
+		for _, a := range al.Aliases() {
+			if a == "" {
+				panic(fmt.Sprintf("scenario: %q registers an empty alias", name))
+			}
+			if _, dup := registry[a]; dup {
+				panic(fmt.Sprintf("scenario: alias %q of %q collides with a registered name", a, name))
+			}
+			if owner, dup := regAliases[a]; dup {
+				panic(fmt.Sprintf("scenario: alias %q of %q already aliases %q", a, name, owner))
+			}
+			regAliases[a] = name
+		}
 	}
 	registry[name] = sc
 	regOrder = append(regOrder, name)
@@ -65,11 +94,22 @@ func Get(name string) (Scenario, bool) {
 	return sc, ok
 }
 
-// Find resolves a user-supplied name: an exact match first, then a
-// unique prefix ("fig12" resolves to "fig12-spatial-reuse"). Ambiguous
-// or unknown names return an error listing the candidates.
+// Find resolves a user-supplied name: an exact registered name first,
+// then an exact alias, then a unique prefix ("fig12" resolves to
+// "fig12-spatial-reuse"). Exact matches always win before prefix
+// matching, so "fig15-replicated" selects itself even though it is
+// also a prefix namespace, and the "fig15" alias selects the paper's
+// fig15-end-to-end rather than erroring as an ambiguous prefix.
+// Ambiguous or unknown names return an error listing the candidates.
 func Find(name string) (Scenario, error) {
 	if sc, ok := Get(name); ok {
+		return sc, nil
+	}
+	regMu.RLock()
+	canonical, isAlias := regAliases[name]
+	regMu.RUnlock()
+	if isAlias {
+		sc, _ := Get(canonical)
 		return sc, nil
 	}
 	var matches []string
@@ -103,6 +143,9 @@ type scenarioFunc struct {
 	name     string
 	about    string
 	defaults Spec
+	// aliases lists extra exact names this scenario answers to in Find
+	// (resolved before prefix matching).
+	aliases []string
 	// ignores lists the spec knobs this experiment does not consume
 	// (Knob* constants). Overriding one is a Resolve error.
 	ignores []string
@@ -112,6 +155,7 @@ type scenarioFunc struct {
 func (s *scenarioFunc) Name() string           { return s.name }
 func (s *scenarioFunc) About() string          { return s.about }
 func (s *scenarioFunc) DefaultSpec() Spec      { return s.defaults.clone() }
+func (s *scenarioFunc) Aliases() []string      { return s.aliases }
 func (s *scenarioFunc) IgnoredKnobs() []string { return s.ignores }
 
 func (s *scenarioFunc) Run(spec Spec, src *rng.Source) (Result, error) {

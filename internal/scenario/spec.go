@@ -369,9 +369,17 @@ func (s Spec) Validate() error {
 			seen[v] = true
 		}
 		total *= len(vals)
+		// Bail as soon as the running product exceeds the cap: the
+		// full cross-product of many long value lists overflows int
+		// (wrapping past the cap check), and specs arrive from the
+		// network now (midas-serve), not just hand-written files.
+		if total > maxExpandedRuns {
+			return fmt.Errorf("scenario: sweep expands past the max of %d points", maxExpandedRuns)
+		}
 	}
-	if total*s.Replicates > maxExpandedRuns {
-		return fmt.Errorf("scenario: sweep × replicates expands to %d runs (max %d)", total*s.Replicates, maxExpandedRuns)
+	// Division instead of total*s.Replicates: the product can overflow.
+	if s.Replicates > maxExpandedRuns/total {
+		return fmt.Errorf("scenario: sweep × replicates (%d points × %d) expands past the max of %d runs", total, s.Replicates, maxExpandedRuns)
 	}
 	return nil
 }

@@ -255,3 +255,39 @@ func FuzzSpecRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// A sweep whose cross-product overflows int must still be rejected:
+// the running-product guard has to bail before wrapping, because specs
+// now arrive over the network (midas-serve), not just from trusted
+// files.
+func TestValidateRejectsOverflowingSweepProduct(t *testing.T) {
+	vals := func(n int, offset float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = offset + float64(i) + 1
+		}
+		return out
+	}
+	s := Spec{
+		Topologies: 1, Antennas: 1, Clients: 1, Replicates: 1,
+		Sweep: map[string][]float64{
+			// 1500^6 ≈ 1.1e19 > MaxInt64: a naive product wraps.
+			"clients":    vals(1500, 0),
+			"antennas":   vals(1500, 0),
+			"size":       vals(1500, 0),
+			"topologies": vals(1500, 0),
+			"seed":       vals(1500, 0),
+			"aps":        vals(1500, 0),
+		},
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("overflowing sweep cross-product validated")
+	}
+	// Replicates overflow through the same product.
+	r := Spec{Topologies: 1, Antennas: 1, Clients: 1,
+		Replicates: 1 << 60,
+		Sweep:      map[string][]float64{"seed": vals(8, 0)}}
+	if err := r.Validate(); err == nil {
+		t.Fatal("overflowing replicate product validated")
+	}
+}

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"container/list"
+
+	"repro/internal/scenario"
+)
+
+// resultCache is the content-addressed result store: completed results
+// keyed by the canonical hash of the resolved spec that produced them
+// (scenario.Spec.CanonicalHash). Because every run is deterministic in
+// its resolved spec, a hit is exactly the result a fresh run would
+// compute, so re-submitting an identical spec never re-runs the
+// engine. The cache is bounded by entry count with LRU eviction; both
+// hits (Get) and insertions (Put) refresh recency.
+//
+// resultCache is not self-locking: the owning Service serializes all
+// access under its own mutex, which also keeps the hit/miss counters
+// consistent with the job bookkeeping they are reported next to.
+type resultCache struct {
+	max     int
+	ll      *list.List               // front = most recently used
+	entries map[string]*list.Element // hash -> element in ll
+	hits    uint64
+	misses  uint64
+}
+
+// cacheEntry is one ll element's payload.
+type cacheEntry struct {
+	hash   string
+	result scenario.Result
+}
+
+// newResultCache builds a cache bounded to max entries; max < 1
+// disables caching (every Get misses, Put is a no-op).
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:     max,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for hash, refreshing its recency, and
+// tallies the lookup as a hit or miss.
+func (c *resultCache) Get(hash string) (scenario.Result, bool) {
+	el, ok := c.entries[hash]
+	if !ok {
+		c.misses++
+		return scenario.Result{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).result, true
+}
+
+// Put stores a completed result under its spec hash, evicting the
+// least-recently-used entry when the bound is exceeded. Re-putting an
+// existing hash refreshes recency (the result is identical by
+// construction — same hash, deterministic engine).
+func (c *resultCache) Put(hash string, res scenario.Result) {
+	if c.max < 1 {
+		return
+	}
+	if el, ok := c.entries[hash]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[hash] = c.ll.PushFront(&cacheEntry{hash: hash, result: res})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).hash)
+	}
+}
+
+// Len returns the current entry count.
+func (c *resultCache) Len() int { return c.ll.Len() }

@@ -1,0 +1,187 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/runner"
+	"repro/internal/scenario"
+)
+
+// This file is the HTTP face of the Service — the API cmd/midas-serve
+// exposes:
+//
+//	POST   /v1/jobs             submit a spec (midas-sim -spec schema)
+//	GET    /v1/jobs/{id}        job status + progress
+//	GET    /v1/jobs/{id}/result rendered result snapshot (JSON sink)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/scenarios        registry listing with default specs
+//	GET    /healthz             liveness (503 while draining)
+//	GET    /metrics             jobs by state, cache hit rate, queue depth
+//
+// Results are rendered through the same runner.Meta + JSON sink path
+// as midas-sim -format json, so an HTTP-served snapshot differs from
+// the CLI's for the same spec only in the meta tool name — the
+// property `make serve-smoke` pins end to end.
+
+// httpError is the JSON error envelope every non-2xx response carries.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+// scenarioInfo is one row of GET /v1/scenarios.
+type scenarioInfo struct {
+	Name        string        `json:"name"`
+	Aliases     []string      `json:"aliases,omitempty"`
+	About       string        `json:"about,omitempty"`
+	DefaultSpec scenario.Spec `json:"default_spec"`
+}
+
+// Handler builds the HTTP API over the service.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // nothing to do about a broken client connection
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, httpError{Error: err.Error()})
+}
+
+// maxSpecBytes bounds a submitted spec body. A valid spec is a few
+// hundred bytes; the cap only exists so a hostile multi-gigabyte value
+// array is rejected at the transport instead of being materialized by
+// the JSON decoder before Validate's expansion cap can run.
+const maxSpecBytes = 1 << 20
+
+// handleSubmit decodes the request body as a spec (the midas-sim -spec
+// schema, scenario named by its "scenario" field) and submits it. A
+// job answered from the spec-hash cache returns 200 with its terminal
+// status; a queued job returns 202 Accepted.
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := scenario.DecodeSpec(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		// Unknown scenario, ignored-knob override, validation failure:
+		// the request itself is wrong.
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if st.State == StateDone {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleResult renders a done job's result exactly as midas-sim
+// -format json would: the resolved spec's meta block (tool
+// "midas-serve") plus the result through the JSON sink. The rendering
+// is deterministic, so cached and cold runs of one spec serve
+// byte-identical bodies.
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, spec, err := s.Result(id)
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, ErrNotFinished):
+		writeError(w, http.StatusConflict, err)
+		return
+	case err != nil:
+		// Failed or cancelled: the job is terminal but has no result.
+		writeError(w, http.StatusGone, err)
+		return
+	}
+	body, err := runner.RenderJSON(spec.SinkMeta("midas-serve"), res.RunnerResult())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case errors.Is(err, ErrFinished):
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	names := scenario.Names()
+	infos := make([]scenarioInfo, 0, len(names))
+	for _, name := range names {
+		sc, ok := scenario.Get(name)
+		if !ok {
+			continue
+		}
+		info := scenarioInfo{Name: name, DefaultSpec: sc.DefaultSpec()}
+		if a, ok := sc.(scenario.About); ok {
+			info.About = a.About()
+		}
+		if al, ok := sc.(scenario.Aliaser); ok {
+			info.Aliases = al.Aliases()
+		}
+		infos = append(infos, info)
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

@@ -1,0 +1,295 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/scenario"
+)
+
+func doJSON(t *testing.T, client *http.Client, method, url, body string) (int, []byte) {
+	t.Helper()
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func decodeStatus(t *testing.T, b []byte) JobStatus {
+	t.Helper()
+	var st JobStatus
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatalf("decoding %s: %v", b, err)
+	}
+	return st
+}
+
+// pollDone polls GET /v1/jobs/{id} until the job is terminal — the
+// same loop a curl client runs.
+func pollDone(t *testing.T, client *http.Client, base, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, b := doJSON(t, client, http.MethodGet, base+"/v1/jobs/"+id, "")
+		if code != http.StatusOK {
+			t.Fatalf("status poll: %d %s", code, b)
+		}
+		st := decodeStatus(t, b)
+		if st.State.terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// The full curl session of the README: submit, poll, fetch the result,
+// resubmit and observe the cache hit with a byte-identical body.
+func TestHTTPJobLifecycleAndCache(t *testing.T) {
+	run, calls := countingRun()
+	s := New(Config{Workers: 2, Run: run})
+	defer mustShutdown(t, s)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := srv.Client()
+
+	spec := `{"scenario": "fig12-spatial-reuse", "topologies": 2, "seed": 7}`
+	code, b := doJSON(t, c, http.MethodPost, srv.URL+"/v1/jobs", spec)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, b)
+	}
+	st := decodeStatus(t, b)
+	if st.ID == "" || st.SpecHash == "" || st.Scenario != "fig12-spatial-reuse" {
+		t.Fatalf("submit status %+v", st)
+	}
+	if final := pollDone(t, c, srv.URL, st.ID); final.State != StateDone {
+		t.Fatalf("job ended %s (%s)", final.State, final.Error)
+	}
+	code, cold := doJSON(t, c, http.MethodGet, srv.URL+"/v1/jobs/"+st.ID+"/result", "")
+	if code != http.StatusOK {
+		t.Fatalf("result: %d %s", code, cold)
+	}
+	var snap runner.Snapshot
+	if err := json.Unmarshal(cold, &snap); err != nil {
+		t.Fatalf("result is not a snapshot: %v\n%s", err, cold)
+	}
+	if snap.Meta.Tool != "midas-serve" || len(snap.Results) != 1 {
+		t.Fatalf("snapshot meta %+v, %d results", snap.Meta, len(snap.Results))
+	}
+
+	// Resubmit: served from cache, 200 (not 202), byte-identical body.
+	code, b = doJSON(t, c, http.MethodPost, srv.URL+"/v1/jobs", spec)
+	if code != http.StatusOK {
+		t.Fatalf("cached submit: %d %s", code, b)
+	}
+	st2 := decodeStatus(t, b)
+	if !st2.Cached || st2.State != StateDone {
+		t.Fatalf("cached submit status %+v", st2)
+	}
+	_, warm := doJSON(t, c, http.MethodGet, srv.URL+"/v1/jobs/"+st2.ID+"/result", "")
+	if string(cold) != string(warm) {
+		t.Fatalf("cache hit body differs from cold run:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("engine ran %d times over the HTTP lifecycle, want 1", n)
+	}
+
+	// Metrics reflect the session.
+	code, b = doJSON(t, c, http.MethodGet, srv.URL+"/metrics", "")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	var m Metrics
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheHits != 1 || m.CacheMisses != 1 || m.Jobs[StateDone] != 2 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestHTTPErrorPaths(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	run := func(ctx context.Context, _ scenario.Scenario, spec scenario.Spec, _ scenario.RunOptions) (scenario.Result, error) {
+		select {
+		case <-release:
+			return fixedResult(spec), nil
+		case <-ctx.Done():
+			return scenario.Result{}, ctx.Err()
+		}
+	}
+	s := New(Config{Workers: 1, Run: run})
+	defer mustShutdown(t, s)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := srv.Client()
+
+	for _, tc := range []struct {
+		name, body string
+		want       int
+	}{
+		{"malformed json", `{`, http.StatusBadRequest},
+		{"unknown field", `{"scenaro": "fig3"}`, http.StatusBadRequest},
+		{"no scenario", `{"topologies": 2}`, http.StatusBadRequest},
+		{"unknown scenario", `{"scenario": "no-such"}`, http.StatusBadRequest},
+		{"invalid spec", `{"scenario": "fig12-spatial-reuse", "topologies": -4}`, http.StatusBadRequest},
+		// A body past the transport cap is rejected before the JSON
+		// decoder materializes it, so a hostile multi-gigabyte value
+		// array cannot OOM the server — and the client is told it was
+		// size, not syntax.
+		{"oversized body", `{"scenario": "fig3", "sweep": {"seed": [` +
+			strings.Repeat("1,", maxSpecBytes/2) + `1]}}`, http.StatusRequestEntityTooLarge},
+	} {
+		if code, b := doJSON(t, c, http.MethodPost, srv.URL+"/v1/jobs", tc.body); code != tc.want {
+			t.Errorf("%s: got %d %s, want %d", tc.name, code, b, tc.want)
+		}
+	}
+
+	if code, _ := doJSON(t, c, http.MethodGet, srv.URL+"/v1/jobs/j424242", ""); code != http.StatusNotFound {
+		t.Errorf("unknown job status: %d", code)
+	}
+	if code, _ := doJSON(t, c, http.MethodGet, srv.URL+"/v1/jobs/j424242/result", ""); code != http.StatusNotFound {
+		t.Errorf("unknown job result: %d", code)
+	}
+	if code, _ := doJSON(t, c, http.MethodDelete, srv.URL+"/v1/jobs/j424242", ""); code != http.StatusNotFound {
+		t.Errorf("unknown job cancel: %d", code)
+	}
+
+	// In-flight job: result is a conflict; cancel flips it to
+	// cancelled; its result is then gone; double cancel conflicts.
+	code, b := doJSON(t, c, http.MethodPost, srv.URL+"/v1/jobs", `{"scenario": "fig12-spatial-reuse", "topologies": 2, "seed": 9}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, b)
+	}
+	id := decodeStatus(t, b).ID
+	if code, _ := doJSON(t, c, http.MethodGet, srv.URL+"/v1/jobs/"+id+"/result", ""); code != http.StatusConflict {
+		t.Errorf("result of in-flight job: %d", code)
+	}
+	if code, b := doJSON(t, c, http.MethodDelete, srv.URL+"/v1/jobs/"+id, ""); code != http.StatusOK {
+		t.Fatalf("cancel: %d %s", code, b)
+	}
+	if st := pollDone(t, c, srv.URL, id); st.State != StateCancelled {
+		t.Fatalf("after cancel: %s", st.State)
+	}
+	if code, _ := doJSON(t, c, http.MethodGet, srv.URL+"/v1/jobs/"+id+"/result", ""); code != http.StatusGone {
+		t.Errorf("result of cancelled job: %d", code)
+	}
+	if code, _ := doJSON(t, c, http.MethodDelete, srv.URL+"/v1/jobs/"+id, ""); code != http.StatusConflict {
+		t.Errorf("double cancel: %d", code)
+	}
+}
+
+func TestHTTPScenariosAndHealth(t *testing.T) {
+	run, _ := countingRun()
+	s := New(Config{Workers: 1, Run: run})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := srv.Client()
+
+	code, b := doJSON(t, c, http.MethodGet, srv.URL+"/v1/scenarios", "")
+	if code != http.StatusOK {
+		t.Fatalf("scenarios: %d", code)
+	}
+	var infos []scenarioInfo
+	if err := json.Unmarshal(b, &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(scenario.Names()) {
+		t.Fatalf("listing has %d scenarios, registry has %d", len(infos), len(scenario.Names()))
+	}
+	byName := map[string]scenarioInfo{}
+	for _, info := range infos {
+		byName[info.Name] = info
+	}
+	fig15, ok := byName["fig15-end-to-end"]
+	if !ok {
+		t.Fatal("fig15-end-to-end missing from listing")
+	}
+	if len(fig15.Aliases) != 1 || fig15.Aliases[0] != "fig15" {
+		t.Fatalf("fig15 aliases %v", fig15.Aliases)
+	}
+	if byName["fig12-spatial-reuse"].DefaultSpec.Topologies < 1 {
+		t.Fatalf("default spec not populated: %+v", byName["fig12-spatial-reuse"])
+	}
+
+	if code, _ := doJSON(t, c, http.MethodGet, srv.URL+"/healthz", ""); code != http.StatusOK {
+		t.Errorf("healthz: %d", code)
+	}
+	mustShutdown(t, s)
+	if code, _ := doJSON(t, c, http.MethodGet, srv.URL+"/healthz", ""); code != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: %d", code)
+	}
+	if code, _ := doJSON(t, c, http.MethodPost, srv.URL+"/v1/jobs", `{"scenario": "fig3"}`); code != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: %d", code)
+	}
+}
+
+// The serve-smoke contract, in-process: the HTTP-served snapshot for a
+// spec equals midas-sim's -format json output for the same spec except
+// for the meta tool name.
+func TestHTTPServedResultMatchesDirectRun(t *testing.T) {
+	s := New(Config{Workers: 2}) // real engine
+	defer mustShutdown(t, s)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := srv.Client()
+
+	spec := scenario.Spec{Scenario: "fig3", Topologies: 2, Seed: 11}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, b := doJSON(t, c, http.MethodPost, srv.URL+"/v1/jobs", string(body))
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, b)
+	}
+	st := pollDone(t, c, srv.URL, decodeStatus(t, b).ID)
+	if st.State != StateDone {
+		t.Fatalf("job ended %s (%s)", st.State, st.Error)
+	}
+	_, served := doJSON(t, c, http.MethodGet, srv.URL+"/v1/jobs/"+st.ID+"/result", "")
+
+	sc, err := scenario.Find("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved, err := scenario.Resolve(sc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scenario.RunResolved(context.Background(), sc, resolved, scenario.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := runner.RenderJSON(resolved.SinkMeta("midas-serve"), res.RunnerResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(served) != string(want) {
+		t.Fatalf("served snapshot diverges from the direct render:\nserved: %s\nwant: %s", served, want)
+	}
+}
