@@ -1,12 +1,13 @@
 # CI entry points for the MIDAS reproduction. `make ci` is what a
 # checkin must keep green: formatting, vet, build, the full test suite,
 # a race pass over the concurrency-bearing packages, the golden-figure
-# regression suite, the examples, and a reduced-scale benchmark smoke
-# that exercises the parallel experiment runner end to end.
+# regression suite, the examples, a reduced-scale benchmark smoke that
+# exercises the parallel experiment runner end to end, and an SLO-gated
+# load smoke driving a live midas-serve with midas-loadgen.
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test test-race golden examples bench-smoke serve-smoke bench bench-snapshot bench-compare alloc-guard cover fmt
+.PHONY: ci fmt-check vet build test test-race golden examples bench-smoke serve-smoke loadgen-smoke loadgen bench bench-snapshot bench-compare alloc-guard cover fmt
 
 # (`test` already runs the golden suite once and `test-race` replays it
 # under the race detector; the explicit `golden` target is for focused
@@ -15,7 +16,7 @@ GO ?= go
 # This exact target is what .github/workflows/ci.yml runs — the
 # workflow is a thin wrapper, so the local gate and the per-commit gate
 # cannot diverge.
-ci: fmt-check vet build test test-race alloc-guard cover bench-smoke serve-smoke examples
+ci: fmt-check vet build test test-race alloc-guard cover bench-smoke serve-smoke loadgen-smoke examples
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -36,7 +37,7 @@ test:
 # pool, the scenario engine dispatching expanded runs through it, the
 # experiment drivers, and the serving layer's job pool + cache.
 test-race:
-	$(GO) test -race ./internal/scenario ./internal/runner ./internal/sim ./internal/service
+	$(GO) test -race ./internal/scenario ./internal/runner ./internal/sim ./internal/service ./internal/telemetry
 
 # The golden-figure regression suite: replay every registered
 # scenario's committed spec at parallelism 1 and 8 and require
@@ -71,6 +72,18 @@ bench-smoke:
 # cache answers a resubmission byte-identically, and drain on SIGTERM.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# SLO-gated load smoke: boot midas-serve, drive it with midas-loadgen
+# for a few seconds at a mostly-cached mix, and fail if the measured
+# latency quantiles or error rate break the (deliberately generous —
+# this is a shared CI box) SLOs. The nightly workflow runs the same
+# script at full scale with tighter knobs via LOADGEN_* overrides.
+loadgen-smoke:
+	./scripts/loadgen-slo.sh
+
+# Full-scale local load run: longer window, open-loop arrivals too.
+loadgen:
+	LOADGEN_DURATION=30s LOADGEN_SLO_P50=500ms LOADGEN_SLO_P99=5s ./scripts/loadgen-slo.sh
 
 # Full-scale root benchmarks (slow).
 bench:
@@ -111,7 +124,7 @@ bench-compare:
 # the target (and `make ci`).
 COVER_FLOOR = 80
 cover:
-	@set -e; for pkg in ./internal/stats ./internal/scenario ./internal/service; do \
+	@set -e; for pkg in ./internal/stats ./internal/scenario ./internal/service ./internal/telemetry; do \
 		profile=$$(mktemp); \
 		$(GO) test -coverprofile=$$profile $$pkg > /dev/null; \
 		pct=$$($(GO) tool cover -func=$$profile | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \

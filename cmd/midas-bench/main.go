@@ -201,9 +201,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		// Swept scenarios fan out in the engine's run pool; split the
-		// -parallel budget so pool × inner sweep stays within it.
-		sim.Parallelism = spec.SplitParallelism()
+		// Swept scenarios fan out in the engine's run pool; the engine
+		// splits the spec's -parallel budget between that pool and each
+		// run's inner sweep itself (carried in the task specs, not the
+		// sim.Parallelism global).
 		res, err := runner.Timed(name, func(r *runner.Result) error {
 			out, err := scenario.Run(context.Background(), sc, spec)
 			if err != nil {

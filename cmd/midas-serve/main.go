@@ -4,14 +4,21 @@
 // memory.
 //
 //	midas-serve [-addr host:port] [-workers N] [-queue N] [-cache N]
+//	            [-log text|json|off] [-pprof]
 //
 //	POST   /v1/jobs             submit a spec (midas-sim -spec schema)
 //	GET    /v1/jobs/{id}        status + progress
 //	GET    /v1/jobs/{id}/result result snapshot (JSON sink rendering)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/scenarios        registry listing with default specs
+//	GET    /v1/metrics.json     JSON metrics snapshot
 //	GET    /healthz             liveness
-//	GET    /metrics             jobs by state, cache hit rate, queue depth
+//	GET    /metrics             Prometheus text exposition
+//	/debug/pprof/...            live profiling (only with -pprof)
+//
+// Per-job lifecycle events (submitted, running, finished) are logged
+// as structured lines keyed by job ID and spec hash, plus one
+// access-log line per HTTP request; -log picks the slog handler.
 //
 // -addr with port 0 binds an ephemeral port; the actual address is
 // printed as "midas-serve listening on http://host:port" so scripted
@@ -25,8 +32,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -34,7 +43,6 @@ import (
 	"time"
 
 	"repro/internal/service"
-	"repro/internal/sim"
 )
 
 var (
@@ -44,7 +52,22 @@ var (
 	cache   = flag.Int("cache", 0, "spec-hash result cache entries (0 = 128, negative disables)")
 	retain  = flag.Int("retain", 0, "terminal jobs kept pollable before the oldest are forgotten (0 = 512)")
 	drain   = flag.Duration("drain", time.Minute, "how long a shutdown signal waits for in-flight jobs before cancelling them")
+	logFmt  = flag.String("log", "text", "structured log handler on stderr: text, json or off")
+	pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 )
+
+// newLogger builds the slog logger the -log flag asks for.
+func newLogger() (*slog.Logger, error) {
+	switch *logFmt {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "off":
+		return slog.New(slog.DiscardHandler), nil
+	}
+	return nil, fmt.Errorf("unknown -log format %q (want text, json or off)", *logFmt)
+}
 
 func main() {
 	flag.Parse()
@@ -55,31 +78,44 @@ func main() {
 }
 
 func run() error {
+	log, err := newLogger()
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	// Split the machine between the job workers once, up front: each
-	// job's expanded runs already parallelize at the spec's own
-	// parallelism (a per-run runner option), but the experiment
-	// drivers' inner topology sweeps use the package-global
-	// sim.Parallelism, which defaults to full GOMAXPROCS — with W
-	// concurrent jobs that would oversubscribe the scheduler W-fold,
-	// exactly what the CLIs' SplitParallelism dance avoids. The global
-	// cannot be reassigned per job (concurrent jobs would race on it),
-	// so divide the cores evenly across workers at startup.
+	// Split the machine between the job workers: a spec that does not
+	// pin its own parallelism gets an even share of the cores, so W
+	// concurrent jobs cannot oversubscribe the scheduler W-fold. The
+	// budget travels per job through scenario.RunOptions — nothing
+	// touches the sim.Parallelism process global, which concurrent
+	// jobs would race on.
 	w := *workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	sim.Parallelism = (runtime.GOMAXPROCS(0) + w - 1) / w
 	svc := service.New(service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cache,
-		JobRetention: *retain,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		JobRetention:   *retain,
+		JobParallelism: (runtime.GOMAXPROCS(0) + w - 1) / w,
+		Log:            log,
 	})
-	srv := &http.Server{Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	srv := &http.Server{Handler: handler}
 
 	// The discovery line scripted callers parse; keep the format stable.
 	fmt.Printf("midas-serve listening on http://%s\n", ln.Addr())

@@ -242,11 +242,10 @@ func runScenarioMode() error {
 		return fmt.Errorf("midas-sim: %w", err)
 	}
 
-	// Parallelize at one level: when the spec expands to several runs
-	// the engine's pool already fans out, so each run's inner topology
-	// sweep gets an even share of the budget instead of a full-width
-	// pool per run (which would just oversubscribe the scheduler).
-	sim.Parallelism = spec.SplitParallelism()
+	// The engine splits the spec's parallelism budget between its run
+	// pool and each run's inner topology sweep itself (the task specs
+	// carry the split), so no sim.Parallelism global dance is needed
+	// here anymore.
 	res, err := scenario.Run(context.Background(), sc, spec)
 	if err != nil {
 		return err

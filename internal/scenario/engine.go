@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/rng"
 	"repro/internal/runner"
@@ -52,6 +53,18 @@ type RunOptions struct {
 	// monotonic in completed; a spec that expands to a single run
 	// reports (1, 1) once, on completion.
 	OnProgress func(completed, total int)
+	// OnRunDone, when non-nil, observes every completed expanded run
+	// with the runner's per-task timing (index, wall time, progress) —
+	// the telemetry feed. Like OnProgress, invocations are serialized;
+	// a single-run spec reports one synthesized Progress on completion.
+	OnRunDone func(runner.Progress)
+	// Parallelism, when > 0, overrides the spec's parallelism for this
+	// invocation only. This is how a multi-job process (midas-serve)
+	// budgets cores per job: the spec stays untouched (hash, sink meta
+	// and cached results are parallelism-independent), while the
+	// engine's run pool and each run's inner topology sweep share this
+	// width instead of a process-global.
+	Parallelism int
 }
 
 // Run resolves the spec, expands its sweep into points, fans every
@@ -78,6 +91,14 @@ func Run(ctx context.Context, sc Scenario, overrides Spec) (Result, error) {
 // The spec must come from Resolve for this scenario; a raw override
 // spec would run without its scenario defaults.
 func RunResolved(ctx context.Context, sc Scenario, spec Spec, opts RunOptions) (Result, error) {
+	// The invocation-level override replaces the spec's own parallelism
+	// before anything is derived from it, so the expanded task specs —
+	// whose Parallelism field is what the sim drivers' inner sweeps
+	// read — inherit the effective budget. spec is a value; the
+	// caller's copy (and its hash/meta) is untouched.
+	if opts.Parallelism > 0 {
+		spec.Parallelism = opts.Parallelism
+	}
 	points := spec.expand()
 	reps := spec.Replicates
 	if reps < 1 {
@@ -87,20 +108,44 @@ func RunResolved(ctx context.Context, sc Scenario, spec Spec, opts RunOptions) (
 	// one point keeps its "[clients=8]" prefix, so output schema does
 	// not depend on sweep cardinality.
 	if len(points) == 1 && points[0].Label == "" && reps == 1 {
+		start := time.Now()
 		res, err := sc.Run(points[0].Spec, rng.New(points[0].Spec.Seed))
-		if err == nil && opts.OnProgress != nil {
-			opts.OnProgress(1, 1)
+		if err == nil {
+			if opts.OnProgress != nil {
+				opts.OnProgress(1, 1)
+			}
+			if opts.OnRunDone != nil {
+				opts.OnRunDone(runner.Progress{Index: 0, Completed: 1, Total: 1, Elapsed: time.Since(start)})
+			}
 		}
 		return res, err
 	}
 
+	// The spec's budget is split between the run pool fanning out over
+	// the expanded tasks and each task's inner topology sweep: the pool
+	// runs up to spec.Parallelism tasks at once, so every task gets an
+	// even share for its sweep instead of a full-width pool per run
+	// (which would oversubscribe the scheduler pool × sweep wide). This
+	// used to be every caller's job via the sim.Parallelism global; the
+	// engine owning it makes concurrent jobs in one process safe.
+	inner := spec.SplitParallelism()
 	tasks := make([]Spec, 0, len(points)*reps)
 	for _, p := range points {
-		tasks = append(tasks, p.Spec.replicateSpecs()...)
+		for _, t := range p.Spec.replicateSpecs() {
+			t.Parallelism = inner
+			tasks = append(tasks, t)
+		}
 	}
 	ropts := runner.Options{Parallelism: spec.Parallelism}
-	if opts.OnProgress != nil {
-		ropts.OnDone = func(p runner.Progress) { opts.OnProgress(p.Completed, p.Total) }
+	if opts.OnProgress != nil || opts.OnRunDone != nil {
+		ropts.OnDone = func(p runner.Progress) {
+			if opts.OnProgress != nil {
+				opts.OnProgress(p.Completed, p.Total)
+			}
+			if opts.OnRunDone != nil {
+				opts.OnRunDone(p)
+			}
+		}
 	}
 	results, err := runner.Map(ctx, len(tasks), ropts, func(_ context.Context, i int) (Result, error) {
 		return sc.Run(tasks[i], rng.New(tasks[i].Seed))

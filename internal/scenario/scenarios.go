@@ -61,11 +61,12 @@ func (s Spec) envOverrides() sim.EnvOverrides {
 
 func (s Spec) phyOpts() sim.PhyOpts {
 	return sim.PhyOpts{
-		Topologies: s.Topologies,
-		Seed:       s.Seed,
-		Antennas:   s.Antennas,
-		Clients:    s.Clients,
-		Env:        s.envOverrides(),
+		Topologies:  s.Topologies,
+		Seed:        s.Seed,
+		Antennas:    s.Antennas,
+		Clients:     s.Clients,
+		Env:         s.envOverrides(),
+		Parallelism: s.Parallelism,
 	}
 }
 
@@ -77,6 +78,7 @@ func (s Spec) e2eOpts() sim.E2EOpts {
 		ClientsPerAP:  s.Clients,
 		AntennasPerAP: s.Antennas,
 		Env:           s.envOverrides(),
+		Parallelism:   s.Parallelism,
 	}
 	if v := s.Venue; v != nil {
 		o.VenueWidth, o.VenueHeight, o.VenueAPs = v.Width, v.Height, v.APs
@@ -214,7 +216,7 @@ func init() {
 		about:    "Figure 12: simultaneous streams enabled by per-antenna carrier sensing",
 		defaults: baseSpec(30),
 		run: func(spec Spec, _ *rng.Source, r *Result) error {
-			res := sim.Fig12SpatialReuseOpts(spec.Topologies, spec.Seed, spec.envOverrides())
+			res := sim.Fig12SpatialReuseOpts(spec.Topologies, spec.Seed, spec.envOverrides(), spec.Parallelism)
 			ratios := stats.NewSample()
 			for _, p := range res {
 				ratios.Add(p.Ratio)
@@ -231,7 +233,7 @@ func init() {
 		about:    "Figure 13: deadzone maps of CAS vs DAS coverage on a 0.5 m grid",
 		defaults: baseSpec(10),
 		run: func(spec Spec, _ *rng.Source, r *Result) error {
-			res := sim.Fig13DeadzonesOpts(spec.Topologies, spec.Seed, spec.envOverrides())
+			res := sim.Fig13DeadzonesOpts(spec.Topologies, spec.Seed, spec.envOverrides(), spec.Parallelism)
 			r.AddMetric("spots measured", float64(res.Spots), "", "")
 			r.AddMetric("CAS deadspots", float64(res.CASDeadspots), "", "")
 			r.AddMetric("DAS deadspots", float64(res.DASDeadspots), "", "")
@@ -250,7 +252,7 @@ func init() {
 		about:    "§5.3.4: hidden-terminal spots between two non-overhearing APs",
 		defaults: baseSpec(10),
 		run: func(spec Spec, _ *rng.Source, r *Result) error {
-			res := sim.HiddenTerminalsOpts(spec.Topologies, spec.Seed, spec.envOverrides())
+			res := sim.HiddenTerminalsOpts(spec.Topologies, spec.Seed, spec.envOverrides(), spec.Parallelism)
 			r.AddMetric("spots measured", float64(res.Spots), "", "")
 			r.AddMetric("CAS hidden-terminal spots", float64(res.CASSpots), "", "")
 			r.AddMetric("DAS hidden-terminal spots", float64(res.DASSpots), "", "")
@@ -397,7 +399,7 @@ func init() {
 		defaults: baseSpec(40),
 		run: func(spec Spec, _ *rng.Source, r *Result) error {
 			rhos := []float64{0, 0.3, 0.6, 0.9}
-			corr := sim.AblationCorrelation(rhos, spec.Topologies, spec.Seed)
+			corr := sim.AblationCorrelationOpts(rhos, spec.Topologies, spec.Seed, spec.Parallelism)
 			for _, rho := range rhos {
 				r.AddMetric(fmt.Sprintf("CAS correlation rho %.1f median", rho), corr[rho].MustMedian(), "bit/s/Hz", "")
 			}
@@ -412,7 +414,7 @@ func init() {
 		defaults: baseSpec(60),
 		run: func(spec Spec, _ *rng.Source, r *Result) error {
 			for _, win := range []float64{6, 12, 30} {
-				res := sim.BeamformingStudy(spec.Topologies, win, spec.Seed)
+				res := sim.BeamformingStudyOpts(spec.Topologies, win, spec.Seed, spec.Parallelism)
 				r.AddMetric(fmt.Sprintf("window %.0f dB SNR full", win), res.SNRFull.MustMedian(), "dB", "")
 				r.AddMetric(fmt.Sprintf("window %.0f dB SNR local", win), res.SNRLocal.MustMedian(), "dB", "")
 				r.AddMetric(fmt.Sprintf("window %.0f dB silenced area full", win), res.SilencedFull.MustMedian()*100, "%", "")
@@ -428,7 +430,7 @@ func init() {
 		about:    "§7 extension: optimized vs random DAS antenna placement",
 		defaults: baseSpec(30),
 		run: func(spec Spec, _ *rng.Source, r *Result) error {
-			res, err := sim.PlacementStudy(spec.Topologies, 30, spec.Seed)
+			res, err := sim.PlacementStudyOpts(spec.Topologies, 30, spec.Seed, spec.Parallelism)
 			if err != nil {
 				return err
 			}

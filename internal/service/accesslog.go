@@ -1,0 +1,53 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// accessEntry carries per-request fields handlers contribute to the
+// access-log line — currently the job ID the job endpoints touch.
+type accessEntry struct{ job string }
+
+type accessKey struct{}
+
+// setLogJob records the job ID a handler operated on so the request's
+// access-log line can carry it. A no-op when the request did not pass
+// through the accessLog middleware (tests driving handlers directly).
+func setLogJob(r *http.Request, id string) {
+	if e, ok := r.Context().Value(accessKey{}).(*accessEntry); ok && id != "" {
+		e.job = id
+	}
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// accessLog wraps the API mux with one structured log line per
+// request: method, path, status, duration, and — when the handler
+// touched one — the job ID.
+func (s *Service) accessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		e := &accessEntry{}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), accessKey{}, e)))
+		attrs := []any{
+			"method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "duration", time.Since(start),
+		}
+		if e.job != "" {
+			attrs = append(attrs, "job", e.job)
+		}
+		s.log.Info("http request", attrs...)
+	})
+}

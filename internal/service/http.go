@@ -17,8 +17,9 @@ import (
 //	GET    /v1/jobs/{id}/result rendered result snapshot (JSON sink)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/scenarios        registry listing with default specs
+//	GET    /v1/metrics.json     JSON metrics snapshot (jobs by state, cache hit rate, queue depth)
 //	GET    /healthz             liveness (503 while draining)
-//	GET    /metrics             jobs by state, cache hit rate, queue depth
+//	GET    /metrics             Prometheus text exposition (counters, gauges, latency histograms)
 //
 // Results are rendered through the same runner.Meta + JSON sink path
 // as midas-sim -format json, so an HTTP-served snapshot differs from
@@ -38,7 +39,8 @@ type scenarioInfo struct {
 	DefaultSpec scenario.Spec `json:"default_spec"`
 }
 
-// Handler builds the HTTP API over the service.
+// Handler builds the HTTP API over the service, wrapped in the
+// access-log middleware (one structured line per request).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -46,9 +48,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /v1/metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.accessLog(mux)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -95,6 +98,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	setLogJob(r, st.ID)
 	if st.State == StateDone {
 		writeJSON(w, http.StatusOK, st)
 		return
@@ -103,6 +107,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	setLogJob(r, r.PathValue("id"))
 	st, err := s.Job(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
@@ -118,6 +123,7 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 // byte-identical bodies.
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	setLogJob(r, id)
 	res, spec, err := s.Result(id)
 	switch {
 	case errors.Is(err, ErrUnknownJob):
@@ -142,6 +148,7 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	setLogJob(r, r.PathValue("id"))
 	st, err := s.Cancel(r.PathValue("id"))
 	switch {
 	case errors.Is(err, ErrUnknownJob):
@@ -182,6 +189,16 @@ func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetricsJSON serves the legacy JSON snapshot — the same value
+// Metrics() returns, for scripts that want counts without parsing the
+// Prometheus exposition.
+func (s *Service) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// handleMetrics serves the telemetry registry in Prometheus text
+// exposition format 0.0.4.
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.tel.reg.Render(w) // nothing to do about a broken client connection
 }

@@ -117,10 +117,10 @@ func TestHTTPJobLifecycleAndCache(t *testing.T) {
 		t.Fatalf("engine ran %d times over the HTTP lifecycle, want 1", n)
 	}
 
-	// Metrics reflect the session.
-	code, b = doJSON(t, c, http.MethodGet, srv.URL+"/metrics", "")
+	// The JSON metrics snapshot reflects the session.
+	code, b = doJSON(t, c, http.MethodGet, srv.URL+"/v1/metrics.json", "")
 	if code != http.StatusOK {
-		t.Fatalf("metrics: %d", code)
+		t.Fatalf("metrics.json: %d", code)
 	}
 	var m Metrics
 	if err := json.Unmarshal(b, &m); err != nil {
@@ -128,6 +128,32 @@ func TestHTTPJobLifecycleAndCache(t *testing.T) {
 	}
 	if m.CacheHits != 1 || m.CacheMisses != 1 || m.Jobs[StateDone] != 2 {
 		t.Fatalf("metrics %+v", m)
+	}
+
+	// And /metrics serves the same facts as Prometheus exposition.
+	resp, err := c.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("exposition content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE midas_job_queue_wait_seconds histogram",
+		"# TYPE midas_job_run_seconds histogram",
+		"midas_cache_hits_total 1",
+		"midas_cache_misses_total 1",
+		`midas_submissions_total{outcome="cached"} 1`,
+		`midas_jobs_finished_total{state="done"} 1`,
+		`midas_jobs{state="done"} 2`,
+		"midas_job_queue_wait_seconds_count 1",
+		`midas_job_run_seconds_count{scenario="fig12-spatial-reuse"} 1`,
+	} {
+		if !strings.Contains(string(expo), want) {
+			t.Errorf("exposition missing %q\n%s", want, expo)
+		}
 	}
 }
 

@@ -24,11 +24,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 )
 
 // State is a job's lifecycle phase.
@@ -102,6 +105,23 @@ type Config struct {
 	// job table cannot grow with traffic. Queued and running jobs are
 	// never evicted.
 	JobRetention int
+	// JobParallelism, when > 0, is the engine parallelism handed to a
+	// job whose spec leaves parallelism unset — how a multi-worker
+	// server divides the machine (midas-serve passes
+	// ceil(GOMAXPROCS/workers)) without the racy sim.Parallelism
+	// process-global. A spec that sets its own parallelism keeps it; the
+	// override travels in scenario.RunOptions, never in the spec, so
+	// hashes, sink meta and cached bodies are unaffected.
+	JobParallelism int
+	// Telemetry is the registry the service registers its instruments
+	// on (counters, queue-wait/run-duration histograms, job gauges);
+	// nil creates a private one. Either way Service.Telemetry exposes
+	// it for /metrics rendering.
+	Telemetry *telemetry.Registry
+	// Log receives structured per-job lifecycle lines (submitted /
+	// running / finished), keyed by job id and spec hash; nil discards
+	// them.
+	Log *slog.Logger
 	// Run substitutes the engine invocation; nil selects
 	// scenario.RunResolved.
 	Run RunFunc
@@ -217,6 +237,8 @@ type Service struct {
 	run   RunFunc
 	queue chan *job
 	wg    sync.WaitGroup
+	tel   *instruments
+	log   *slog.Logger
 
 	mu           sync.Mutex
 	jobs         map[string]*job
@@ -234,6 +256,7 @@ func New(cfg Config) *Service {
 	s := &Service{
 		cfg:          cfg,
 		run:          cfg.Run,
+		log:          cfg.Log,
 		queue:        make(chan *job, cfg.queueDepth()),
 		jobs:         make(map[string]*job),
 		inflight:     make(map[string]*job),
@@ -243,6 +266,14 @@ func New(cfg Config) *Service {
 	if s.run == nil {
 		s.run = scenario.RunResolved
 	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	s.tel = newInstruments(reg, s)
 	for w := 0; w < cfg.workers(); w++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -250,12 +281,49 @@ func New(cfg Config) *Service {
 	return s
 }
 
+// Telemetry returns the registry holding the service's instruments —
+// what GET /metrics renders.
+func (s *Service) Telemetry() *telemetry.Registry { return s.tel.reg }
+
 // Submit validates and resolves overrides (whose Scenario field names
 // the registered scenario, exactly like a midas-sim spec file), then
 // either answers it from the spec-hash cache — the job is born done,
 // marked Cached — or enqueues it for the worker pool. The returned
 // snapshot carries the job id to poll.
 func (s *Service) Submit(overrides scenario.Spec) (JobStatus, error) {
+	start := time.Now()
+	st, err := s.submit(overrides)
+	lat := time.Since(start).Seconds()
+	// Instrument and log outside the job-table lock: the histograms are
+	// atomics, but the slog handler does real I/O.
+	switch {
+	case err != nil:
+		s.tel.submissions.With("rejected").Inc()
+		s.log.Warn("job rejected", "scenario", overrides.Scenario, "error", err.Error())
+	case st.Cached:
+		s.tel.cacheHits.Inc()
+		s.tel.submissions.With("cached").Inc()
+		s.tel.cacheHitLat.Observe(lat)
+	case st.Coalesced:
+		s.tel.cacheMisses.Inc()
+		s.tel.coalesced.Inc()
+		s.tel.submissions.With("coalesced").Inc()
+		s.tel.coalesceLat.Observe(lat)
+	default:
+		s.tel.cacheMisses.Inc()
+		s.tel.submissions.With("queued").Inc()
+		s.tel.cacheMissLat.Observe(lat)
+	}
+	if err == nil {
+		s.log.Info("job submitted",
+			"job", st.ID, "scenario", st.Scenario, "spec_hash", st.SpecHash,
+			"state", string(st.State), "cached", st.Cached, "coalesced", st.Coalesced)
+	}
+	return st, err
+}
+
+// submit is Submit's locked core, free of telemetry and logging.
+func (s *Service) submit(overrides scenario.Spec) (JobStatus, error) {
 	if overrides.Scenario == "" {
 		return JobStatus{}, fmt.Errorf("service: spec names no scenario (set the \"scenario\" field; GET /v1/scenarios lists all)")
 	}
@@ -351,6 +419,7 @@ func (s *Service) runJob(j *job) {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	queueWait := j.started.Sub(j.submitted)
 	for _, f := range j.followers {
 		f.state = StateRunning
 		f.started = j.started
@@ -358,7 +427,21 @@ func (s *Service) runJob(j *job) {
 	s.scenarioRuns[j.spec.Scenario]++
 	s.mu.Unlock()
 
+	s.tel.queueWait.Observe(queueWait.Seconds())
+	s.log.Info("job running",
+		"job", j.id, "scenario", j.spec.Scenario, "spec_hash", j.hash,
+		"queue_wait", queueWait)
+
+	// The per-job core budget travels in RunOptions, not in the spec
+	// (which would change its sink meta) and not in a process global
+	// (which concurrent jobs would race on): specs that set their own
+	// parallelism keep it, unset ones get the server's per-worker share.
+	par := j.spec.Parallelism
+	if par <= 0 {
+		par = s.cfg.JobParallelism
+	}
 	res, err := s.run(j.ctx, j.sc, j.spec, scenario.RunOptions{
+		Parallelism: par,
 		OnProgress: func(completed, total int) {
 			s.mu.Lock()
 			j.progress = Progress{Completed: completed, Total: total}
@@ -367,11 +450,25 @@ func (s *Service) runJob(j *job) {
 			}
 			s.mu.Unlock()
 		},
+		OnRunDone: func(p runner.Progress) {
+			s.tel.taskSeconds.Observe(p.Elapsed.Seconds())
+		},
 	})
+	elapsed := time.Since(j.started)
+	s.tel.runDuration.With(j.spec.Scenario).Observe(elapsed.Seconds())
 
 	s.mu.Lock()
 	s.finishLocked(j, res, err)
+	st := j.statusLocked()
 	s.mu.Unlock()
+	logAttrs := []any{
+		"job", st.ID, "scenario", st.Scenario, "spec_hash", st.SpecHash,
+		"state", string(st.State), "run_seconds", elapsed.Seconds(),
+	}
+	if st.Error != "" {
+		logAttrs = append(logAttrs, "error", st.Error)
+	}
+	s.log.Info("job finished", logAttrs...)
 }
 
 // finishLocked records a job's terminal state, finishes any coalesced
@@ -393,6 +490,7 @@ func (s *Service) finishLocked(j *job, res scenario.Result, err error) {
 		j.err = err
 	}
 	close(j.done)
+	s.tel.finished.With(string(j.state)).Inc()
 	if s.inflight[j.hash] == j {
 		delete(s.inflight, j.hash)
 	}
@@ -427,6 +525,16 @@ func (s *Service) retireLocked(j *job) {
 // followers finish cancelled with it. Cancelling a terminal job is an
 // error.
 func (s *Service) Cancel(id string) (JobStatus, error) {
+	st, err := s.cancel(id)
+	if err == nil {
+		s.log.Info("job cancel requested",
+			"job", st.ID, "scenario", st.Scenario, "spec_hash", st.SpecHash, "state", string(st.State))
+	}
+	return st, err
+}
+
+// cancel is Cancel's locked core.
+func (s *Service) cancel(id string) (JobStatus, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]

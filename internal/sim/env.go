@@ -64,6 +64,11 @@ type PhyOpts struct {
 	Antennas   int
 	Clients    int
 	Env        EnvOverrides
+	// Parallelism bounds the topology-sweep worker pool for this call;
+	// <= 0 falls back to the package-global Parallelism (then
+	// GOMAXPROCS). Per-call so concurrent jobs in one process can run
+	// at different widths without sharing mutable state.
+	Parallelism int
 }
 
 func (o PhyOpts) antennas() int {

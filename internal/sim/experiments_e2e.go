@@ -32,6 +32,11 @@ type E2EOpts struct {
 	// (paper: 8) when > 0. Only the large-scale experiments read these.
 	VenueWidth, VenueHeight float64
 	VenueAPs                int
+	// Parallelism bounds the topology-sweep worker pool for this call;
+	// <= 0 falls back to the package-global Parallelism (then
+	// GOMAXPROCS). Per-call so concurrent jobs in one process can run
+	// at different widths without sharing mutable state.
+	Parallelism int
 }
 
 // DefaultE2E mirrors §5.4: 60 topologies.
@@ -89,7 +94,7 @@ type arm2 struct{ a, b float64 }
 // testbed under conventional CAS and under MIDAS, over random topologies.
 func Fig15EndToEnd(o E2EOpts) (cas, midas *stats.Sample) {
 	p := o.params()
-	res := sweep(o.Topologies, o.Seed, "fig15", func(t int, src *rng.Source) arm2 {
+	res := sweep(o.Topologies, o.Seed, "fig15", o.Parallelism, func(t int, src *rng.Source) arm2 {
 		cfgC := o.config(topology.CAS)
 		cfgM := o.config(topology.DAS)
 		depC := topology.ThreeAPTestbed(cfgC, src.Split("topo"))
@@ -118,7 +123,7 @@ func Fig15EndToEnd(o E2EOpts) (cas, midas *stats.Sample) {
 // deployment had (see EXPERIMENTS.md).
 func Fig16LargeScale(o E2EOpts) (cas, midas *stats.Sample, err error) {
 	p := o.params()
-	res, err := sweepErr(o.Topologies, o.Seed, "fig16", func(t int, src *rng.Source) (arm2, error) {
+	res, err := sweepErr(o.Topologies, o.Seed, "fig16", o.Parallelism, func(t int, src *rng.Source) (arm2, error) {
 		cfgC := o.largeConfig(topology.CAS)
 		cfgM := o.largeConfig(topology.DAS)
 		depC, err := topology.LargeScale(cfgC, src.Split("topo"))
@@ -163,7 +168,7 @@ type DecompositionResult struct {
 // MIDAS's mechanisms one at a time.
 func Decomposition(o E2EOpts) *DecompositionResult {
 	p := o.params()
-	vals := sweep(o.Topologies, o.Seed, "decomp", func(t int, src *rng.Source) [4]float64 {
+	vals := sweep(o.Topologies, o.Seed, "decomp", o.Parallelism, func(t int, src *rng.Source) [4]float64 {
 		depC := topology.ThreeAPTestbed(o.config(topology.CAS), src.Split("topo"))
 		depM := topology.ThreeAPTestbed(o.config(topology.DAS), src.Split("topo"))
 
@@ -198,7 +203,7 @@ func Decomposition(o E2EOpts) *DecompositionResult {
 // (§3.2.4 discusses 1, 2 and all-antennas).
 func AblationTagWidth(widths []int, o E2EOpts) map[int]*stats.Sample {
 	p := o.params()
-	vals := sweep(o.Topologies, o.Seed, "tagwidth", func(t int, src *rng.Source) []float64 {
+	vals := sweep(o.Topologies, o.Seed, "tagwidth", o.Parallelism, func(t int, src *rng.Source) []float64 {
 		dep := topology.ThreeAPTestbed(o.config(topology.DAS), src.Split("topo"))
 		caps := make([]float64, len(widths))
 		for i, w := range widths {
@@ -224,7 +229,7 @@ func AblationTagWidth(widths []int, o E2EOpts) map[int]*stats.Sample {
 // (§3.2.3 argues one DIFS is the right balance).
 func AblationWaitWindow(windows []time.Duration, o E2EOpts) map[time.Duration]*stats.Sample {
 	p := o.params()
-	vals := sweep(o.Topologies, o.Seed, "waitwin", func(t int, src *rng.Source) []float64 {
+	vals := sweep(o.Topologies, o.Seed, "waitwin", o.Parallelism, func(t int, src *rng.Source) []float64 {
 		dep := topology.ThreeAPTestbed(o.config(topology.DAS), src.Split("topo"))
 		caps := make([]float64, len(windows))
 		for i, w := range windows {
@@ -252,7 +257,7 @@ func AblationWaitWindow(windows []time.Duration, o E2EOpts) map[time.Duration]*s
 func AblationScheduler(o E2EOpts) map[string]*stats.Sample {
 	names := []string{"drr", "rr", "random"}
 	p := o.params()
-	vals := sweep(o.Topologies, o.Seed, "sched", func(t int, src *rng.Source) []float64 {
+	vals := sweep(o.Topologies, o.Seed, "sched", o.Parallelism, func(t int, src *rng.Source) []float64 {
 		dep := topology.ThreeAPTestbed(o.config(topology.DAS), src.Split("topo"))
 		caps := make([]float64, len(names))
 		for i, name := range names {
@@ -278,13 +283,19 @@ func AblationScheduler(o E2EOpts) map[string]*stats.Sample {
 // the knob that controls how much channel rank the co-located baseline
 // loses relative to DAS.
 func AblationCorrelation(rhos []float64, topos int, seed int64) map[float64]*stats.Sample {
+	return AblationCorrelationOpts(rhos, topos, seed, 0)
+}
+
+// AblationCorrelationOpts is AblationCorrelation with an explicit
+// sweep-pool width (<= 0 falls back to the Parallelism global).
+func AblationCorrelationOpts(rhos []float64, topos int, seed int64, parallel int) map[float64]*stats.Sample {
 	type rhoVal struct {
 		ok bool
 		v  float64
 	}
 	// Task t derives one child per (t, rho) pair — the sweep label is
 	// only used for progress reporting here.
-	vals := sweepRoot(topos, seed, "corr", func(t int, root *rng.Source) []rhoVal {
+	vals := sweepRoot(topos, seed, "corr", parallel, func(t int, root *rng.Source) []rhoVal {
 		sv := getSolver()
 		defer putSolver(sv)
 		res := make([]rhoVal, len(rhos))
@@ -331,7 +342,7 @@ func ClientChurn(o E2EOpts, epochs int) (cas, midas *stats.Sample) {
 	}
 	p := o.params()
 	epochTime := o.SimTime / time.Duration(epochs)
-	res := sweep(o.Topologies, o.Seed, "churn", func(t int, src *rng.Source) arm2 {
+	res := sweep(o.Topologies, o.Seed, "churn", o.Parallelism, func(t int, src *rng.Source) arm2 {
 		depC := topology.ThreeAPTestbed(o.config(topology.CAS), src.Split("topo"))
 		depM := topology.ThreeAPTestbed(o.config(topology.DAS), src.Split("topo"))
 		var sumC, sumM float64

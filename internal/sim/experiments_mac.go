@@ -45,15 +45,16 @@ type Fig12Result struct {
 // procedure at AP granularity gives the CAS count. Returns per-topology
 // results; the paper plots the CDF of MIDAS/CAS.
 func Fig12SpatialReuse(topos int, seed int64) []Fig12Result {
-	return Fig12SpatialReuseOpts(topos, seed, EnvOverrides{})
+	return Fig12SpatialReuseOpts(topos, seed, EnvOverrides{}, 0)
 }
 
 // Fig12SpatialReuseOpts is Fig12SpatialReuse with environment
-// overrides; the zero EnvOverrides reproduces the paper run.
-func Fig12SpatialReuseOpts(topos int, seed int64, env EnvOverrides) []Fig12Result {
+// overrides and an explicit sweep-pool width (<= 0 falls back to the
+// Parallelism global); the zero values reproduce the paper run.
+func Fig12SpatialReuseOpts(topos int, seed int64, env EnvOverrides, parallel int) []Fig12Result {
 	p := env.Params(channel.Default())
 	csDBm := -82.0
-	return sweep(topos, seed, "fig12", func(t int, src *rng.Source) Fig12Result {
+	return sweep(topos, seed, "fig12", parallel, func(t int, src *rng.Source) Fig12Result {
 		cfg := env.Topology(topology.DefaultConfig(topology.DAS))
 		dep := topology.ThreeAPTestbed(cfg, src.Split("topo"))
 		// §5.3.1 premise: the three APs overhear each other; choose a
@@ -123,11 +124,13 @@ const minServiceSNRdB = 4.0
 // usable mean SNR. Averages over `deployments` random DAS layouts (the
 // CAS layout is fixed, as in the paper).
 func Fig13Deadzones(deployments int, seed int64) DeadzoneResult {
-	return Fig13DeadzonesOpts(deployments, seed, EnvOverrides{})
+	return Fig13DeadzonesOpts(deployments, seed, EnvOverrides{}, 0)
 }
 
-// Fig13DeadzonesOpts is Fig13Deadzones with environment overrides.
-func Fig13DeadzonesOpts(deployments int, seed int64, env EnvOverrides) DeadzoneResult {
+// Fig13DeadzonesOpts is Fig13Deadzones with environment overrides and
+// an explicit sweep-pool width (<= 0 falls back to the Parallelism
+// global).
+func Fig13DeadzonesOpts(deployments int, seed int64, env EnvOverrides, parallel int) DeadzoneResult {
 	p := env.Params(channel.Default())
 	// deadzoneTask is one deployment's tally; the example maps are kept
 	// only for deployment 0, as before.
@@ -136,7 +139,7 @@ func Fig13DeadzonesOpts(deployments int, seed int64, env EnvOverrides) DeadzoneR
 		casMap, dasMap          []bool
 		cols                    int
 	}
-	tasks := sweep(deployments, seed, "fig13", func(d int, src *rng.Source) deadzoneTask {
+	tasks := sweep(deployments, seed, "fig13", parallel, func(d int, src *rng.Source) deadzoneTask {
 		var out deadzoneTask
 		casDep := topology.SingleAP(env.Topology(topology.DefaultConfig(topology.CAS)), src.Split("cas"))
 		dasDep := topology.SingleAP(env.Topology(topology.DefaultConfig(topology.DAS)), src.Split("das"))
@@ -204,16 +207,18 @@ type HiddenTerminalResult struct {
 // both widens each AP's sensing footprint and evens out the delivered
 // power — the two effects the paper credits for the reduction.
 func HiddenTerminals(deployments int, seed int64) HiddenTerminalResult {
-	return HiddenTerminalsOpts(deployments, seed, EnvOverrides{})
+	return HiddenTerminalsOpts(deployments, seed, EnvOverrides{}, 0)
 }
 
-// HiddenTerminalsOpts is HiddenTerminals with environment overrides.
-func HiddenTerminalsOpts(deployments int, seed int64, env EnvOverrides) HiddenTerminalResult {
+// HiddenTerminalsOpts is HiddenTerminals with environment overrides
+// and an explicit sweep-pool width (<= 0 falls back to the
+// Parallelism global).
+func HiddenTerminalsOpts(deployments int, seed int64, env EnvOverrides, parallel int) HiddenTerminalResult {
 	p := env.Params(channel.Default())
 	const csDBm = -82.0
 	const decodeDBm = -82.0 // conflict-relevant power, not payload decode
 	type htTask struct{ cas, das, spots int }
-	tasks := sweep(deployments, seed, "ht", func(d int, src *rng.Source) htTask {
+	tasks := sweep(deployments, seed, "ht", parallel, func(d int, src *rng.Source) htTask {
 		var out htTask
 		cfg := env.Topology(topology.DefaultConfig(topology.DAS))
 		cfg.DASInnerFrac = 0.5

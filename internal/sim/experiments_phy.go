@@ -93,7 +93,7 @@ func Fig3NaiveScalingDropOpts(o PhyOpts) (cas, das *stats.Sample, err error) {
 		if mode == topology.DAS {
 			out = das
 		}
-		drops, err := sweepErr(o.Topologies, o.Seed, "fig3-"+mode.String(), func(t int, src *rng.Source) (float64, error) {
+		drops, err := sweepErr(o.Topologies, o.Seed, "fig3-"+mode.String(), o.Parallelism, func(t int, src *rng.Source) (float64, error) {
 			sv := getSolver()
 			defer putSolver(sv)
 			prob, _, _ := phyProblem(OfficeB, mode, o.antennas(), o.clients(), o.Env, src)
@@ -137,7 +137,7 @@ func Fig7LinkSNROpts(o PhyOpts) (cas, das *stats.Sample) {
 		if mode == topology.DAS {
 			out = das
 		}
-		snrs := sweep(o.Topologies, o.Seed, "fig7-"+mode.String(), func(t int, src *rng.Source) []float64 {
+		snrs := sweep(o.Topologies, o.Seed, "fig7-"+mode.String(), o.Parallelism, func(t int, src *rng.Source) []float64 {
 			_, m, _ := phyProblem(OfficeA, mode, o.antennas(), o.clients(), o.Env, src)
 			return greedySISOMap(m)
 		})
@@ -189,7 +189,7 @@ func FigCapacityCDFOpts(o Office, po PhyOpts) (cas, midas *stats.Sample, err err
 	// One source for both arms: §5.2.2 fixes the clients and varies
 	// only the antenna deployment between CAS and DAS.
 	label := fmt.Sprintf("fig89-%v-%d", o, po.antennas())
-	res, err := sweepErr(po.Topologies, po.Seed, label, func(t int, src *rng.Source) (arm2, error) {
+	res, err := sweepErr(po.Topologies, po.Seed, label, po.Parallelism, func(t int, src *rng.Source) (arm2, error) {
 		sv := getSolver()
 		defer putSolver(sv)
 		probC, _, _ := phyProblem(o, topology.CAS, po.antennas(), po.clients(), po.Env, src)
@@ -235,7 +235,7 @@ func Fig10SmartPrecoding(topos int, seed int64) (*Fig10Curves, error) {
 func Fig10SmartPrecodingOpts(o PhyOpts) (*Fig10Curves, error) {
 	// [casNaive, casBalanced, dasNaive, dasBalanced] per topology; the
 	// per-mode child streams keep their original labels.
-	vals, err := sweepRootErr(o.Topologies, o.Seed, "fig10", func(t int, root *rng.Source) ([4]float64, error) {
+	vals, err := sweepRootErr(o.Topologies, o.Seed, "fig10", o.Parallelism, func(t int, root *rng.Source) ([4]float64, error) {
 		var out [4]float64
 		sv := getSolver()
 		defer putSolver(sv)
@@ -290,7 +290,7 @@ func Fig11OptimalGap(topos int, seed int64, testbed bool) ([]Fig11Point, error) 
 // Fig11OptimalGapOpts is Fig11OptimalGap with the full parameter set.
 func Fig11OptimalGapOpts(o PhyOpts, testbed bool) ([]Fig11Point, error) {
 	opts := precoding.DefaultOptimalOptions()
-	return sweepErr(o.Topologies, o.Seed, "fig11", func(t int, src *rng.Source) (Fig11Point, error) {
+	return sweepErr(o.Topologies, o.Seed, "fig11", o.Parallelism, func(t int, src *rng.Source) (Fig11Point, error) {
 		sv := getSolver()
 		defer putSolver(sv)
 		prob, m, _ := phyProblem(OfficeB, topology.DAS, o.antennas(), o.clients(), o.Env, src)
@@ -340,7 +340,7 @@ func Fig14PacketTaggingOpts(o PhyOpts) (random, tagged *stats.Sample, err error)
 		return nil, nil, fmt.Errorf("fig14: packet tagging needs at least 2 antennas and 2 clients (got %d antennas × %d clients)",
 			o.antennas(), o.clients())
 	}
-	res, err := sweepErr(o.Topologies, o.Seed, "fig14", func(t int, src *rng.Source) (arm2, error) {
+	res, err := sweepErr(o.Topologies, o.Seed, "fig14", o.Parallelism, func(t int, src *rng.Source) (arm2, error) {
 		sv := getSolver()
 		defer putSolver(sv)
 		_, m, dep := phyProblem(OfficeB, topology.DAS, o.antennas(), o.clients(), o.Env, src)

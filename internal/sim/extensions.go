@@ -31,6 +31,12 @@ type BeamformingResult struct {
 // area. windowDB is the neighbourhood window (12 dB default in the
 // paper's spirit of "antennas in the neighbourhood of the client").
 func BeamformingStudy(topos int, windowDB float64, seed int64) *BeamformingResult {
+	return BeamformingStudyOpts(topos, windowDB, seed, 0)
+}
+
+// BeamformingStudyOpts is BeamformingStudy with an explicit sweep-pool
+// width (<= 0 falls back to the Parallelism global).
+func BeamformingStudyOpts(topos int, windowDB float64, seed int64, parallel int) *BeamformingResult {
 	p := channel.Default()
 	csThreshold := stats.Milliwatt(-82)
 	type beamTask struct {
@@ -38,7 +44,7 @@ func BeamformingStudy(topos int, windowDB float64, seed int64) *BeamformingResul
 		snrFull, snrLocal        float64
 		silencedFull, silencedLo float64
 	}
-	tasks := sweep(topos, seed, "beamform", func(t int, src *rng.Source) beamTask {
+	tasks := sweep(topos, seed, "beamform", parallel, func(t int, src *rng.Source) beamTask {
 		cfg := topology.DefaultConfig(topology.DAS)
 		cfg.ClientsPerAP = 1
 		dep := topology.SingleAP(cfg, src.Split("topo"))
@@ -124,10 +130,16 @@ type PlacementResult struct {
 // coverage-optimised placement of internal/topology (§7's open problem),
 // on matched clients and floor plans.
 func PlacementStudy(topos, candidates int, seed int64) (*PlacementResult, error) {
+	return PlacementStudyOpts(topos, candidates, seed, 0)
+}
+
+// PlacementStudyOpts is PlacementStudy with an explicit sweep-pool
+// width (<= 0 falls back to the Parallelism global).
+func PlacementStudyOpts(topos, candidates int, seed int64, parallel int) (*PlacementResult, error) {
 	p := channel.Default()
 	// [randCoverage, randCapacity, optCoverage, optCapacity] per topology.
 	perAntenna, noise := p.TxPowerLinear(), p.NoiseLinear()
-	vals, err := sweepErr(topos, seed, "placement", func(t int, src *rng.Source) ([4]float64, error) {
+	vals, err := sweepErr(topos, seed, "placement", parallel, func(t int, src *rng.Source) ([4]float64, error) {
 		sv := getSolver()
 		defer putSolver(sv)
 		var out [4]float64

@@ -14,11 +14,17 @@ import (
 // order, so aggregated samples are bit-identical to a sequential run at
 // any pool size.
 
-// Parallelism is the package-level knob for how many topology tasks the
-// experiment drivers evaluate concurrently. Values <= 0 (the default)
-// select GOMAXPROCS. Results do not depend on this setting; it only
-// trades wall-clock time for cores. CLIs expose it as -parallel and the
-// root benchmarks as -runner.parallel.
+// Parallelism is the package-level *fallback* knob for how many
+// topology tasks the experiment drivers evaluate concurrently when a
+// caller does not pass an explicit per-call width (the drivers' Opts
+// structs and *Opts variants carry one; the legacy bare-signature
+// entry points do not). Values <= 0 (the default) select GOMAXPROCS.
+// Results do not depend on this setting; it only trades wall-clock
+// time for cores. Single-job CLIs expose it as -parallel and the root
+// benchmarks as -runner.parallel; multi-job processes (midas-serve)
+// must NOT touch it — they pass per-job parallelism through
+// scenario.RunOptions instead, precisely because a process-global
+// would race across concurrent jobs.
 var Parallelism int
 
 // OnProgress, when non-nil, observes every completed topology task of
@@ -26,27 +32,35 @@ var Parallelism int
 // are serialized per sweep. Used by midas-bench's -progress flag.
 var OnProgress func(label string, p runner.Progress)
 
-func sweepOpts(label string) runner.Options {
-	opts := runner.Options{Parallelism: Parallelism}
+// sweepOpts builds the runner options for one inner topology sweep.
+// par is the explicit per-call pool width; <= 0 falls back to the
+// package-global Parallelism (and from there to GOMAXPROCS inside the
+// runner), preserving the legacy single-job behaviour.
+func sweepOpts(label string, par int) runner.Options {
+	if par <= 0 {
+		par = Parallelism
+	}
+	opts := runner.Options{Parallelism: par}
 	if cb := OnProgress; cb != nil {
 		opts.OnDone = func(p runner.Progress) { cb(label, p) }
 	}
 	return opts
 }
 
-// sweepErr runs fn over n topology indices, handing task t the child
-// stream rng.New(seed).SplitN(label, t), and returns ordered results or
-// the lowest-index task error.
-func sweepErr[T any](n int, seed int64, label string, fn func(t int, src *rng.Source) (T, error)) ([]T, error) {
-	return runner.Sweep(context.Background(), n, seed, label, sweepOpts(label),
+// sweepErr runs fn over n topology indices on a pool of par workers
+// (<= 0 falls back to the Parallelism global), handing task t the
+// child stream rng.New(seed).SplitN(label, t), and returns ordered
+// results or the lowest-index task error.
+func sweepErr[T any](n int, seed int64, label string, par int, fn func(t int, src *rng.Source) (T, error)) ([]T, error) {
+	return runner.Sweep(context.Background(), n, seed, label, sweepOpts(label, par),
 		func(_ context.Context, t int, src *rng.Source) (T, error) {
 			return fn(t, src)
 		})
 }
 
 // sweep is sweepErr for infallible task bodies.
-func sweep[T any](n int, seed int64, label string, fn func(t int, src *rng.Source) T) []T {
-	res, err := sweepErr(n, seed, label, func(t int, src *rng.Source) (T, error) {
+func sweep[T any](n int, seed int64, label string, par int, fn func(t int, src *rng.Source) T) []T {
+	res, err := sweepErr(n, seed, label, par, func(t int, src *rng.Source) (T, error) {
 		return fn(t, src), nil
 	})
 	if err != nil {
@@ -60,16 +74,16 @@ func sweep[T any](n int, seed int64, label string, fn func(t int, src *rng.Sourc
 // sweepRootErr is sweepErr for experiments whose per-task derivation
 // does not follow the SplitN(label, t) convention: task t receives the
 // shared root source and must only Split/SplitN from it.
-func sweepRootErr[T any](n int, seed int64, label string, fn func(t int, root *rng.Source) (T, error)) ([]T, error) {
-	return runner.SweepRoot(context.Background(), n, seed, sweepOpts(label),
+func sweepRootErr[T any](n int, seed int64, label string, par int, fn func(t int, root *rng.Source) (T, error)) ([]T, error) {
+	return runner.SweepRoot(context.Background(), n, seed, sweepOpts(label, par),
 		func(_ context.Context, t int, root *rng.Source) (T, error) {
 			return fn(t, root)
 		})
 }
 
 // sweepRoot is sweepRootErr for infallible task bodies.
-func sweepRoot[T any](n int, seed int64, label string, fn func(t int, root *rng.Source) T) []T {
-	res, err := sweepRootErr(n, seed, label, func(t int, root *rng.Source) (T, error) {
+func sweepRoot[T any](n int, seed int64, label string, par int, fn func(t int, root *rng.Source) T) []T {
+	res, err := sweepRootErr(n, seed, label, par, func(t int, root *rng.Source) (T, error) {
 		return fn(t, root), nil
 	})
 	if err != nil {

@@ -98,7 +98,7 @@ func TestFig13ParallelDeterminism(t *testing.T) {
 func TestSweepErrPropagation(t *testing.T) {
 	var started atomic.Int64
 	withParallelism(t, 4, func() {
-		_, err := sweepErr(10000, 1, "errprop", func(tIdx int, src *rng.Source) (int, error) {
+		_, err := sweepErr(10000, 1, "errprop", 0, func(tIdx int, src *rng.Source) (int, error) {
 			started.Add(1)
 			if tIdx >= 2 {
 				return 0, fmt.Errorf("topology %d unsatisfiable", tIdx)

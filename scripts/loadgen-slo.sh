@@ -1,0 +1,88 @@
+#!/bin/sh
+# loadgen-slo: boot midas-serve on an ephemeral port, drive it with
+# midas-loadgen, and fail if the measured latency quantiles or error
+# rate violate the SLOs. The defaults are the CI smoke: a short window
+# at a mostly-cached mix with SLOs generous enough for a noisy shared
+# runner. The nightly job overrides them for a longer, stricter run.
+#
+# Environment knobs (all optional):
+#   LOADGEN_DURATION     measurement window        (default 3s)
+#   LOADGEN_CONCURRENCY  closed-loop workers       (default 8)
+#   LOADGEN_RATE         open-loop req/s, 0=closed (default 0)
+#   LOADGEN_MIX          class weights             (default cached=8,uncached=1,coalesced=1)
+#   LOADGEN_TOPOS        topologies per spec       (default 2)
+#   LOADGEN_SLO_P50      p50 latency gate          (default 1s)
+#   LOADGEN_SLO_P99      p99 latency gate          (default 10s)
+#   LOADGEN_SLO_ERRORS   error-rate gate           (default 0)
+#   LOADGEN_OUT          copy the JSON report here (default: print to stdout only)
+#
+# Requires only the go toolchain. Run from the repository root
+# (make loadgen-smoke).
+set -eu
+
+duration=${LOADGEN_DURATION:-3s}
+concurrency=${LOADGEN_CONCURRENCY:-8}
+rate=${LOADGEN_RATE:-0}
+mix=${LOADGEN_MIX:-cached=8,uncached=1,coalesced=1}
+topos=${LOADGEN_TOPOS:-2}
+slo_p50=${LOADGEN_SLO_P50:-1s}
+slo_p99=${LOADGEN_SLO_P99:-10s}
+slo_errors=${LOADGEN_SLO_ERRORS:-0}
+
+tmp=$(mktemp -d)
+serve_pid=""
+cleanup() {
+    status=$?
+    if [ -n "$serve_pid" ] && kill -0 "$serve_pid" 2>/dev/null; then
+        kill "$serve_pid" 2>/dev/null || true
+        wait "$serve_pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+    exit $status
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "loadgen-slo: FAIL: $*" >&2
+    [ -f "$tmp/serve.log" ] && tail -n 20 "$tmp/serve.log" | sed 's/^/loadgen-slo: server: /' >&2
+    exit 1
+}
+
+echo "loadgen-slo: building binaries"
+go build -o "$tmp/midas-serve" ./cmd/midas-serve
+go build -o "$tmp/midas-loadgen" ./cmd/midas-loadgen
+
+"$tmp/midas-serve" -addr 127.0.0.1:0 -log off > "$tmp/serve.log" 2>&1 &
+serve_pid=$!
+
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's#^midas-serve listening on http://##p' "$tmp/serve.log" | head -n 1)
+    [ -n "$addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || fail "server exited during startup"
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$addr" ] || fail "server never printed its listen address"
+echo "loadgen-slo: server at $addr"
+
+echo "loadgen-slo: driving for $duration (mix $mix, p50<$slo_p50 p99<$slo_p99 errors<=$slo_errors)"
+"$tmp/midas-loadgen" \
+    -url "http://$addr" \
+    -duration "$duration" -concurrency "$concurrency" -rate "$rate" \
+    -mix "$mix" -topos "$topos" \
+    -slo-p50 "$slo_p50" -slo-p99 "$slo_p99" -slo-error-rate "$slo_errors" \
+    -out "$tmp/report.json" \
+    || fail "SLO gate failed (report follows)$(cat "$tmp/report.json" 2>/dev/null || true)"
+
+cat "$tmp/report.json"
+if [ -n "${LOADGEN_OUT:-}" ]; then
+    cp "$tmp/report.json" "$LOADGEN_OUT"
+    echo "loadgen-slo: report written to $LOADGEN_OUT"
+fi
+
+kill -TERM "$serve_pid"
+wait "$serve_pid" || fail "server exited non-zero on SIGTERM"
+serve_pid=""
+echo "loadgen-slo: PASS"

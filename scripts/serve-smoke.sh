@@ -8,8 +8,9 @@
 # spec file. The two snapshots must match except for the meta "tool"
 # name (midas-serve vs midas-sim), which is stripped before the diff.
 # A second submission must be answered from the spec-hash cache with a
-# byte-identical body. Finally the server is shut down with SIGTERM
-# and must drain cleanly (exit 0).
+# byte-identical body, and the Prometheus exposition at /metrics must
+# parse and show the cache hit plus the latency histograms. Finally
+# the server is shut down with SIGTERM and must drain cleanly (exit 0).
 #
 # Requires: curl. Run from the repository root (make serve-smoke).
 set -eu
@@ -111,9 +112,26 @@ grep -q '"cached": true' "$tmp/submit2.json" || fail "resubmission was not serve
 job2=$(json_field "$tmp/submit2.json" id)
 curl -fsS "http://$addr/v1/jobs/$job2/result" > "$tmp/served2.json" || fail "cached result fetch"
 cmp -s "$tmp/served.json" "$tmp/served2.json" || fail "cached result is not byte-identical"
-curl -fsS "http://$addr/metrics" > "$tmp/metrics.json" || fail "metrics fetch"
-grep -q '"cache_hits": 1' "$tmp/metrics.json" || fail "metrics do not show the cache hit: $(cat "$tmp/metrics.json")"
+curl -fsS "http://$addr/v1/metrics.json" > "$tmp/metrics.json" || fail "metrics.json fetch"
+grep -q '"cache_hits": 1' "$tmp/metrics.json" || fail "metrics.json does not show the cache hit: $(cat "$tmp/metrics.json")"
 echo "serve-smoke: cache hit byte-identical"
+
+# The Prometheus exposition: every line must be a comment or a
+# `name{labels} value` sample (i.e. the format parses), and the session
+# must be visible in it — the cache-hit counter incremented by the
+# resubmission, and the queue-wait / run-duration histograms populated
+# by the cold run.
+curl -fsS "http://$addr/metrics" > "$tmp/metrics.prom" || fail "exposition fetch"
+bad=$(grep -Ev '^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*|# .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+0-9.eE]+([eE][-+][0-9]+)?|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [+-]Inf|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? NaN)$' "$tmp/metrics.prom" || true)
+[ -z "$bad" ] || fail "exposition has unparseable lines: $bad"
+grep -q '^midas_cache_hits_total 1$' "$tmp/metrics.prom" \
+    || fail "exposition does not show the cache hit: $(grep cache_hits "$tmp/metrics.prom" || true)"
+grep -q '^# TYPE midas_job_queue_wait_seconds histogram$' "$tmp/metrics.prom" || fail "queue-wait histogram missing"
+grep -q '^midas_job_queue_wait_seconds_count 1$' "$tmp/metrics.prom" || fail "queue-wait histogram not populated"
+grep -q '^# TYPE midas_job_run_seconds histogram$' "$tmp/metrics.prom" || fail "run-duration histogram missing"
+grep -q '^midas_job_run_seconds_count{scenario="fig12-spatial-reuse"} 1$' "$tmp/metrics.prom" \
+    || fail "run-duration histogram not populated"
+echo "serve-smoke: exposition parses and shows the session"
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$serve_pid"
