@@ -2,12 +2,14 @@
 # checkin must keep green: formatting, vet, build, the full test suite,
 # a race pass over the concurrency-bearing packages, the golden-figure
 # regression suite, the examples, a reduced-scale benchmark smoke that
-# exercises the parallel experiment runner end to end, and an SLO-gated
-# load smoke driving a live midas-serve with midas-loadgen.
+# exercises the parallel experiment runner end to end, an SLO-gated
+# load smoke driving a live midas-serve with midas-loadgen, and a
+# disruption e2e that SIGTERMs and kill -9s midas-serve under load and
+# proves the durable result store loses nothing.
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test test-race golden examples bench-smoke serve-smoke loadgen-smoke loadgen bench bench-snapshot bench-compare alloc-guard cover fmt
+.PHONY: ci fmt-check vet build test test-race golden examples bench-smoke serve-smoke loadgen-smoke loadgen drain-e2e drain-e2e-full bench bench-snapshot bench-compare alloc-guard cover fmt
 
 # (`test` already runs the golden suite once and `test-race` replays it
 # under the race detector; the explicit `golden` target is for focused
@@ -16,7 +18,7 @@ GO ?= go
 # This exact target is what .github/workflows/ci.yml runs — the
 # workflow is a thin wrapper, so the local gate and the per-commit gate
 # cannot diverge.
-ci: fmt-check vet build test test-race alloc-guard cover bench-smoke serve-smoke loadgen-smoke examples
+ci: fmt-check vet build test test-race alloc-guard cover bench-smoke serve-smoke loadgen-smoke drain-e2e examples
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -37,7 +39,7 @@ test:
 # pool, the scenario engine dispatching expanded runs through it, the
 # experiment drivers, and the serving layer's job pool + cache.
 test-race:
-	$(GO) test -race ./internal/scenario ./internal/runner ./internal/sim ./internal/service ./internal/telemetry
+	$(GO) test -race ./internal/scenario ./internal/runner ./internal/sim ./internal/service ./internal/store ./internal/telemetry
 
 # The golden-figure regression suite: replay every registered
 # scenario's committed spec at parallelism 1 and 8 and require
@@ -85,6 +87,18 @@ loadgen-smoke:
 loadgen:
 	LOADGEN_DURATION=30s LOADGEN_SLO_P50=500ms LOADGEN_SLO_P99=5s ./scripts/loadgen-slo.sh
 
+# Disruption e2e for the durable result store: SIGTERM midas-serve
+# under load and require every accepted job to drain to a collectable
+# result, then kill -9 it under load, restart on the same store dir,
+# and require every completed spec to be served byte-identical from
+# disk with no engine re-run. The short mode runs in `make ci`; the
+# nightly workflow runs the full cycle and uploads its artifacts.
+drain-e2e:
+	./scripts/drain-e2e.sh
+
+drain-e2e-full:
+	DRAIN_E2E_FULL=1 ./scripts/drain-e2e.sh
+
 # Full-scale root benchmarks (slow).
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
@@ -118,13 +132,15 @@ bench-compare:
 
 # Coverage floors for the layers whose bugs are subtle at runtime: the
 # stats accumulators and the scenario/replication engine (wrong numbers
-# type-check fine), and the serving layer (lifecycle/caching races
-# surface only under load) must stay >= 80% line-covered. The
+# type-check fine), the serving layer (lifecycle/caching races
+# surface only under load), and the durable store (crash-safety bugs
+# surface only on the restart after the crash) must stay >= 80%
+# line-covered. The
 # per-package totals print either way; a package under its floor fails
 # the target (and `make ci`).
 COVER_FLOOR = 80
 cover:
-	@set -e; for pkg in ./internal/stats ./internal/scenario ./internal/service ./internal/telemetry; do \
+	@set -e; for pkg in ./internal/stats ./internal/scenario ./internal/service ./internal/store ./internal/telemetry; do \
 		profile=$$(mktemp); \
 		$(GO) test -coverprofile=$$profile $$pkg > /dev/null; \
 		pct=$$($(GO) tool cover -func=$$profile | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \

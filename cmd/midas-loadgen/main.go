@@ -8,6 +8,7 @@
 //	midas-loadgen -url http://host:port [-duration 5s] [-concurrency 8]
 //	              [-rate R] [-mix cached=8,uncached=1,coalesced=1]
 //	              [-scenario fig12-spatial-reuse] [-topos 2] [-seed 10000]
+//	              [-retries N] [-retry-base D]
 //	              [-slo-p50 D] [-slo-p90 D] [-slo-p99 D] [-slo-error-rate F]
 //	              [-out FILE]
 //
@@ -39,6 +40,15 @@
 // polled). Errors are transport failures, non-2xx responses, jobs
 // ending failed/cancelled, and completion-poll timeouts.
 //
+// Transient failures — transport errors (connection refused/reset
+// during a server restart window) and 503 responses — are retried up
+// to -retries times per exchange with exponential backoff from
+// -retry-base, ±50% jitter, honouring a 503's Retry-After when it asks
+// for longer. Retries are tallied separately from errors in the
+// report (total and per class), so the SLO error gate counts only
+// requests that stayed failed after the retry budget, while recovered
+// blips remain visible instead of disappearing into the success count.
+//
 // Exit status: 0 = ran and all SLOs held, 1 = an SLO was violated (or
 // nothing completed), 2 = usage error.
 package main
@@ -50,6 +60,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"sort"
@@ -72,6 +83,8 @@ var (
 	seedBase     = flag.Int64("seed", 10000, "base seed; classes derive their seeds from it")
 	fanout       = flag.Int("coalesce-fanout", 4, "coalesced-class submissions sharing one seed group")
 	jobTimeout   = flag.Duration("timeout", 60*time.Second, "per-job completion timeout")
+	retries      = flag.Int("retries", 3, "transient-failure retries per HTTP exchange (transport errors and 503s; 0 disables)")
+	retryBase    = flag.Duration("retry-base", 100*time.Millisecond, "first retry backoff; doubles per attempt, ±50% jitter")
 	outPath      = flag.String("out", "", "write the JSON report to this file instead of stdout")
 
 	sloP50    = flag.Duration("slo-p50", 0, "fail if overall p50 latency exceeds this (0 = no gate)")
@@ -93,6 +106,7 @@ type sample struct {
 	outcome string // cached|coalesced|queued|error
 	latency time.Duration
 	err     bool
+	retries int // transient-failure retries spent across submit + polls
 }
 
 // jobStatus is the slice of the service's status payload the driver
@@ -116,10 +130,14 @@ type latencyStats struct {
 
 // classReport is one request class's section of the report.
 type classReport struct {
-	Requested int            `json:"requested"`
-	Errors    int            `json:"errors"`
-	Outcomes  map[string]int `json:"outcomes"`
-	Latency   latencyStats   `json:"latency_seconds"`
+	Requested int `json:"requested"`
+	Errors    int `json:"errors"`
+	// Retries counts transient failures that were retried and may have
+	// recovered — tallied apart from Errors so the SLO gates never see
+	// a blip the retry budget absorbed.
+	Retries  int            `json:"retries"`
+	Outcomes map[string]int `json:"outcomes"`
+	Latency  latencyStats   `json:"latency_seconds"`
 }
 
 // report is the JSON document the run emits.
@@ -130,6 +148,7 @@ type report struct {
 	DurationSeconds float64                `json:"duration_seconds"`
 	Total           int                    `json:"total"`
 	Errors          int                    `json:"errors"`
+	Retries         int                    `json:"retries"`
 	ErrorRate       float64                `json:"error_rate"`
 	ThroughputRPS   float64                `json:"throughput_rps"`
 	Latency         latencyStats           `json:"latency_seconds"`
@@ -353,17 +372,12 @@ func (d *driver) request(ctx context.Context, class string) sample {
 	s := sample{class: class, outcome: "error", err: true}
 	start := time.Now()
 
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, d.url+"/v1/jobs", bytes.NewReader([]byte(spec)))
-	if err != nil {
-		return s
-	}
-	resp, err := d.client.Do(req)
-	if err != nil {
-		return s
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+	// Resubmitting a spec is safe: results are content-addressed, so a
+	// duplicate POST lands on the cache or coalesces — which is what
+	// makes retrying the submit (not just the polls) correct.
+	code, body, tries, ok := d.doTransient(ctx, http.MethodPost, d.url+"/v1/jobs", []byte(spec))
+	s.retries += tries
+	if !ok || (code != http.StatusOK && code != http.StatusAccepted) {
 		return s
 	}
 	var st jobStatus
@@ -381,7 +395,9 @@ func (d *driver) request(ctx context.Context, class string) sample {
 			return s
 		}
 		time.Sleep(5 * time.Millisecond)
-		if !d.poll(ctx, st.ID, &st) {
+		tries, ok := d.poll(ctx, st.ID, &st)
+		s.retries += tries
+		if !ok {
 			return s
 		}
 	}
@@ -398,22 +414,66 @@ func (d *driver) request(ctx context.Context, class string) sample {
 	return s
 }
 
-// poll refreshes st from GET /v1/jobs/{id}.
-func (d *driver) poll(ctx context.Context, id string, st *jobStatus) bool {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, d.url+"/v1/jobs/"+id, nil)
-	if err != nil {
-		return false
+// poll refreshes st from GET /v1/jobs/{id}, returning the retries it
+// spent.
+func (d *driver) poll(ctx context.Context, id string, st *jobStatus) (int, bool) {
+	code, body, tries, ok := d.doTransient(ctx, http.MethodGet, d.url+"/v1/jobs/"+id, nil)
+	if !ok || code != http.StatusOK {
+		return tries, false
 	}
-	resp, err := d.client.Do(req)
-	if err != nil {
-		return false
+	return tries, json.Unmarshal(body, st) == nil
+}
+
+// doTransient performs one HTTP exchange, retrying transient failures:
+// transport errors and 503 responses, up to -retries times. The
+// backoff doubles from -retry-base with ±50% jitter (decorrelating the
+// retry herd a restarting server would otherwise face all at once); a
+// 503 whose Retry-After asks for longer gets it. Returns the last
+// status code and body, the retries spent, and ok=false only when the
+// transport kept failing through the final attempt.
+func (d *driver) doTransient(ctx context.Context, method, url string, reqBody []byte) (code int, body []byte, tries int, ok bool) {
+	backoff := *retryBase
+	if backoff <= 0 {
+		backoff = time.Millisecond
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return false
+	for attempt := 0; ; attempt++ {
+		var rdr io.Reader
+		if reqBody != nil {
+			rdr = bytes.NewReader(reqBody)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rdr)
+		if err != nil {
+			return 0, nil, attempt, false
+		}
+		var serverWait time.Duration
+		resp, err := d.client.Do(req)
+		if err == nil {
+			body, _ = io.ReadAll(resp.Body)
+			code = resp.StatusCode
+			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+				serverWait = time.Duration(secs) * time.Second
+			}
+			resp.Body.Close()
+			if code != http.StatusServiceUnavailable {
+				return code, body, attempt, true
+			}
+		}
+		if attempt >= *retries || ctx.Err() != nil {
+			if err != nil {
+				return 0, nil, attempt, false
+			}
+			return code, body, attempt, true // still 503 after the budget
+		}
+		sleep := backoff/2 + rand.N(backoff) // uniform in [0.5, 1.5)·backoff
+		if serverWait > sleep {
+			sleep = serverWait
+		}
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+		}
+		backoff *= 2
 	}
-	return json.Unmarshal(body, st) == nil
 }
 
 func (d *driver) record(s sample) {
@@ -474,6 +534,8 @@ func (d *driver) report(elapsed time.Duration) report {
 		}
 		cr.Requested++
 		cr.Outcomes[s.outcome]++
+		rep.Retries += s.retries
+		cr.Retries += s.retries
 		if s.err {
 			rep.Errors++
 			cr.Errors++

@@ -1,9 +1,14 @@
 // Command midas-serve is the long-running scenario server: the whole
 // experiment registry behind an HTTP job API, with spec-hash result
 // caching, so identical specs are computed once and then served from
-// memory.
+// memory. With -store-dir, completed results are additionally
+// persisted to a crash-safe on-disk store (internal/store) before
+// their jobs report done, so a restart — clean or kill -9 — serves
+// every previously computed spec from disk without re-running the
+// engine.
 //
 //	midas-serve [-addr host:port] [-workers N] [-queue N] [-cache N]
+//	            [-store-dir DIR] [-store-max-bytes N]
 //	            [-log text|json|off] [-pprof]
 //
 //	POST   /v1/jobs             submit a spec (midas-sim -spec schema)
@@ -43,13 +48,18 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 var (
-	addr    = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
-	workers = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS); each job also fans expanded runs over the engine pool")
-	queue   = flag.Int("queue", 0, "queued-job bound before submissions are rejected (0 = 64)")
-	cache   = flag.Int("cache", 0, "spec-hash result cache entries (0 = 128, negative disables)")
+	addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
+	workers  = flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS); each job also fans expanded runs over the engine pool")
+	queue    = flag.Int("queue", 0, "queued-job bound before submissions are rejected (0 = 64)")
+	cache    = flag.Int("cache", 0, "spec-hash result cache entries (0 = 128, negative disables)")
+	storeDir = flag.String("store-dir", "",
+		"durable result store directory (empty = memory-only); created if absent, survives restarts and kill -9")
+	storeMaxBytes = flag.Int64("store-max-bytes", 0,
+		"byte budget for -store-dir before LRU eviction (0 = unbounded)")
 	retain  = flag.Int("retain", 0, "terminal jobs kept pollable before the oldest are forgotten (0 = 512)")
 	drain   = flag.Duration("drain", time.Minute, "how long a shutdown signal waits for in-flight jobs before cancelling them")
 	logFmt  = flag.String("log", "text", "structured log handler on stderr: text, json or off")
@@ -96,10 +106,26 @@ func run() error {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(store.Config{Dir: *storeDir, MaxBytes: *storeMaxBytes, Log: log})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		stats := st.Stats()
+		// Scripted callers (scripts/drain-e2e.sh) parse this line to
+		// assert restart survival; keep the format stable.
+		fmt.Printf("midas-serve store: %d entries, %d bytes warm from %s\n",
+			stats.Entries, stats.Bytes, *storeDir)
+	} else if *storeMaxBytes != 0 {
+		return errors.New("-store-max-bytes needs -store-dir")
+	}
 	svc := service.New(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
+		Store:          st,
 		JobRetention:   *retain,
 		JobParallelism: (runtime.GOMAXPROCS(0) + w - 1) / w,
 		Log:            log,

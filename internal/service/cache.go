@@ -2,21 +2,30 @@ package service
 
 import (
 	"container/list"
+	"encoding/json"
 
 	"repro/internal/scenario"
 )
 
-// resultCache is the content-addressed result store: completed results
-// keyed by the canonical hash of the resolved spec that produced them
-// (scenario.Spec.CanonicalHash). Because every run is deterministic in
-// its resolved spec, a hit is exactly the result a fresh run would
-// compute, so re-submitting an identical spec never re-runs the
-// engine. The cache is bounded by entry count with LRU eviction; both
-// hits (Get) and insertions (Put) refresh recency.
+// resultCache is the memory tier of the content-addressed result
+// cache: completed results keyed by the canonical hash of the resolved
+// spec that produced them (scenario.Spec.CanonicalHash). Because every
+// run is deterministic in its resolved spec, a hit is exactly the
+// result a fresh run would compute, so re-submitting an identical spec
+// never re-runs the engine. The cache is bounded by entry count with
+// LRU eviction; both hits (lookup) and insertions (Put) refresh
+// recency. The durable tier below it is internal/store, consulted by
+// the Service's admission path when this one misses.
 //
 // resultCache is not self-locking: the owning Service serializes all
 // access under its own mutex, which also keeps the hit/miss counters
-// consistent with the job bookkeeping they are reported next to.
+// consistent with the job bookkeeping they are reported next to. The
+// counters span both tiers — they tally submissions answered from
+// *any* cache versus submissions that needed an engine run (or an
+// in-flight one to coalesce onto), which is the number capacity
+// planning wants — and are incremented by the admission logic, not
+// here, so the two-pass memory/store lookup counts each submission
+// exactly once.
 type resultCache struct {
 	max     int
 	ll      *list.List               // front = most recently used
@@ -41,15 +50,14 @@ func newResultCache(max int) *resultCache {
 	}
 }
 
-// Get returns the cached result for hash, refreshing its recency, and
-// tallies the lookup as a hit or miss.
-func (c *resultCache) Get(hash string) (scenario.Result, bool) {
+// lookup returns the cached result for hash, refreshing its recency.
+// It does not touch the hit/miss counters — the admission path owns
+// those (see the type comment).
+func (c *resultCache) lookup(hash string) (scenario.Result, bool) {
 	el, ok := c.entries[hash]
 	if !ok {
-		c.misses++
 		return scenario.Result{}, false
 	}
-	c.hits++
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).result, true
 }
@@ -76,3 +84,21 @@ func (c *resultCache) Put(hash string, res scenario.Result) {
 
 // Len returns the current entry count.
 func (c *resultCache) Len() int { return c.ll.Len() }
+
+// encodeResult is the store-tier wire format: the result's own
+// deterministic indented JSON (the golden-file format), so the bytes
+// on disk are human-inspectable and decode back to a Result that
+// renders byte-identically to the run that produced it (Go's float
+// round trip is exact at this precision).
+func encodeResult(res scenario.Result) ([]byte, error) {
+	return res.MarshalIndent()
+}
+
+// decodeResult inverts encodeResult.
+func decodeResult(payload []byte) (scenario.Result, error) {
+	var res scenario.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return scenario.Result{}, err
+	}
+	return res, nil
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strings"
 
 	"repro/internal/runner"
 	"repro/internal/scenario"
@@ -18,7 +19,7 @@ import (
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/scenarios        registry listing with default specs
 //	GET    /v1/metrics.json     JSON metrics snapshot (jobs by state, cache hit rate, queue depth)
-//	GET    /healthz             liveness (503 while draining)
+//	GET    /healthz             liveness (503 "draining" while draining, 200 "busy" at queue saturation)
 //	GET    /metrics             Prometheus text exposition (counters, gauges, latency histograms)
 //
 // Results are rendered through the same runner.Meta + JSON sink path
@@ -89,7 +90,13 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.Submit(spec)
 	switch {
-	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull):
+		// Transient backpressure, worth retrying shortly — unlike
+		// draining, where this process will never accept the job.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
@@ -120,7 +127,10 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 // -format json would: the resolved spec's meta block (tool
 // "midas-serve") plus the result through the JSON sink. The rendering
 // is deterministic, so cached and cold runs of one spec serve
-// byte-identical bodies.
+// byte-identical bodies — which also makes the spec's canonical hash a
+// valid strong ETag for the body: a client that saved it can revalidate
+// with If-None-Match and get a body-less 304 across restarts, deploys,
+// and any server that ever computed the same spec.
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	setLogJob(r, id)
@@ -137,6 +147,12 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusGone, err)
 		return
 	}
+	etag := `"` + spec.CanonicalHash() + `"`
+	w.Header().Set("ETag", etag)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	body, err := runner.RenderJSON(spec.SinkMeta("midas-serve"), res.RunnerResult())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
@@ -145,6 +161,24 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
+}
+
+// etagMatches implements If-None-Match matching for one strong ETag: a
+// comma-separated candidate list, "*" matching anything, and W/
+// weak-comparison prefixes ignored (weak comparison is allowed for
+// If-None-Match, RFC 9110 §13.1.2).
+func etagMatches(ifNoneMatch, etag string) bool {
+	if ifNoneMatch == "" {
+		return false
+	}
+	for _, cand := range strings.Split(ifNoneMatch, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == "*" || cand == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -181,12 +215,20 @@ func (s *Service) handleScenarios(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, infos)
 }
 
+// handleHealth distinguishes the two unhappy states a balancer treats
+// differently: draining is terminal for this process (503 — route
+// elsewhere, permanently), queue saturation is transient backpressure
+// (200 "busy" — the process is alive and will recover; submissions
+// meanwhile get 503 + Retry-After).
 func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	if s.Draining() {
+	switch {
+	case s.Draining():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+	case s.QueueSaturated():
+		writeJSON(w, http.StatusOK, map[string]string{"status": "busy"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // handleMetricsJSON serves the legacy JSON snapshot — the same value

@@ -274,6 +274,133 @@ func TestHTTPScenariosAndHealth(t *testing.T) {
 	}
 }
 
+// The result endpoint's conditional-request contract: the ETag is the
+// spec's canonical hash (strong, stable across restarts because the
+// rendering is deterministic), and If-None-Match answers 304 with an
+// empty body for exact, weak-prefixed, list and wildcard candidates.
+func TestHTTPResultETagConditional(t *testing.T) {
+	run, _ := countingRun()
+	s := New(Config{Workers: 1, Run: run})
+	defer mustShutdown(t, s)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := srv.Client()
+
+	code, b := doJSON(t, c, http.MethodPost, srv.URL+"/v1/jobs", `{"scenario": "fig12-spatial-reuse", "topologies": 2, "seed": 7}`)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, b)
+	}
+	st := pollDone(t, c, srv.URL, decodeStatus(t, b).ID)
+	resultURL := srv.URL + "/v1/jobs/" + st.ID + "/result"
+
+	resp, err := c.Get(resultURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if want := `"` + st.SpecHash + `"`; etag != want {
+		t.Fatalf("ETag %q, want the quoted spec hash %q", etag, want)
+	}
+	if len(body) == 0 {
+		t.Fatal("unconditional GET returned no body")
+	}
+
+	get := func(ifNoneMatch string) (int, int, string) {
+		req, err := http.NewRequest(http.MethodGet, resultURL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ifNoneMatch != "" {
+			req.Header.Set("If-None-Match", ifNoneMatch)
+		}
+		resp, err := c.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, len(b), resp.Header.Get("ETag")
+	}
+
+	for _, match := range []string{etag, "W/" + etag, `"bogus", ` + etag, "*"} {
+		code, n, tag := get(match)
+		if code != http.StatusNotModified || n != 0 {
+			t.Errorf("If-None-Match %q: got %d with %d body bytes, want body-less 304", match, code, n)
+		}
+		if tag != etag {
+			t.Errorf("If-None-Match %q: 304 lost the ETag header (%q)", match, tag)
+		}
+	}
+	for _, miss := range []string{`"` + strings.Repeat("0", 64) + `"`, st.SpecHash /* unquoted */} {
+		if code, n, _ := get(miss); code != http.StatusOK || n == 0 {
+			t.Errorf("If-None-Match %q: got %d with %d body bytes, want full 200", miss, code, n)
+		}
+	}
+}
+
+// Queue saturation is transient backpressure: the submission gets a
+// 503 with Retry-After, and /healthz stays 200 but says "busy" —
+// distinct from draining's terminal 503.
+func TestHTTPQueueFullRetryAfterAndBusyHealth(t *testing.T) {
+	release := make(chan struct{})
+	run := func(ctx context.Context, _ scenario.Scenario, spec scenario.Spec, _ scenario.RunOptions) (scenario.Result, error) {
+		select {
+		case <-release:
+			return fixedResult(spec), nil
+		case <-ctx.Done():
+			return scenario.Result{}, ctx.Err()
+		}
+	}
+	s := New(Config{Workers: 1, QueueDepth: 1, Run: run})
+	defer mustShutdown(t, s)
+	defer close(release) // LIFO: unblock the stub before the drain
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := srv.Client()
+
+	submit := func(seed string) (int, http.Header, []byte) {
+		resp, err := c.Post(srv.URL+"/v1/jobs", "application/json",
+			strings.NewReader(`{"scenario": "fig12-spatial-reuse", "topologies": 2, "seed": `+seed+`}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header, b
+	}
+
+	// First job occupies the single worker...
+	code, _, b := submit("1")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit 1: %d %s", code, b)
+	}
+	waitState(t, s, decodeStatus(t, b).ID, StateRunning)
+	// ...second fills the depth-1 queue...
+	if code, _, b = submit("2"); code != http.StatusAccepted {
+		t.Fatalf("submit 2: %d %s", code, b)
+	}
+
+	// ...so the service is saturated: alive (200) but busy.
+	code, body := doJSON(t, c, http.MethodGet, srv.URL+"/healthz", "")
+	if code != http.StatusOK || !strings.Contains(string(body), `"busy"`) {
+		t.Errorf("healthz at saturation: %d %s, want 200 busy", code, body)
+	}
+
+	// ...and a third distinct spec is rejected with retry guidance.
+	code, hdr, b := submit("3")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("submit at queue-full: %d %s", code, b)
+	}
+	if ra := hdr.Get("Retry-After"); ra != "1" {
+		t.Errorf("queue-full Retry-After = %q, want \"1\"", ra)
+	}
+	if !strings.Contains(string(b), "queue full") {
+		t.Errorf("queue-full body %s", b)
+	}
+}
+
 // The serve-smoke contract, in-process: the HTTP-served snapshot for a
 // spec equals midas-sim's -format json output for the same spec except
 // for the meta tool name.

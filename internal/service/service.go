@@ -17,6 +17,14 @@
 // and finish with its result, so a burst of equal requests costs one
 // engine run, not N.
 //
+// With Config.Store set, the cache is two-tier: the in-memory LRU in
+// front of a crash-safe on-disk store (internal/store) under the same
+// content addresses. Every completed result is persisted *before* its
+// job becomes observably done, so a completed job's result survives
+// any crash; a memory miss consults the disk tier and promotes its
+// answer, so a restarted server serves previously computed specs
+// byte-identically without re-running the engine.
+//
 // cmd/midas-serve wraps this package in an HTTP API (see http.go).
 package service
 
@@ -31,6 +39,7 @@ import (
 
 	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -98,6 +107,12 @@ type Config struct {
 	// CacheEntries bounds the spec-hash result cache; 0 selects 128,
 	// negative disables caching.
 	CacheEntries int
+	// Store, when non-nil, is the durable result tier under the memory
+	// cache: completed results are persisted to it before their job
+	// becomes observably done, and memory misses consult it before
+	// enqueueing an engine run. The caller owns its lifecycle (open it
+	// before New, close it after Shutdown returns).
+	Store *store.Store
 	// JobRetention bounds how many *terminal* (done/failed/cancelled)
 	// jobs stay pollable; <= 0 selects 512. The oldest-finished jobs
 	// beyond the bound are forgotten (their id returns ErrUnknownJob;
@@ -181,7 +196,8 @@ type job struct {
 
 	state     State
 	progress  Progress
-	cached    bool // answered from the result cache
+	cached    bool   // answered from the result cache
+	cacheTier string // which tier answered: "memory" or "store"
 	result    scenario.Result
 	err       error
 	cancel    context.CancelFunc
@@ -200,8 +216,10 @@ type JobStatus struct {
 	State    State    `json:"state"`
 	Progress Progress `json:"progress"`
 	// Cached marks a job answered from the spec-hash cache without an
-	// engine run.
-	Cached bool `json:"cached,omitempty"`
+	// engine run; CacheTier says from which tier ("memory" — the LRU —
+	// or "store" — the on-disk tier, e.g. after a restart).
+	Cached    bool   `json:"cached,omitempty"`
+	CacheTier string `json:"cache_tier,omitempty"`
 	// Coalesced marks a job attached to an identical in-flight
 	// submission: it shares that run's progress and result instead of
 	// occupying the pool with a duplicate computation.
@@ -227,7 +245,10 @@ type Metrics struct {
 	// run instead of executing their own (cumulative).
 	Coalesced    uint64         `json:"coalesced"`
 	ScenarioRuns map[string]int `json:"scenario_runs"`
-	Draining     bool           `json:"draining,omitempty"`
+	// Store snapshots the durable result tier; absent when none is
+	// configured.
+	Store    *store.Stats `json:"store,omitempty"`
+	Draining bool         `json:"draining,omitempty"`
 }
 
 // Service owns the worker pool, the job table and the result cache.
@@ -239,6 +260,10 @@ type Service struct {
 	wg    sync.WaitGroup
 	tel   *instruments
 	log   *slog.Logger
+	// store is the durable result tier (Config.Store; nil = memory
+	// only). It is self-locking and consulted with s.mu released, so
+	// disk I/O never stalls the job table.
+	store *store.Store
 
 	mu           sync.Mutex
 	jobs         map[string]*job
@@ -257,6 +282,7 @@ func New(cfg Config) *Service {
 		cfg:          cfg,
 		run:          cfg.Run,
 		log:          cfg.Log,
+		store:        cfg.Store,
 		queue:        make(chan *job, cfg.queueDepth()),
 		jobs:         make(map[string]*job),
 		inflight:     make(map[string]*job),
@@ -337,11 +363,99 @@ func (s *Service) submit(overrides scenario.Spec) (JobStatus, error) {
 	}
 	hash := spec.CanonicalHash()
 
+	// First admission pass: the memory tiers (LRU cache, single-flight
+	// table) answer most submissions without any disk I/O. When they
+	// don't and a store is configured, the lock is dropped for the disk
+	// lookup and a second, final pass re-checks everything — another
+	// submission may have raced the same result into memory or started
+	// an identical run while we were reading.
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return JobStatus{}, ErrDraining
+	st, admitted, err := s.admitLocked(sc, spec, hash, nil, s.store == nil)
+	s.mu.Unlock()
+	if admitted {
+		return st, err
 	}
+	var promoted *scenario.Result
+	if payload, ok := s.store.Get(hash); ok {
+		res, derr := decodeResult(payload)
+		if derr != nil {
+			// The entry verified at the byte level but does not decode
+			// as a result — persisted by a buggy or future version.
+			// Quarantine it and recompute; never serve it.
+			s.log.Warn("stored result undecodable, quarantined",
+				"spec_hash", hash, "error", derr.Error())
+			s.store.Quarantine(hash)
+		} else {
+			promoted = &res
+		}
+	}
+	s.mu.Lock()
+	st, _, err = s.admitLocked(sc, spec, hash, promoted, true)
+	s.mu.Unlock()
+	return st, err
+}
+
+// admitLocked is one admission pass over the in-memory tiers; called
+// with s.mu held. stored, when non-nil, is a result the disk tier
+// served between passes: it is promoted into the memory cache and
+// answers the submission. final reports whether this pass must resolve
+// the submission — a non-final pass that finds no in-memory answer
+// returns admitted=false so the caller can consult the store and come
+// back. The hit/miss counters are tallied here, exactly once per
+// submission, on whichever pass resolves it.
+func (s *Service) admitLocked(sc scenario.Scenario, spec scenario.Spec, hash string, stored *scenario.Result, final bool) (JobStatus, bool, error) {
+	if s.closed {
+		return JobStatus{}, true, ErrDraining
+	}
+	if res, ok := s.cache.lookup(hash); ok {
+		s.cache.hits++
+		return s.bornDoneLocked(sc, spec, hash, res, "memory"), true, nil
+	}
+	if stored != nil {
+		s.cache.hits++
+		s.cache.Put(hash, *stored)
+		return s.bornDoneLocked(sc, spec, hash, *stored, "store"), true, nil
+	}
+	// Single-flight coalescing: an identical spec already queued or
+	// running is the same deterministic computation, so attach this
+	// job to it instead of occupying the pool with a duplicate run. A
+	// leader with a pending cancel is skipped (Cancel also clears the
+	// slot): its outcome will be "cancelled", which a fresh submission
+	// must not inherit.
+	if leader := s.inflight[hash]; leader != nil && leader.ctx.Err() == nil {
+		s.cache.misses++
+		j := s.newJobLocked(sc, spec, hash)
+		j.leader = leader
+		j.wasCoalesced = true
+		j.state = leader.state
+		j.started = leader.started
+		j.progress = leader.progress
+		leader.followers = append(leader.followers, j)
+		s.coalesced++
+		return j.statusLocked(), true, nil
+	}
+	if !final {
+		return JobStatus{}, false, nil
+	}
+	s.cache.misses++
+	j := s.newJobLocked(sc, spec, hash)
+	j.state = StateQueued
+	j.progress = Progress{Total: spec.ExpandedRuns()}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	select {
+	case s.queue <- j:
+	default:
+		j.cancel()
+		delete(s.jobs, j.id)
+		return JobStatus{}, true, ErrQueueFull
+	}
+	s.inflight[hash] = j
+	return j.statusLocked(), true, nil
+}
+
+// newJobLocked allocates the next job id and enrols the job in the
+// table. Called with s.mu held.
+func (s *Service) newJobLocked(sc scenario.Scenario, spec scenario.Spec, hash string) *job {
 	s.nextID++
 	j := &job{
 		id:        fmt.Sprintf("j%06d", s.nextID),
@@ -351,47 +465,25 @@ func (s *Service) submit(overrides scenario.Spec) (JobStatus, error) {
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
-	if res, ok := s.cache.Get(hash); ok {
-		total := spec.ExpandedRuns()
-		j.state = StateDone
-		j.cached = true
-		j.result = res
-		j.progress = Progress{Completed: total, Total: total}
-		j.finished = j.submitted
-		close(j.done)
-		s.jobs[j.id] = j
-		s.retireLocked(j)
-		return j.statusLocked(), nil
-	}
-	// Single-flight coalescing: an identical spec already queued or
-	// running is the same deterministic computation, so attach this
-	// job to it instead of occupying the pool with a duplicate run. A
-	// leader with a pending cancel is skipped (Cancel also clears the
-	// slot): its outcome will be "cancelled", which a fresh submission
-	// must not inherit.
-	if leader := s.inflight[hash]; leader != nil && leader.ctx.Err() == nil {
-		j.leader = leader
-		j.wasCoalesced = true
-		j.state = leader.state
-		j.started = leader.started
-		j.progress = leader.progress
-		leader.followers = append(leader.followers, j)
-		s.coalesced++
-		s.jobs[j.id] = j
-		return j.statusLocked(), nil
-	}
-	j.state = StateQueued
-	j.progress = Progress{Total: spec.ExpandedRuns()}
-	j.ctx, j.cancel = context.WithCancel(context.Background())
-	select {
-	case s.queue <- j:
-	default:
-		j.cancel()
-		return JobStatus{}, ErrQueueFull
-	}
 	s.jobs[j.id] = j
-	s.inflight[hash] = j
-	return j.statusLocked(), nil
+	return j
+}
+
+// bornDoneLocked completes a submission as a terminal, cached job: no
+// queueing, no engine run, result served from the named cache tier.
+// Called with s.mu held.
+func (s *Service) bornDoneLocked(sc scenario.Scenario, spec scenario.Spec, hash string, res scenario.Result, tier string) JobStatus {
+	j := s.newJobLocked(sc, spec, hash)
+	total := spec.ExpandedRuns()
+	j.state = StateDone
+	j.cached = true
+	j.cacheTier = tier
+	j.result = res
+	j.progress = Progress{Completed: total, Total: total}
+	j.finished = j.submitted
+	close(j.done)
+	s.retireLocked(j)
+	return j.statusLocked()
 }
 
 // worker executes queued jobs until the queue is closed and drained.
@@ -457,6 +549,15 @@ func (s *Service) runJob(j *job) {
 	elapsed := time.Since(j.started)
 	s.tel.runDuration.With(j.spec.Scenario).Observe(elapsed.Seconds())
 
+	// Persist to the durable tier BEFORE the job becomes observably
+	// done, so "the job completed" implies "the result survives a
+	// crash": a client that saw this job finish can always get the
+	// result back, even from the next process. A store failure is
+	// logged and absorbed — the job still completes from memory.
+	if err == nil && s.store != nil {
+		s.persistResult(j.hash, res)
+	}
+
 	s.mu.Lock()
 	s.finishLocked(j, res, err)
 	st := j.statusLocked()
@@ -469,6 +570,20 @@ func (s *Service) runJob(j *job) {
 		logAttrs = append(logAttrs, "error", st.Error)
 	}
 	s.log.Info("job finished", logAttrs...)
+}
+
+// persistResult encodes a completed result and writes it to the disk
+// tier. Runs on the worker goroutine with no locks held; never
+// propagates failure (the memory tiers still serve the result).
+func (s *Service) persistResult(hash string, res scenario.Result) {
+	payload, err := encodeResult(res)
+	if err == nil {
+		err = s.store.Put(hash, payload)
+	}
+	if err != nil {
+		s.log.Warn("result not persisted to store",
+			"spec_hash", hash, "error", err.Error())
+	}
 }
 
 // finishLocked records a job's terminal state, finishes any coalesced
@@ -654,8 +769,18 @@ func (s *Service) Metrics() Metrics {
 	for name, n := range s.scenarioRuns {
 		m.ScenarioRuns[name] = n
 	}
+	if s.store != nil {
+		st := s.store.Stats()
+		m.Store = &st
+	}
 	return m
 }
+
+// QueueSaturated reports whether the job queue is at bound — the next
+// uncoalesced, uncached submission would be rejected with ErrQueueFull.
+// Channel length and capacity need no lock; the answer is advisory
+// (for health probes), not a reservation.
+func (s *Service) QueueSaturated() bool { return len(s.queue) >= cap(s.queue) }
 
 // Shutdown drains the service: submissions are rejected immediately,
 // queued and running jobs complete normally, and Shutdown returns once
@@ -715,6 +840,7 @@ func (j *job) statusLocked() JobStatus {
 		State:     j.state,
 		Progress:  j.progress,
 		Cached:    j.cached,
+		CacheTier: j.cacheTier,
 		Coalesced: j.leader != nil || j.wasCoalesced,
 		Submitted: timeString(j.submitted),
 		Started:   timeString(j.started),

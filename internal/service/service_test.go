@@ -226,14 +226,14 @@ func TestResultCacheUnit(t *testing.T) {
 	c := newResultCache(2)
 	c.Put("a", scenario.Result{Scenario: "a"})
 	c.Put("b", scenario.Result{Scenario: "b"})
-	if _, ok := c.Get("a"); !ok { // refreshes a's recency
+	if _, ok := c.lookup("a"); !ok { // refreshes a's recency
 		t.Fatal("a missing")
 	}
 	c.Put("c", scenario.Result{Scenario: "c"}) // must evict b, not a
-	if _, ok := c.Get("b"); ok {
+	if _, ok := c.lookup("b"); ok {
 		t.Fatal("b survived eviction despite being LRU")
 	}
-	if _, ok := c.Get("a"); !ok {
+	if _, ok := c.lookup("a"); !ok {
 		t.Fatal("a evicted despite recent hit")
 	}
 	c.Put("a", scenario.Result{Scenario: "a"}) // duplicate put: no growth
@@ -243,7 +243,7 @@ func TestResultCacheUnit(t *testing.T) {
 
 	off := newResultCache(0)
 	off.Put("x", scenario.Result{})
-	if _, ok := off.Get("x"); ok || off.Len() != 0 {
+	if _, ok := off.lookup("x"); ok || off.Len() != 0 {
 		t.Fatal("disabled cache stored an entry")
 	}
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -109,5 +110,44 @@ func newInstruments(reg *telemetry.Registry, s *Service) *instruments {
 			return []telemetry.GaugeSample{{Value: v}}
 		})
 	reg.NewGauge("midas_workers", "Size of the job worker pool.").Set(float64(s.cfg.workers()))
+	if s.store != nil {
+		registerStoreInstruments(reg, s)
+	}
 	return in
+}
+
+// registerStoreInstruments exposes the durable result tier. The store
+// keeps its own cumulative tallies (it is self-locking and shared with
+// the admission path), so the counters are sampled from Stats() at
+// scrape time via NewCounterFunc instead of being mirrored write-
+// through.
+func registerStoreInstruments(reg *telemetry.Registry, s *Service) {
+	sample := func(pick func(store.Stats) float64) func() []telemetry.GaugeSample {
+		return func() []telemetry.GaugeSample {
+			return []telemetry.GaugeSample{{Value: pick(s.store.Stats())}}
+		}
+	}
+	for _, c := range []struct {
+		name, help string
+		pick       func(store.Stats) float64
+	}{
+		{"midas_store_hits_total", "Store-tier lookups that served a verified entry.",
+			func(st store.Stats) float64 { return float64(st.Hits) }},
+		{"midas_store_misses_total", "Store-tier lookups that found nothing servable.",
+			func(st store.Stats) float64 { return float64(st.Misses) }},
+		{"midas_store_writes_total", "Results durably persisted to the store.",
+			func(st store.Stats) float64 { return float64(st.Writes) }},
+		{"midas_store_write_errors_total", "Store persists that failed (result still served from memory).",
+			func(st store.Stats) float64 { return float64(st.WriteErrors) }},
+		{"midas_store_evictions_total", "Entries evicted to hold the store's byte budget.",
+			func(st store.Stats) float64 { return float64(st.Evictions) }},
+		{"midas_store_quarantined_total", "Entries that failed verification and were quarantined.",
+			func(st store.Stats) float64 { return float64(st.Quarantined) }},
+	} {
+		reg.NewCounterFunc(c.name, c.help, nil, sample(c.pick))
+	}
+	reg.NewGaugeFunc("midas_store_entries", "Entries resident in the durable store.",
+		nil, sample(func(st store.Stats) float64 { return float64(st.Entries) }))
+	reg.NewGaugeFunc("midas_store_bytes", "Bytes resident in the durable store (headers included).",
+		nil, sample(func(st store.Stats) float64 { return float64(st.Bytes) }))
 }

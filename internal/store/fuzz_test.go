@@ -1,0 +1,86 @@
+package store
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzHashEntryPathRoundTrip checks the content-address plumbing that
+// everything else leans on: any string ValidHash accepts must survive
+// the hash → entry path → file name → hash round trip exactly, the
+// derived path must stay inside the store root (no traversal, no
+// absolute paths), and anything ValidHash rejects must also be
+// rejected when it reappears as a file name.
+func FuzzHashEntryPathRoundTrip(f *testing.F) {
+	f.Add("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+	f.Add(strings.Repeat("a", 64))
+	f.Add(strings.Repeat("A", 64))
+	f.Add("../../../../etc/passwd")
+	f.Add("..%2f..%2fescape")
+	f.Add("")
+	f.Add(strings.Repeat("0", 63))
+	f.Add(strings.Repeat("0", 65))
+	f.Add(strings.Repeat("g", 64))
+	f.Add("0123456789abcdef/123456789abcdef0123456789abcdef0123456789abcdef")
+
+	f.Fuzz(func(t *testing.T, h string) {
+		if !ValidHash(h) {
+			// A rejected hash must also be rejected as an entry name.
+			if got, ok := HashFromEntryName(h + ".json"); ok {
+				t.Fatalf("HashFromEntryName accepted %q (-> %q) that ValidHash rejects", h, got)
+			}
+			return
+		}
+		// Structural consequences of validity.
+		if len(h) != 64 || strings.ToLower(h) != h {
+			t.Fatalf("ValidHash accepted non-canonical %q", h)
+		}
+		rel := EntryRel(h)
+		if filepath.IsAbs(rel) {
+			t.Fatalf("EntryRel(%q) is absolute: %q", h, rel)
+		}
+		clean := filepath.Clean(rel)
+		if clean != rel || strings.HasPrefix(clean, "..") {
+			t.Fatalf("EntryRel(%q) escapes the root: %q", h, rel)
+		}
+		parts := strings.Split(rel, string(filepath.Separator))
+		if len(parts) != 3 || parts[0] != h[:2] || parts[1] != h[2:4] {
+			t.Fatalf("EntryRel(%q) fan-out wrong: %q", h, rel)
+		}
+		got, ok := HashFromEntryName(filepath.Base(rel))
+		if !ok || got != h {
+			t.Fatalf("round trip %q -> %q -> (%q, %v)", h, rel, got, ok)
+		}
+	})
+}
+
+// FuzzParseEntryFrameRoundTrip checks the entry framing: any payload
+// round-trips through frame/parseEntry, and parseEntry never panics or
+// mis-verifies arbitrary file contents.
+func FuzzParseEntryFrameRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("{}"))
+	f.Add([]byte("midas-store/v1 deadbeef 4\nhuh?"))
+	f.Add(frame([]byte("seeded")))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Arbitrary bytes: must not panic; on success the payload must
+		// re-frame to the same bytes (i.e. only genuinely well-formed
+		// entries parse).
+		if payload, err := parseEntry(data); err == nil {
+			if string(frame(payload)) != string(data) {
+				t.Fatalf("parseEntry accepted non-canonical frame %q", data)
+			}
+		}
+		// And every payload round-trips.
+		framed := frame(data)
+		payload, err := parseEntry(framed)
+		if err != nil {
+			t.Fatalf("parseEntry(frame(%d bytes)): %v", len(data), err)
+		}
+		if string(payload) != string(data) {
+			t.Fatalf("frame round trip corrupted payload")
+		}
+	})
+}

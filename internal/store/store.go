@@ -1,0 +1,677 @@
+// Package store is the durable tier of the result cache: a crash-safe,
+// content-addressed on-disk store mapping a resolved spec's canonical
+// hash (scenario.Spec.CanonicalHash) to the result JSON it produced.
+// The engine is deterministic in the resolved spec, so a result is
+// exactly as content-addressable as the spec that named it — which
+// means it can outlive the process that computed it. midas-serve opens
+// a Store under its in-memory LRU so a restart, crash, or deploy loses
+// nothing: any previously completed spec is served from disk without
+// re-running the engine.
+//
+// Layout under the root directory:
+//
+//	<root>/<hh>/<hh>/<hash>.json   entries, two-level fan-out by hash prefix
+//	<root>/tmp/                    in-flight writes (swept at Open)
+//	<root>/quarantine/             entries that failed verification
+//	<root>/manifest.json           access-time hints for LRU eviction
+//
+// An entry file is a one-line header followed by the payload:
+//
+//	midas-store/v1 <sha256-hex-of-payload> <payload-length>\n<payload>
+//
+// The header makes every entry self-verifying: the spec hash in the
+// file name says which computation the bytes claim to be, the header
+// says what the bytes must look like. Truncation, torn tails and bit
+// flips all fail verification, and a failed entry is quarantined and
+// recomputed — never served.
+//
+// Crash safety is the sinks' write-temp-then-fsync-then-rename
+// discipline: a crash before the rename leaves only a file in tmp/
+// (swept at the next Open); a crash after it leaves a fully fsynced
+// entry. There is no state in which a partially written entry is
+// reachable under its final name on a correctly ordered filesystem,
+// and the header verification catches the incorrectly ordered ones.
+//
+// Eviction is LRU by access time under a byte budget. Access times
+// live in memory and are persisted as hints to manifest.json (at Close
+// and every few dozen writes, atomically but without fsync): losing
+// the manifest — a kill -9 skips Close — only degrades the next
+// process's eviction order to file mtimes, never correctness.
+package store
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	headerMagic       = "midas-store/v1"
+	hashHexLen        = 64
+	tmpDirName        = "tmp"
+	quarantineDirName = "quarantine"
+	manifestName      = "manifest.json"
+	manifestVersion   = 1
+	// manifestFlushEvery bounds how stale the persisted atime hints can
+	// get while the process runs: the manifest is rewritten after this
+	// many Puts, and always at Close.
+	manifestFlushEvery = 64
+)
+
+// FaultFS injects filesystem failures into a Store's write path, so
+// tests can prove the crash-recovery behavior without an actual crash.
+// A nil hook (or a nil FaultFS) means the real operation runs
+// unconditionally; a hook returning an error fails the operation
+// before it touches the disk.
+type FaultFS struct {
+	// WriteFile is consulted before an entry's temp file is written.
+	// Failing it models a full disk or I/O error: Put returns the
+	// error and removes the temp file.
+	WriteFile func(path string) error
+	// Rename is consulted before the temp file is renamed into place.
+	// Failing it models a crash between the temp write and the rename
+	// (the torn-write window): Put returns the error and the temp file
+	// is deliberately left behind, exactly as a real crash would leave
+	// it, for the next Open's sweep to collect.
+	Rename func(oldPath, newPath string) error
+}
+
+// Config configures Open.
+type Config struct {
+	// Dir is the store root; created if absent. Required.
+	Dir string
+	// MaxBytes is the byte budget across all entry files (headers
+	// included); exceeding it evicts least-recently-used entries.
+	// <= 0 means unbounded.
+	MaxBytes int64
+	// Faults, when non-nil, injects write-path failures (tests only).
+	Faults *FaultFS
+	// Log receives warm-scan and quarantine warnings; nil discards.
+	Log *slog.Logger
+}
+
+// Stats is a snapshot of the store's state and cumulative counters
+// (per process; counters reset at Open).
+type Stats struct {
+	Entries     int    `json:"entries"`
+	Bytes       int64  `json:"bytes"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Writes      uint64 `json:"writes"`
+	WriteErrors uint64 `json:"write_errors"`
+	Evictions   uint64 `json:"evictions"`
+	Quarantined uint64 `json:"quarantined"`
+}
+
+// entry is one indexed on-disk result.
+type entry struct {
+	hash  string
+	size  int64 // whole file (header + payload): what the byte budget charges
+	atime int64 // unix nanos of last touch, the LRU eviction key
+}
+
+// Store is a crash-safe on-disk result store. All methods are safe for
+// concurrent use; file reads happen outside the index lock, so a Get
+// racing an eviction of the same entry degrades to a miss.
+type Store struct {
+	dir      string
+	maxBytes int64
+	faults   *FaultFS
+	log      *slog.Logger
+
+	mu             sync.Mutex
+	ll             *list.List               // front = most recently used
+	entries        map[string]*list.Element // hash -> element holding *entry
+	bytes          int64
+	stats          Stats // counter fields only; Entries/Bytes derived in Stats()
+	putsSinceFlush int
+	manifestDirty  bool
+}
+
+// Open opens (creating if necessary) the store rooted at cfg.Dir,
+// sweeps torn writes left in tmp/, rebuilds the index by scanning the
+// fan-out directories — quarantining any entry that fails the header
+// check — and enforces the byte budget on what survives.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("store: Config.Dir is required")
+	}
+	log := cfg.Log
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	s := &Store{
+		dir:      cfg.Dir,
+		maxBytes: cfg.MaxBytes,
+		faults:   cfg.Faults,
+		log:      log,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+	for _, d := range []string{cfg.Dir, s.tmpDir(), s.quarantineDir()} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := s.sweepTmp(); err != nil {
+		return nil, err
+	}
+	if err := s.warmScan(s.loadManifest()); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+func (s *Store) tmpDir() string        { return filepath.Join(s.dir, tmpDirName) }
+func (s *Store) quarantineDir() string { return filepath.Join(s.dir, quarantineDirName) }
+func (s *Store) objectPath(hash string) string {
+	return filepath.Join(s.dir, EntryRel(hash))
+}
+
+// sweepTmp deletes everything in tmp/: a file there is a write that
+// never reached its rename — a crash mid-Put — and was never visible
+// under its final name, so deleting it IS the recovery.
+func (s *Store) sweepTmp() error {
+	des, err := os.ReadDir(s.tmpDir())
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, de := range des {
+		if err := os.RemoveAll(filepath.Join(s.tmpDir(), de.Name())); err != nil {
+			return fmt.Errorf("store: sweeping torn write: %w", err)
+		}
+	}
+	return nil
+}
+
+// warmScan walks the two-level fan-out directories rebuilding the
+// index. Entries that fail the cheap header-vs-size check (truncation)
+// or sit under a name that is not a well-formed content address are
+// quarantined. atimes supplies last-access hints from the manifest;
+// entries it does not cover fall back to file mtime.
+func (s *Store) warmScan(atimes map[string]int64) error {
+	var found []*entry
+	level1, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, d1 := range level1 {
+		if !d1.IsDir() || !isFanoutName(d1.Name()) {
+			continue // tmp/, quarantine/, manifest.json, strays
+		}
+		level2, err := os.ReadDir(filepath.Join(s.dir, d1.Name()))
+		if err != nil {
+			continue
+		}
+		for _, d2 := range level2 {
+			if !d2.IsDir() || !isFanoutName(d2.Name()) {
+				continue
+			}
+			files, err := os.ReadDir(filepath.Join(s.dir, d1.Name(), d2.Name()))
+			if err != nil {
+				continue
+			}
+			for _, f := range files {
+				if f.IsDir() {
+					continue
+				}
+				path := filepath.Join(s.dir, d1.Name(), d2.Name(), f.Name())
+				hash, ok := HashFromEntryName(f.Name())
+				if !ok || hash[:2] != d1.Name() || hash[2:4] != d2.Name() {
+					s.quarantineFile(path, "name is not a content address")
+					continue
+				}
+				info, err := f.Info()
+				if err != nil {
+					continue
+				}
+				if !quickVerify(path, info.Size()) {
+					s.quarantineFile(path, "truncated or malformed entry")
+					continue
+				}
+				at := atimes[hash]
+				if at == 0 {
+					at = info.ModTime().UnixNano()
+				}
+				found = append(found, &entry{hash: hash, size: info.Size(), atime: at})
+			}
+		}
+	}
+	// Oldest-accessed first, so pushing front leaves the most recently
+	// used entry at the front — the same invariant live Puts maintain.
+	sort.Slice(found, func(i, j int) bool { return found[i].atime < found[j].atime })
+	for _, e := range found {
+		s.entries[e.hash] = s.ll.PushFront(e)
+		s.bytes += e.size
+	}
+	return nil
+}
+
+// Get returns the payload stored under hash. A verification failure
+// quarantines the entry and reports a miss, so a corrupted result is
+// recomputed rather than served.
+func (s *Store) Get(hash string) ([]byte, bool) {
+	if !ValidHash(hash) {
+		return nil, false
+	}
+	s.mu.Lock()
+	el, ok := s.entries[hash]
+	if !ok {
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	e.atime = time.Now().UnixNano()
+	s.ll.MoveToFront(el)
+	s.manifestDirty = true
+	s.mu.Unlock()
+
+	data, err := os.ReadFile(s.objectPath(hash))
+	if err != nil {
+		// A concurrent eviction can remove the file between the index
+		// lookup and the read: that is a miss, not corruption. Drop the
+		// index entry if it is somehow still present.
+		s.mu.Lock()
+		s.dropLocked(hash)
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	payload, err := parseEntry(data)
+	if err != nil {
+		s.log.Warn("store entry failed verification, quarantined",
+			"hash", hash, "error", err.Error())
+		s.Quarantine(hash)
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Lock()
+	s.stats.Hits++
+	s.mu.Unlock()
+	return payload, true
+}
+
+// Put durably stores payload under hash: temp write, fsync, rename
+// into the fan-out tree, best-effort directory sync. The entry is
+// indexed (and the budget enforced) only after the rename, so a crash
+// at any point leaves either no entry or a complete one.
+func (s *Store) Put(hash string, payload []byte) error {
+	if !ValidHash(hash) {
+		return fmt.Errorf("store: invalid hash %q", hash)
+	}
+	framed := frame(payload)
+	size := int64(len(framed))
+	if s.maxBytes > 0 && size > s.maxBytes {
+		s.countWriteError()
+		return fmt.Errorf("store: entry %s is %d bytes, over the whole-store budget of %d", hash, size, s.maxBytes)
+	}
+	final := s.objectPath(hash)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		s.countWriteError()
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpf, err := os.CreateTemp(s.tmpDir(), hash+".*")
+	if err != nil {
+		s.countWriteError()
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpPath := tmpf.Name()
+	if err := s.writeTemp(tmpf, tmpPath, framed); err != nil {
+		os.Remove(tmpPath)
+		s.countWriteError()
+		return fmt.Errorf("store: writing %s: %w", hash, err)
+	}
+	if err := s.rename(tmpPath, final); err != nil {
+		// Leave the temp file behind, exactly as the crash this path
+		// models would; the next Open sweeps it.
+		s.countWriteError()
+		return fmt.Errorf("store: publishing %s: %w", hash, err)
+	}
+	syncDir(filepath.Dir(final)) // best-effort: the entry is already self-verifying
+
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	if el, ok := s.entries[hash]; ok {
+		e := el.Value.(*entry)
+		s.bytes += size - e.size
+		e.size = size
+		e.atime = now
+		s.ll.MoveToFront(el)
+	} else {
+		s.entries[hash] = s.ll.PushFront(&entry{hash: hash, size: size, atime: now})
+		s.bytes += size
+	}
+	s.stats.Writes++
+	s.manifestDirty = true
+	s.evictLocked()
+	s.putsSinceFlush++
+	if s.putsSinceFlush >= manifestFlushEvery {
+		s.flushManifestLocked()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// writeTemp writes and fsyncs the framed entry into the temp file,
+// consulting the write fault hook first. The file is closed either way.
+func (s *Store) writeTemp(f *os.File, path string, data []byte) error {
+	if s.faults != nil && s.faults.WriteFile != nil {
+		if err := s.faults.WriteFile(path); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// rename publishes a temp file under its final name, consulting the
+// rename fault hook first.
+func (s *Store) rename(oldPath, newPath string) error {
+	if s.faults != nil && s.faults.Rename != nil {
+		if err := s.faults.Rename(oldPath, newPath); err != nil {
+			return err
+		}
+	}
+	return os.Rename(oldPath, newPath)
+}
+
+// syncDir fsyncs a directory so the rename that just happened in it is
+// durable. Best-effort: some filesystems reject directory fsync, and
+// the entry's own header verification covers the failure modes.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+func (s *Store) countWriteError() {
+	s.mu.Lock()
+	s.stats.WriteErrors++
+	s.mu.Unlock()
+}
+
+// evictLocked deletes least-recently-used entries until the byte
+// budget holds. Called with s.mu held; the file removals happen under
+// the lock too, so an eviction and a Put of the same hash cannot
+// interleave destructively (a reader that already captured the path
+// simply misses).
+func (s *Store) evictLocked() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.bytes > s.maxBytes {
+		el := s.ll.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*entry)
+		s.ll.Remove(el)
+		delete(s.entries, e.hash)
+		s.bytes -= e.size
+		os.Remove(s.objectPath(e.hash))
+		s.stats.Evictions++
+		s.manifestDirty = true
+	}
+}
+
+// dropLocked removes hash from the index without touching its file.
+func (s *Store) dropLocked(hash string) {
+	if el, ok := s.entries[hash]; ok {
+		e := el.Value.(*entry)
+		s.ll.Remove(el)
+		delete(s.entries, hash)
+		s.bytes -= e.size
+		s.manifestDirty = true
+	}
+}
+
+// Quarantine removes hash from the store and moves its file into
+// quarantine/ — for entries that verified at the byte level but turned
+// out to be garbage at a higher one (an undecodable result). The entry
+// must never be served again; the bytes are kept for post-mortem
+// rather than silently deleted.
+func (s *Store) Quarantine(hash string) {
+	if !ValidHash(hash) {
+		return
+	}
+	s.mu.Lock()
+	s.dropLocked(hash)
+	s.stats.Quarantined++
+	src := s.objectPath(hash)
+	dst := filepath.Join(s.quarantineDir(), fmt.Sprintf("%s.%d", hash, time.Now().UnixNano()))
+	if err := os.Rename(src, dst); err != nil {
+		os.Remove(src)
+	}
+	s.mu.Unlock()
+}
+
+// quarantineFile moves an unindexed file aside during the warm scan.
+func (s *Store) quarantineFile(path, why string) {
+	dst := filepath.Join(s.quarantineDir(), fmt.Sprintf("%s.%d", filepath.Base(path), time.Now().UnixNano()))
+	if err := os.Rename(path, dst); err != nil {
+		os.Remove(path)
+	}
+	s.mu.Lock()
+	s.stats.Quarantined++
+	s.mu.Unlock()
+	s.log.Warn("store quarantined entry on warm scan", "path", path, "reason", why)
+}
+
+// Stats snapshots the store.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.ll.Len()
+	st.Bytes = s.bytes
+	return st
+}
+
+// Close persists the access-time manifest. The entries themselves are
+// already durable (every Put fsyncs before renaming); skipping Close —
+// a crash — only costs the recency hints.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushManifestLocked()
+	return nil
+}
+
+// manifest is the persisted access-time hint file.
+type manifest struct {
+	Version int              `json:"version"`
+	ATimes  map[string]int64 `json:"atimes"`
+}
+
+// loadManifest reads the atime hints; any failure (absent file, torn
+// write, version skew) degrades to an empty map — the hints are not
+// load-bearing.
+func (s *Store) loadManifest() map[string]int64 {
+	data, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	if err != nil {
+		return nil
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil || m.Version != manifestVersion {
+		s.log.Warn("store manifest unreadable, falling back to file mtimes")
+		return nil
+	}
+	return m.ATimes
+}
+
+// flushManifestLocked atomically rewrites manifest.json from the live
+// index. No fsync: the manifest is hints, and an occasionally stale
+// one only reorders eviction. Called with s.mu held.
+func (s *Store) flushManifestLocked() {
+	s.putsSinceFlush = 0
+	if !s.manifestDirty {
+		return
+	}
+	m := manifest{Version: manifestVersion, ATimes: make(map[string]int64, s.ll.Len())}
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		m.ATimes[e.hash] = e.atime
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	tmp := filepath.Join(s.tmpDir(), manifestName)
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		s.log.Warn("store manifest write failed", "error", err.Error())
+		return
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		s.log.Warn("store manifest publish failed", "error", err.Error())
+		return
+	}
+	s.manifestDirty = false
+}
+
+// ---------------------------------------------------------------------
+// Content-address and entry-framing helpers. Exported where the fuzz
+// tests and the service layer need them.
+
+// ValidHash reports whether h is a well-formed content address:
+// exactly 64 lowercase hex characters (a sha256). Everything the store
+// derives a path from goes through this check, so path traversal via a
+// hostile "hash" is structurally impossible.
+func ValidHash(h string) bool {
+	if len(h) != hashHexLen {
+		return false
+	}
+	for i := 0; i < len(h); i++ {
+		c := h[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// EntryRel returns the store-relative path of a hash's entry file:
+// two levels of fan-out by hash prefix, so a million entries spread
+// over 65536 directories instead of one. The caller must have
+// validated the hash.
+func EntryRel(hash string) string {
+	return filepath.Join(hash[:2], hash[2:4], hash+".json")
+}
+
+// HashFromEntryName inverts EntryRel's file name: "<hash>.json" with a
+// valid content address, or ok=false.
+func HashFromEntryName(name string) (string, bool) {
+	h, found := strings.CutSuffix(name, ".json")
+	if !found || !ValidHash(h) {
+		return "", false
+	}
+	return h, true
+}
+
+// isFanoutName reports whether a directory name is one fan-out level:
+// exactly two lowercase hex characters.
+func isFanoutName(name string) bool {
+	return len(name) == 2 && ValidHash(strings.Repeat(name, hashHexLen/2))
+}
+
+// frame wraps a payload in the self-verifying entry format.
+func frame(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("%s %s %d\n", headerMagic, hex.EncodeToString(sum[:]), len(payload))
+	return append([]byte(header), payload...)
+}
+
+// parseEntry verifies a framed entry and returns its payload: the
+// declared length and checksum must both match, so truncation, torn
+// tails and bit flips all surface as errors rather than as data. The
+// header parse is strict — exactly the bytes frame would emit — so an
+// entry either IS frame(payload) or it does not parse.
+func parseEntry(data []byte) ([]byte, error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, errors.New("no header line")
+	}
+	header := string(data[:nl])
+	rest, ok := strings.CutPrefix(header, headerMagic+" ")
+	if !ok {
+		return nil, fmt.Errorf("bad header %q", header)
+	}
+	sumHex, lenStr, ok := strings.Cut(rest, " ")
+	if !ok || !ValidHash(sumHex) {
+		return nil, fmt.Errorf("bad header %q", header)
+	}
+	n, err := strconv.Atoi(lenStr)
+	if err != nil || n < 0 || lenStr != strconv.Itoa(n) {
+		return nil, fmt.Errorf("bad declared length %q", lenStr)
+	}
+	payload := data[nl+1:]
+	if len(payload) != n {
+		return nil, fmt.Errorf("truncated: header declares %d payload bytes, file has %d", n, len(payload))
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != sumHex {
+		return nil, errors.New("checksum mismatch")
+	}
+	return payload, nil
+}
+
+// quickVerify is the warm-scan integrity check: the header must parse
+// and header + declared payload length must equal the file size. One
+// small read per entry, catches truncation (filesystem-level loss of a
+// data tail, out-of-space artifacts, manual tampering); bit flips that
+// preserve length are caught by the full checksum at Get.
+func quickVerify(path string, size int64) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	// The header is ~95 bytes; 200 covers any legal one.
+	buf := make([]byte, 200)
+	n, err := io.ReadFull(f, buf)
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		return false
+	}
+	nl := bytes.IndexByte(buf[:n], '\n')
+	if nl < 0 {
+		return false
+	}
+	fields := strings.Fields(string(buf[:nl]))
+	if len(fields) != 3 || fields[0] != headerMagic {
+		return false
+	}
+	declared, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil || declared < 0 {
+		return false
+	}
+	return int64(nl)+1+declared == size
+}

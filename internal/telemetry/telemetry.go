@@ -316,10 +316,14 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 type gaugeFamily struct {
 	fname, fhelp string
-	labels       []string
-	mu           sync.Mutex
-	cells        map[string]*Gauge
-	keys         map[string][]string
+	// ftyp is the exposition TYPE line: "gauge", or "counter" for a
+	// NewCounterFunc family that samples an externally owned
+	// monotonic value at scrape time.
+	ftyp   string
+	labels []string
+	mu     sync.Mutex
+	cells  map[string]*Gauge
+	keys   map[string][]string
 	// fn, when non-nil, makes this a callback family: samples come from
 	// one function call at render time instead of stored cells.
 	fn func() []GaugeSample
@@ -333,7 +337,7 @@ type GaugeSample struct {
 
 func (f *gaugeFamily) name() string { return f.fname }
 func (f *gaugeFamily) help() string { return f.fhelp }
-func (f *gaugeFamily) typ() string  { return "gauge" }
+func (f *gaugeFamily) typ() string  { return f.ftyp }
 
 func (f *gaugeFamily) samples(dst []string) []string {
 	if f.fn != nil {
@@ -390,7 +394,7 @@ type GaugeVec struct{ f *gaugeFamily }
 // NewGaugeVec registers a labelled gauge family.
 func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
 	mustValidNames(name, labels)
-	f := &gaugeFamily{fname: name, fhelp: help, labels: labels,
+	f := &gaugeFamily{fname: name, fhelp: help, ftyp: "gauge", labels: labels,
 		cells: make(map[string]*Gauge), keys: make(map[string][]string)}
 	r.register(f)
 	return &GaugeVec{f: f}
@@ -411,7 +415,18 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 // with anything.
 func (r *Registry) NewGaugeFunc(name, help string, labels []string, fn func() []GaugeSample) {
 	mustValidNames(name, labels)
-	r.register(&gaugeFamily{fname: name, fhelp: help, labels: labels, fn: fn})
+	r.register(&gaugeFamily{fname: name, fhelp: help, ftyp: "gauge", labels: labels, fn: fn})
+}
+
+// NewCounterFunc registers a counter family whose series are sampled by
+// fn at every scrape — for cumulative counts that an existing subsystem
+// already tracks (the store's hit/write/eviction tallies) and that
+// would otherwise need write-through mirroring on every operation. The
+// values fn reports must be monotonically non-decreasing over the
+// process lifetime; fn must be safe to call concurrently with anything.
+func (r *Registry) NewCounterFunc(name, help string, labels []string, fn func() []GaugeSample) {
+	mustValidNames(name, labels)
+	r.register(&gaugeFamily{fname: name, fhelp: help, ftyp: "counter", labels: labels, fn: fn})
 }
 
 // ---------------------------------------------------------------------

@@ -41,6 +41,29 @@ func TestGaugeSetAdd(t *testing.T) {
 	}
 }
 
+func TestCounterFuncRendersAsCounter(t *testing.T) {
+	r := NewRegistry()
+	var n uint64 = 41
+	r.NewCounterFunc("midas_sampled_total", "Externally owned cumulative count.",
+		[]string{"tier"}, func() []GaugeSample {
+			return []GaugeSample{{LabelValues: []string{"store"}, Value: float64(n)}}
+		})
+	n++
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		"# TYPE midas_sampled_total counter\n",
+		"midas_sampled_total{tier=\"store\"} 42\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, got)
+		}
+	}
+}
+
 func TestVecCellsAreDistinctAndStable(t *testing.T) {
 	r := NewRegistry()
 	v := r.NewCounterVec("midas_requests_total", "by code", "code")
