@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test test-race golden examples bench-smoke serve-smoke loadgen-smoke loadgen drain-e2e drain-e2e-full bench bench-snapshot bench-compare alloc-guard cover fmt
+.PHONY: ci fmt-check vet build test test-race golden examples bench-smoke serve-smoke loadgen-smoke loadgen drain-e2e drain-e2e-full cluster-e2e cluster-e2e-full bench bench-snapshot bench-compare alloc-guard cover fmt
 
 # (`test` already runs the golden suite once and `test-race` replays it
 # under the race detector; the explicit `golden` target is for focused
@@ -18,7 +18,7 @@ GO ?= go
 # This exact target is what .github/workflows/ci.yml runs — the
 # workflow is a thin wrapper, so the local gate and the per-commit gate
 # cannot diverge.
-ci: fmt-check vet build test test-race alloc-guard cover bench-smoke serve-smoke loadgen-smoke drain-e2e examples
+ci: fmt-check vet build test test-race alloc-guard cover bench-smoke serve-smoke loadgen-smoke drain-e2e cluster-e2e examples
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -37,9 +37,10 @@ test:
 
 # The race detector over the packages that own concurrency: the worker
 # pool, the scenario engine dispatching expanded runs through it, the
-# experiment drivers, and the serving layer's job pool + cache.
+# experiment drivers, the serving layer's job pool + cache, and the
+# dispatch coordinator's lease/requeue state machine.
 test-race:
-	$(GO) test -race ./internal/scenario ./internal/runner ./internal/sim ./internal/service ./internal/store ./internal/telemetry
+	$(GO) test -race ./internal/scenario ./internal/runner ./internal/sim ./internal/service ./internal/store ./internal/telemetry ./internal/dispatch
 
 # The golden-figure regression suite: replay every registered
 # scenario's committed spec at parallelism 1 and 8 and require
@@ -99,6 +100,18 @@ drain-e2e:
 drain-e2e-full:
 	DRAIN_E2E_FULL=1 ./scripts/drain-e2e.sh
 
+# Distributed-execution e2e: coordinator + workers over the shard lease
+# protocol, kill -9 a worker holding a lease mid-sweep, and require the
+# shard to requeue on lease expiry, the merged result to byte-match the
+# single-process run, and accepted completions to equal the shard count
+# exactly (no duplicate engine-run side effects). Short mode runs in
+# `make ci`; the nightly workflow runs the full scale with artifacts.
+cluster-e2e:
+	./scripts/cluster-e2e.sh
+
+cluster-e2e-full:
+	CLUSTER_E2E_FULL=1 ./scripts/cluster-e2e.sh
+
 # Full-scale root benchmarks (slow).
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
@@ -135,12 +148,13 @@ bench-compare:
 # type-check fine), the serving layer (lifecycle/caching races
 # surface only under load), and the durable store (crash-safety bugs
 # surface only on the restart after the crash) must stay >= 80%
-# line-covered. The
+# line-covered, as must the dispatch coordinator (lease-requeue
+# correctness is exactly the kind of logic that rots silently). The
 # per-package totals print either way; a package under its floor fails
 # the target (and `make ci`).
 COVER_FLOOR = 80
 cover:
-	@set -e; for pkg in ./internal/stats ./internal/scenario ./internal/service ./internal/store ./internal/telemetry; do \
+	@set -e; for pkg in ./internal/stats ./internal/scenario ./internal/service ./internal/store ./internal/telemetry ./internal/dispatch; do \
 		profile=$$(mktemp); \
 		$(GO) test -coverprofile=$$profile $$pkg > /dev/null; \
 		pct=$$($(GO) tool cover -func=$$profile | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \

@@ -85,6 +85,7 @@ var (
 	jobTimeout   = flag.Duration("timeout", 60*time.Second, "per-job completion timeout")
 	retries      = flag.Int("retries", 3, "transient-failure retries per HTTP exchange (transport errors and 503s; 0 disables)")
 	retryBase    = flag.Duration("retry-base", 100*time.Millisecond, "first retry backoff; doubles per attempt, ±50% jitter")
+	retryMax     = flag.Duration("retry-max", 5*time.Second, "retry backoff ceiling (caps the doubling and any server Retry-After)")
 	outPath      = flag.String("out", "", "write the JSON report to this file instead of stdout")
 
 	sloP50    = flag.Duration("slo-p50", 0, "fail if overall p50 latency exceeds this (0 = no gate)")
@@ -428,13 +429,20 @@ func (d *driver) poll(ctx context.Context, id string, st *jobStatus) (int, bool)
 // transport errors and 503 responses, up to -retries times. The
 // backoff doubles from -retry-base with ±50% jitter (decorrelating the
 // retry herd a restarting server would otherwise face all at once); a
-// 503 whose Retry-After asks for longer gets it. Returns the last
-// status code and body, the retries spent, and ok=false only when the
-// transport kept failing through the final attempt.
+// 503 whose Retry-After asks for longer gets it. Both the doubling and
+// the server's ask are capped at -retry-max, so a long retry budget
+// (or a confused server clock) cannot park a worker for minutes.
+// Returns the last status code and body, the retries spent, and
+// ok=false only when the transport kept failing through the final
+// attempt.
 func (d *driver) doTransient(ctx context.Context, method, url string, reqBody []byte) (code int, body []byte, tries int, ok bool) {
 	backoff := *retryBase
 	if backoff <= 0 {
 		backoff = time.Millisecond
+	}
+	ceiling := *retryMax
+	if ceiling < backoff {
+		ceiling = backoff
 	}
 	for attempt := 0; ; attempt++ {
 		var rdr io.Reader
@@ -450,9 +458,7 @@ func (d *driver) doTransient(ctx context.Context, method, url string, reqBody []
 		if err == nil {
 			body, _ = io.ReadAll(resp.Body)
 			code = resp.StatusCode
-			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
-				serverWait = time.Duration(secs) * time.Second
-			}
+			serverWait = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 			resp.Body.Close()
 			if code != http.StatusServiceUnavailable {
 				return code, body, attempt, true
@@ -468,12 +474,40 @@ func (d *driver) doTransient(ctx context.Context, method, url string, reqBody []
 		if serverWait > sleep {
 			sleep = serverWait
 		}
+		if sleep > ceiling {
+			sleep = ceiling
+		}
 		select {
 		case <-time.After(sleep):
 		case <-ctx.Done():
 		}
-		backoff *= 2
+		if backoff *= 2; backoff > ceiling {
+			backoff = ceiling
+		}
 	}
+}
+
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delta-seconds ("120") or HTTP-date ("Fri, 08 Aug 2026 17:30:00 GMT",
+// any of the three date layouts http.ParseTime knows). Returns 0 for
+// absent, malformed, non-positive or already-past values — "retry at
+// your own pace".
+func parseRetryAfter(h string, now time.Time) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 func (d *driver) record(s sample) {

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 17, 30, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		h    string
+		want time.Duration
+	}{
+		{"absent", "", 0},
+		{"delta-seconds", "7", 7 * time.Second},
+		{"zero-delta", "0", 0},
+		{"negative-delta", "-3", 0},
+		{"http-date-future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		// RFC 9110 also grandfathers the RFC 850 and asctime layouts.
+		{"rfc850-date", now.Add(30 * time.Second).Format("Monday, 02-Jan-06 15:04:05 GMT"), 30 * time.Second},
+		{"asctime-date", now.Add(30 * time.Second).Format(time.ANSIC), 30 * time.Second},
+		{"http-date-past", now.Add(-time.Minute).Format(http.TimeFormat), 0},
+		{"garbage", "soon", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := parseRetryAfter(tc.h, now); got != tc.want {
+				t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.h, got, tc.want)
+			}
+		})
+	}
+}

@@ -9,6 +9,8 @@
 //
 //	midas-serve [-addr host:port] [-workers N] [-queue N] [-cache N]
 //	            [-store-dir DIR] [-store-max-bytes N]
+//	            [-dispatch-listen host:port] [-min-workers N]
+//	            [-lease-ttl DUR] [-shard-attempts N]
 //	            [-log text|json|off] [-pprof]
 //
 //	POST   /v1/jobs             submit a spec (midas-sim -spec schema)
@@ -30,6 +32,15 @@
 // callers (make serve-smoke) can discover it. SIGINT/SIGTERM drain
 // gracefully: in-flight jobs finish, then the process exits; a second
 // signal cancels them.
+//
+// With -dispatch-listen, the server additionally runs as a dispatch
+// coordinator: a second listener serves the shard-lease protocol
+// (internal/dispatch) to midas-worker processes, and jobs whose specs
+// expand to multiple runs are sharded across the worker fleet instead
+// of the in-process pool — with byte-identical results, since both
+// paths share the engine's decomposition. When fewer than -min-workers
+// workers are polling, execution transparently falls back in-process,
+// so a coordinator with no fleet degrades to exactly the PR 5 server.
 package main
 
 import (
@@ -47,8 +58,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dispatch"
+	"repro/internal/scenario"
 	"repro/internal/service"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 var (
@@ -64,6 +78,15 @@ var (
 	drain   = flag.Duration("drain", time.Minute, "how long a shutdown signal waits for in-flight jobs before cancelling them")
 	logFmt  = flag.String("log", "text", "structured log handler on stderr: text, json or off")
 	pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+	dispatchListen = flag.String("dispatch-listen", "",
+		"serve the shard-lease protocol to midas-worker fleets on this address (empty = no coordinator; port 0 picks an ephemeral port)")
+	minWorkers = flag.Int("min-workers", 1,
+		"dispatch multi-run jobs to the fleet only while at least this many workers are polling; below it, jobs run in-process")
+	leaseTTL = flag.Duration("lease-ttl", 30*time.Second,
+		"shard lease deadline; a worker silent this long after taking a shard has it requeued")
+	shardAttempts = flag.Int("shard-attempts", 5,
+		"lease attempts per shard before its job fails (requeues from expiry or worker errors consume the budget)")
 )
 
 // newLogger builds the slog logger the -log flag asks for.
@@ -121,6 +144,43 @@ func run() error {
 	} else if *storeMaxBytes != 0 {
 		return errors.New("-store-max-bytes needs -store-dir")
 	}
+	// One registry for the whole process: the service's instruments and
+	// (when coordinating) the dispatch layer's render on the same
+	// /metrics page.
+	reg := telemetry.NewRegistry()
+
+	// With -dispatch-listen, multi-run jobs go to the worker fleet via
+	// the coordinator — unless too few workers are polling, in which
+	// case (and for single-run specs, which have nothing to shard) the
+	// job runs in-process exactly as before. Both paths share the
+	// engine's decomposition, so the choice never shows in the bytes.
+	var coord *dispatch.Coordinator
+	var dln net.Listener
+	if *dispatchListen != "" {
+		dln, err = net.Listen("tcp", *dispatchListen)
+		if err != nil {
+			return err
+		}
+		coord = dispatch.New(dispatch.Config{
+			LeaseTTL:    *leaseTTL,
+			MaxAttempts: *shardAttempts,
+			Telemetry:   reg,
+			Log:         log,
+		})
+		defer coord.Close()
+	} else if *minWorkers != 1 || *leaseTTL != 30*time.Second || *shardAttempts != 5 {
+		return errors.New("-min-workers/-lease-ttl/-shard-attempts need -dispatch-listen")
+	}
+	runFunc := scenario.RunResolved
+	if coord != nil {
+		runFunc = func(ctx context.Context, sc scenario.Scenario, spec scenario.Spec, opts scenario.RunOptions) (scenario.Result, error) {
+			if spec.ExpandedRuns() > 1 && coord.LiveWorkers() >= *minWorkers {
+				return coord.Run(ctx, sc, spec, opts)
+			}
+			return scenario.RunResolved(ctx, sc, spec, opts)
+		}
+	}
+
 	svc := service.New(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -128,7 +188,9 @@ func run() error {
 		Store:          st,
 		JobRetention:   *retain,
 		JobParallelism: (runtime.GOMAXPROCS(0) + w - 1) / w,
+		Telemetry:      reg,
 		Log:            log,
+		Run:            runFunc,
 	})
 	handler := svc.Handler()
 	if *pprofOn {
@@ -143,7 +205,8 @@ func run() error {
 	}
 	srv := &http.Server{Handler: handler}
 
-	// The discovery line scripted callers parse; keep the format stable.
+	// The discovery lines scripted callers parse; keep the formats
+	// stable (scripts/cluster-e2e.sh reads the dispatch one).
 	fmt.Printf("midas-serve listening on http://%s\n", ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -151,6 +214,13 @@ func run() error {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
+
+	var dsrv *http.Server
+	if coord != nil {
+		dsrv = &http.Server{Handler: coord.Handler()}
+		fmt.Printf("midas-serve dispatch listening on http://%s\n", dln.Addr())
+		go func() { serveErr <- dsrv.Serve(dln) }()
+	}
 
 	select {
 	case err := <-serveErr:
@@ -176,6 +246,14 @@ func run() error {
 	defer httpCancel()
 	if err := srv.Shutdown(httpCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
+	}
+	// The dispatch listener outlives the job drain on purpose: draining
+	// jobs may be distributed, and killing the lease protocol under
+	// them would only force every shard through the requeue machinery.
+	if dsrv != nil {
+		if err := dsrv.Shutdown(httpCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
 	}
 	fmt.Println("midas-serve stopped")
 	return nil

@@ -1,0 +1,100 @@
+// Command midas-worker is the execution half of distributed sweep
+// serving: it polls a midas-serve coordinator (its -dispatch-listen
+// address) for shard leases, runs each shard through the same engine
+// call the in-process pool makes, and publishes the results. Because
+// every shard result is fully determined by its spec, workers are
+// stateless and disposable — kill -9 one mid-shard and its leases
+// expire back into the queue for someone else, with the merged result
+// unchanged byte for byte (scripts/cluster-e2e.sh proves exactly
+// that).
+//
+//	midas-worker -coordinator http://host:port [-id NAME]
+//	             [-parallelism N] [-max-batch N] [-max-shards N]
+//	             [-poll DUR] [-log text|json|off]
+//
+// SIGINT/SIGTERM exit gracefully: the shard in flight finishes and is
+// published (completion is idempotent), then the loop returns. A
+// coordinator restart is survived by polling until the new incarnation
+// answers.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/dispatch"
+)
+
+var (
+	coordinator = flag.String("coordinator", "", "coordinator dispatch URL, e.g. http://127.0.0.1:9091 (required)")
+	id          = flag.String("id", "", "worker name in leases and metrics (default host-pid)")
+	parallelism = flag.Int("parallelism", 0, "inner parallelism for each shard (0 = GOMAXPROCS); never affects results")
+	maxBatch    = flag.Int("max-batch", 1, "shards to request per poll (coordinator may cap)")
+	maxShards   = flag.Int("max-shards", 0, "exit after completing N shards (0 = run until signalled)")
+	poll        = flag.Duration("poll", 200*time.Millisecond, "idle re-poll interval when no work is available")
+	logFmt      = flag.String("log", "text", "structured log handler on stderr: text, json or off")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "midas-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var log *slog.Logger
+	switch *logFmt {
+	case "text":
+		log = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		log = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "off":
+		log = slog.New(slog.DiscardHandler)
+	default:
+		return fmt.Errorf("unknown -log format %q (want text, json or off)", *logFmt)
+	}
+	if *coordinator == "" {
+		return fmt.Errorf("-coordinator is required")
+	}
+	wid := *id
+	if wid == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		wid = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	par := *parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The discovery line scripted callers parse; keep the format stable.
+	fmt.Printf("midas-worker %s polling %s\n", wid, *coordinator)
+	err := dispatch.RunWorker(ctx, dispatch.WorkerConfig{
+		Coordinator: *coordinator,
+		ID:          wid,
+		Parallelism: par,
+		MaxBatch:    *maxBatch,
+		MaxShards:   *maxShards,
+		Poll:        *poll,
+		Log:         log,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("midas-worker %s stopped\n", wid)
+	return nil
+}

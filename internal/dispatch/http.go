@@ -1,0 +1,150 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// Wire types of the lease protocol. Specs and results ride as their
+// canonical JSON forms — the same encoding the serving API and the
+// durable store use — so a worker's completion is exactly the payload
+// a single-process run would have produced.
+
+// LeaseRequest asks the coordinator for up to Max shard leases.
+// Polling is also the worker's liveness heartbeat: an empty grant
+// still refreshes its TTL in the live set.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	Max    int    `json:"max,omitempty"`
+}
+
+// ShardLease is one granted shard: run Spec, report under ID before
+// Deadline or the shard is requeued to someone else.
+type ShardLease struct {
+	ID       string        `json:"id"`
+	Job      string        `json:"job"`
+	Shard    int           `json:"shard"`
+	Attempt  int           `json:"attempt"`
+	Deadline time.Time     `json:"deadline"`
+	Spec     scenario.Spec `json:"spec"`
+}
+
+// LeaseResponse carries the granted batch (possibly empty) and the
+// coordinator's suggested next-poll delay when it is.
+type LeaseResponse struct {
+	Leases []ShardLease `json:"leases"`
+}
+
+// CompleteRequest reports one lease's outcome: a result, or an error
+// string when the shard itself failed on the worker.
+type CompleteRequest struct {
+	Worker string           `json:"worker"`
+	Result *scenario.Result `json:"result,omitempty"`
+	Error  string           `json:"error,omitempty"`
+}
+
+// CompleteResponse tells the worker how the report landed. Every
+// status is terminal for the lease — "duplicate" and "stale" mean the
+// work was already accounted elsewhere and the payload was discarded,
+// which the deterministic engine makes harmless.
+type CompleteResponse struct {
+	Status string `json:"status"` // accepted | requeued | duplicate | stale
+}
+
+// Handler serves the lease protocol plus a status endpoint:
+//
+//	POST /v1/shards/lease          LeaseRequest  -> LeaseResponse
+//	POST /v1/shards/{id}/complete  CompleteRequest -> CompleteResponse
+//	GET  /v1/dispatch/status       -> Status
+//
+// midas-serve mounts this on its -dispatch-listen address (kept off
+// the public API listener so workers can live on a private network).
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/shards/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/shards/{id}/complete", c.handleComplete)
+	mux.HandleFunc("GET /v1/dispatch/status", c.handleStatus)
+	return mux
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad lease request: %v", err)
+		return
+	}
+	if req.Worker == "" {
+		httpError(w, http.StatusBadRequest, "lease request needs a worker id")
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "coordinator closed")
+		return
+	}
+	c.workers[req.Worker] = now
+	granted := c.grantLocked(req.Worker, req.Max, now)
+	c.mu.Unlock()
+
+	resp := LeaseResponse{Leases: make([]ShardLease, 0, len(granted))}
+	for _, l := range granted {
+		resp.Leases = append(resp.Leases, ShardLease{
+			ID:       l.id,
+			Job:      l.sh.job.id,
+			Shard:    l.sh.index,
+			Attempt:  l.sh.attempts,
+			Deadline: l.deadline,
+			Spec:     l.sh.spec,
+		})
+		c.log.Info("dispatch shard leased",
+			"lease", l.id, "worker", req.Worker,
+			"dispatch_job", l.sh.job.id, "shard", l.sh.index, "attempt", l.sh.attempts)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	leaseID := r.PathValue("id")
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad completion: %v", err)
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	if req.Worker != "" {
+		c.workers[req.Worker] = now
+	}
+	status, after := c.completeLocked(leaseID, req.Worker, req.Result, req.Error, now)
+	c.mu.Unlock()
+	if after != nil {
+		after()
+	}
+	c.log.Info("dispatch shard completion",
+		"lease", leaseID, "worker", req.Worker, "status", status)
+	writeJSON(w, http.StatusOK, CompleteResponse{Status: status})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.StatusSnapshot())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

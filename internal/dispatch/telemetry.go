@@ -1,0 +1,54 @@
+package dispatch
+
+import "repro/internal/telemetry"
+
+// Instruments for the dispatch layer, registered on the same registry
+// midas-serve renders at /metrics (naming per the service conventions:
+// midas_ prefix, seconds, _total counters). The completions counter is
+// the cluster-e2e ground truth for "no duplicate side effects": its
+// accepted series must equal the spec's shard count no matter how many
+// times shards were leased, killed, or double-completed.
+type instruments struct {
+	leased      *telemetry.Counter    // midas_shards_leased_total
+	requeues    *telemetry.CounterVec // midas_shard_requeues_total{reason}
+	completions *telemetry.CounterVec // midas_shards_completed_total{status}
+	// leaseLatency observes grant -> accepted completion: the remote
+	// run + both HTTP hops, the distribution that sizes LeaseTTL.
+	leaseLatency *telemetry.Histogram
+}
+
+// 0.5ms … ~65s, the service's runBuckets shape: a lease spans one
+// engine shard plus network, same dynamic range as a local run.
+var leaseBuckets = telemetry.ExponentialBuckets(0.0005, 2, 18)
+
+func newInstruments(reg *telemetry.Registry, c *Coordinator) *instruments {
+	in := &instruments{
+		leased: reg.NewCounter("midas_shards_leased_total",
+			"Shard leases granted to workers (re-leases after requeue included)."),
+		requeues: reg.NewCounterVec("midas_shard_requeues_total",
+			"Shards returned to the queue, by reason (expired, failed).", "reason"),
+		completions: reg.NewCounterVec("midas_shards_completed_total",
+			"Shard completion reports, by status (accepted, requeued, duplicate, stale).", "status"),
+		leaseLatency: reg.NewHistogram("midas_shard_lease_seconds",
+			"Time from lease grant to accepted completion.", leaseBuckets),
+	}
+	// Pre-create the series the e2e greps for, so /metrics exposes an
+	// explicit 0 before the first event of each kind.
+	for _, r := range []string{"expired", "failed"} {
+		in.requeues.With(r)
+	}
+	for _, s := range []string{"accepted", "requeued", "duplicate", "stale"} {
+		in.completions.With(s)
+	}
+	reg.NewGaugeFunc("midas_workers_live",
+		"Workers that polled for a lease within the worker TTL.",
+		nil, func() []telemetry.GaugeSample {
+			return []telemetry.GaugeSample{{Value: float64(c.LiveWorkers())}}
+		})
+	reg.NewGaugeFunc("midas_shards_pending",
+		"Shards queued (or backing off) awaiting a lease.",
+		nil, func() []telemetry.GaugeSample {
+			return []telemetry.GaugeSample{{Value: float64(c.StatusSnapshot().PendingShards)}}
+		})
+	return in
+}

@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestShardsAssembleMatchesRunResolved pins the distribution contract:
+// executing a resolved spec's Shards() one by one — in any process, at
+// any parallelism — and feeding the ordered results to Assemble yields
+// byte-identical output to the single-process RunResolved of the same
+// spec. internal/dispatch is built on exactly this property.
+func TestShardsAssembleMatchesRunResolved(t *testing.T) {
+	cases := []struct {
+		name      string
+		overrides Spec
+	}{
+		{"unswept", Spec{Topologies: 3, Seed: 11}},
+		{"swept", Spec{Topologies: 2, Seed: 11, Sweep: map[string][]float64{"seed": {21, 22, 23}}}},
+		{"replicated", Spec{Topologies: 2, Seed: 11, Replicates: 3}},
+		{"swept-replicated", Spec{Topologies: 2, Seed: 11, Replicates: 2,
+			Sweep: map[string][]float64{"seed": {31, 32}}}},
+		{"single-labelled-point", Spec{Topologies: 2, Seed: 11, Sweep: map[string][]float64{"seed": {41}}}},
+	}
+	sc, err := Find("fig12-spatial-reuse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := Resolve(sc, tc.overrides)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := RunResolved(context.Background(), sc, spec, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			shards := spec.Shards()
+			if want := spec.ExpandedRuns(); len(shards) != want {
+				t.Fatalf("Shards() returned %d shards, ExpandedRuns says %d", len(shards), want)
+			}
+			results := make([]Result, len(shards))
+			for i, sh := range shards {
+				if sh.Sweep != nil {
+					t.Fatalf("shard %d still carries a sweep", i)
+				}
+				// A remote worker runs the shard with its own parallelism;
+				// results must not depend on it.
+				sh.Parallelism = 1
+				res, err := sc.Run(sh, rng.New(sh.Seed))
+				if err != nil {
+					t.Fatalf("shard %d: %v", i, err)
+				}
+				results[i] = res
+			}
+			got, err := Assemble(sc.Name(), spec, results)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			wantJSON, err := want.MarshalIndent()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotJSON, err := got.MarshalIndent()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(wantJSON) != string(gotJSON) {
+				t.Errorf("assembled shard results differ from RunResolved:\nwant: %s\ngot:  %s", wantJSON, gotJSON)
+			}
+		})
+	}
+}
+
+// TestAssembleRejectsWrongShardCount: a distributed run that lost (or
+// duplicated) a shard must fail loudly, never assemble a partial
+// result.
+func TestAssembleRejectsWrongShardCount(t *testing.T) {
+	sc, err := Find("fig12-spatial-reuse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Resolve(sc, Spec{Topologies: 2, Seed: 5, Replicates: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Assemble(sc.Name(), spec, make([]Result, 1)); err == nil {
+		t.Fatal("Assemble accepted 1 result for a 2-shard spec")
+	}
+}

@@ -121,21 +121,14 @@ func RunResolved(ctx context.Context, sc Scenario, spec Spec, opts RunOptions) (
 		return res, err
 	}
 
-	// The spec's budget is split between the run pool fanning out over
-	// the expanded tasks and each task's inner topology sweep: the pool
+	// The shard list carries the split parallelism budget: the pool
 	// runs up to spec.Parallelism tasks at once, so every task gets an
-	// even share for its sweep instead of a full-width pool per run
-	// (which would oversubscribe the scheduler pool × sweep wide). This
-	// used to be every caller's job via the sim.Parallelism global; the
-	// engine owning it makes concurrent jobs in one process safe.
-	inner := spec.SplitParallelism()
-	tasks := make([]Spec, 0, len(points)*reps)
-	for _, p := range points {
-		for _, t := range p.Spec.replicateSpecs() {
-			t.Parallelism = inner
-			tasks = append(tasks, t)
-		}
-	}
+	// even share for its inner topology sweep instead of a full-width
+	// pool per run (which would oversubscribe the scheduler pool ×
+	// sweep wide). Shards() is the same decomposition internal/dispatch
+	// leases to remote workers — sharing it (and Assemble below) is
+	// what makes a distributed run byte-identical to this one.
+	tasks := spec.Shards()
 	ropts := runner.Options{Parallelism: spec.Parallelism}
 	if opts.OnProgress != nil || opts.OnRunDone != nil {
 		ropts.OnDone = func(p runner.Progress) {
@@ -153,41 +146,7 @@ func RunResolved(ctx context.Context, sc Scenario, spec Spec, opts RunOptions) (
 	if err != nil {
 		return Result{}, err
 	}
-
-	// Fold each point's replicate group; results arrive in task order,
-	// so group pi occupies results[pi*reps : (pi+1)*reps].
-	folded := make([]Result, len(points))
-	for pi := range points {
-		if reps == 1 {
-			folded[pi] = results[pi]
-		} else {
-			folded[pi] = aggregateReplicates(sc.Name(), results[pi*reps:(pi+1)*reps])
-		}
-	}
-	if len(points) == 1 && points[0].Label == "" {
-		return folded[0], nil
-	}
-
-	merged := Result{Scenario: sc.Name()}
-	for i, res := range folded {
-		prefix := "[" + points[i].Label + "] "
-		for _, s := range res.Series {
-			s.Label = prefix + s.Label
-			merged.Series = append(merged.Series, s)
-		}
-		for _, m := range res.Metrics {
-			m.Name = prefix + m.Name
-			merged.Metrics = append(merged.Metrics, m)
-		}
-		for _, s := range res.Summaries {
-			s.Name = prefix + s.Name
-			merged.Summaries = append(merged.Summaries, s)
-		}
-		for _, line := range res.Text {
-			merged.Text = append(merged.Text, prefix+line)
-		}
-	}
-	return merged, nil
+	return Assemble(sc.Name(), spec, results)
 }
 
 // RunByName resolves name through the registry (exact, then unique

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/runner"
@@ -92,8 +93,11 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		// Transient backpressure, worth retrying shortly — unlike
-		// draining, where this process will never accept the job.
-		w.Header().Set("Retry-After", "1")
+		// draining, where this process will never accept the job. The
+		// hint tracks how long the queue actually takes to drain
+		// (observed run time × depth / workers), so honoring clients
+		// come back when a slot is plausible instead of hammering.
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterHint()))
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, ErrDraining):

@@ -388,16 +388,28 @@ func TestHTTPQueueFullRetryAfterAndBusyHealth(t *testing.T) {
 		t.Errorf("healthz at saturation: %d %s, want 200 busy", code, body)
 	}
 
-	// ...and a third distinct spec is rejected with retry guidance.
+	// ...and a third distinct spec is rejected with retry guidance. No
+	// run has completed yet, so the hint falls back to the eager 1s.
 	code, hdr, b := submit("3")
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("submit at queue-full: %d %s", code, b)
 	}
 	if ra := hdr.Get("Retry-After"); ra != "1" {
-		t.Errorf("queue-full Retry-After = %q, want \"1\"", ra)
+		t.Errorf("queue-full Retry-After before any observed run = %q, want \"1\"", ra)
 	}
 	if !strings.Contains(string(b), "queue full") {
 		t.Errorf("queue-full body %s", b)
+	}
+
+	// Once run time has been observed, the hint tracks the backlog's
+	// drain estimate instead of the old hardcoded constant: mean 5s ×
+	// 1 queued / 1 worker = 5.
+	s.observeRunTime(5.0)
+	if code, hdr, b = submit("4"); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit at queue-full: %d %s", code, b)
+	}
+	if ra := hdr.Get("Retry-After"); ra != "5" {
+		t.Errorf("queue-full Retry-After with 5s observed runs = %q, want \"5\"", ra)
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -274,6 +275,9 @@ type Service struct {
 	closed       bool
 	coalesced    uint64
 	scenarioRuns map[string]int // engine invocations by scenario name
+	// runMeanSeconds is an EWMA of engine-run wall time, feeding the
+	// queue-full Retry-After hint; 0 until the first run completes.
+	runMeanSeconds float64
 }
 
 // New builds a Service and starts its worker pool.
@@ -548,6 +552,7 @@ func (s *Service) runJob(j *job) {
 	})
 	elapsed := time.Since(j.started)
 	s.tel.runDuration.With(j.spec.Scenario).Observe(elapsed.Seconds())
+	s.observeRunTime(elapsed.Seconds())
 
 	// Persist to the durable tier BEFORE the job becomes observably
 	// done, so "the job completed" implies "the result survives a
@@ -781,6 +786,52 @@ func (s *Service) Metrics() Metrics {
 // Channel length and capacity need no lock; the answer is advisory
 // (for health probes), not a reservation.
 func (s *Service) QueueSaturated() bool { return len(s.queue) >= cap(s.queue) }
+
+// observeRunTime folds one engine run's wall time into the EWMA behind
+// the queue-full Retry-After hint. Alpha 0.3: a few runs re-anchor the
+// estimate after the workload shifts, while one outlier cannot swing
+// the hint by itself.
+func (s *Service) observeRunTime(seconds float64) {
+	s.mu.Lock()
+	if s.runMeanSeconds == 0 {
+		s.runMeanSeconds = seconds
+	} else {
+		s.runMeanSeconds = 0.3*seconds + 0.7*s.runMeanSeconds
+	}
+	s.mu.Unlock()
+}
+
+// RetryAfterHint is the Retry-After value (whole seconds) a queue-full
+// 503 should carry: roughly how long until a queue slot opens, from
+// observed mean run time and the current backlog per worker.
+func (s *Service) RetryAfterHint() int {
+	s.mu.Lock()
+	mean := s.runMeanSeconds
+	queued := len(s.queue)
+	s.mu.Unlock()
+	return retryAfterSeconds(mean, queued, s.cfg.workers())
+}
+
+// retryAfterSeconds derives the hint: the queue's estimated drain time
+// for one slot, ceil(mean × backlog-per-worker), clamped to [1, 60].
+// No observed runs yet (mean 0) keeps the old constant of 1 — better
+// an eager retry than a made-up wait. The 60s cap matters because
+// clients cap their own patience (loadgen's -retry-max): an honest
+// "come back in 20 minutes" would read as "never".
+func retryAfterSeconds(meanRunSeconds float64, queued, workers int) int {
+	if meanRunSeconds <= 0 || queued <= 0 || workers <= 0 {
+		return 1
+	}
+	perWorker := float64(queued) / float64(workers)
+	secs := int(math.Ceil(meanRunSeconds * perWorker))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
+}
 
 // Shutdown drains the service: submissions are rejected immediately,
 // queued and running jobs complete normally, and Shutdown returns once

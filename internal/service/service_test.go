@@ -900,3 +900,41 @@ func TestSubmitAfterCancelStartsFreshRun(t *testing.T) {
 		t.Fatalf("engine ran %d times, want 2 (cancelled + fresh)", n)
 	}
 }
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		name            string
+		mean            float64
+		queued, workers int
+		want            int
+	}{
+		{"no-observations", 0, 10, 4, 1},
+		{"empty-queue", 2.0, 0, 4, 1},
+		{"sub-second-drain", 0.05, 3, 8, 1},
+		{"one-each", 5.0, 1, 1, 5},
+		{"backlog-split-across-workers", 2.0, 8, 4, 4},
+		{"rounds-up", 1.5, 1, 1, 2},
+		{"capped-at-minute", 30.0, 100, 2, 60},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := retryAfterSeconds(tc.mean, tc.queued, tc.workers); got != tc.want {
+				t.Errorf("retryAfterSeconds(%v, %d, %d) = %d, want %d",
+					tc.mean, tc.queued, tc.workers, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestObserveRunTimeEWMA(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer mustShutdown(t, s)
+	s.observeRunTime(10)
+	if got := s.runMeanSeconds; got != 10 {
+		t.Fatalf("first observation should anchor the mean, got %v", got)
+	}
+	s.observeRunTime(20)
+	if got := s.runMeanSeconds; got != 0.3*20+0.7*10 {
+		t.Fatalf("EWMA after 10,20 = %v, want 13", got)
+	}
+}

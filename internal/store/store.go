@@ -67,7 +67,10 @@ const (
 	manifestVersion   = 1
 	// manifestFlushEvery bounds how stale the persisted atime hints can
 	// get while the process runs: the manifest is rewritten after this
-	// many Puts, and always at Close.
+	// many touches — Puts and Gets both move atimes, so both count —
+	// and always at Close. Counting only Puts was a real bug: a long
+	// read-heavy run that died by kill -9 lost every eviction hint
+	// accumulated since its last write.
 	manifestFlushEvery = 64
 )
 
@@ -77,9 +80,11 @@ const (
 // unconditionally; a hook returning an error fails the operation
 // before it touches the disk.
 type FaultFS struct {
-	// WriteFile is consulted before an entry's temp file is written.
-	// Failing it models a full disk or I/O error: Put returns the
-	// error and removes the temp file.
+	// WriteFile is consulted before a temp file is written — an
+	// entry's, or the manifest's on a periodic flush. Failing it models
+	// a full disk or I/O error: Put returns the error and removes the
+	// temp file; a manifest flush is skipped (the hints stay in memory
+	// until the next cadence point or Close).
 	WriteFile func(path string) error
 	// Rename is consulted before the temp file is renamed into place.
 	// Failing it models a crash between the temp write and the rename
@@ -132,13 +137,15 @@ type Store struct {
 	faults   *FaultFS
 	log      *slog.Logger
 
-	mu             sync.Mutex
-	ll             *list.List               // front = most recently used
-	entries        map[string]*list.Element // hash -> element holding *entry
-	bytes          int64
-	stats          Stats // counter fields only; Entries/Bytes derived in Stats()
-	putsSinceFlush int
-	manifestDirty  bool
+	mu      sync.Mutex
+	ll      *list.List               // front = most recently used
+	entries map[string]*list.Element // hash -> element holding *entry
+	bytes   int64
+	stats   Stats // counter fields only; Entries/Bytes derived in Stats()
+	// touchesSinceFlush counts atime movements (Puts and Gets) since
+	// the manifest was last persisted; at manifestFlushEvery it flushes.
+	touchesSinceFlush int
+	manifestDirty     bool
 }
 
 // Open opens (creating if necessary) the store rooted at cfg.Dir,
@@ -281,6 +288,7 @@ func (s *Store) Get(hash string) ([]byte, bool) {
 	e.atime = time.Now().UnixNano()
 	s.ll.MoveToFront(el)
 	s.manifestDirty = true
+	s.touchLocked()
 	s.mu.Unlock()
 
 	data, err := os.ReadFile(s.objectPath(hash))
@@ -363,12 +371,20 @@ func (s *Store) Put(hash string, payload []byte) error {
 	s.stats.Writes++
 	s.manifestDirty = true
 	s.evictLocked()
-	s.putsSinceFlush++
-	if s.putsSinceFlush >= manifestFlushEvery {
-		s.flushManifestLocked()
-	}
+	s.touchLocked()
 	s.mu.Unlock()
 	return nil
+}
+
+// touchLocked counts one atime movement toward the periodic manifest
+// flush and flushes when the cadence is reached. Called with s.mu held
+// by every path that reorders the LRU (Put and Get alike — eviction
+// hints age just as fast under reads as under writes).
+func (s *Store) touchLocked() {
+	s.touchesSinceFlush++
+	if s.touchesSinceFlush >= manifestFlushEvery {
+		s.flushManifestLocked()
+	}
 }
 
 // writeTemp writes and fsyncs the framed entry into the temp file,
@@ -533,7 +549,7 @@ func (s *Store) loadManifest() map[string]int64 {
 // index. No fsync: the manifest is hints, and an occasionally stale
 // one only reorders eviction. Called with s.mu held.
 func (s *Store) flushManifestLocked() {
-	s.putsSinceFlush = 0
+	s.touchesSinceFlush = 0
 	if !s.manifestDirty {
 		return
 	}
@@ -547,6 +563,12 @@ func (s *Store) flushManifestLocked() {
 		return
 	}
 	tmp := filepath.Join(s.tmpDir(), manifestName)
+	if s.faults != nil && s.faults.WriteFile != nil {
+		if err := s.faults.WriteFile(tmp); err != nil {
+			s.log.Warn("store manifest write failed", "error", err.Error())
+			return
+		}
+	}
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		s.log.Warn("store manifest write failed", "error", err.Error())
 		return

@@ -392,6 +392,93 @@ func TestManifestFlushEvery(t *testing.T) {
 	}
 }
 
+func TestGetTouchesFlushManifest(t *testing.T) {
+	// The read-heavy kill -9 scenario: Gets move atimes just like Puts,
+	// so a run that only reads must still flush the manifest on the
+	// same cadence — otherwise a crash loses every eviction hint since
+	// the last write, and the next open evicts by stale file mtimes.
+	dir := t.TempDir()
+	payload := []byte(strings.Repeat("h", 500))
+	entrySize := int64(len(frame(payload)))
+	ha, hb := hashOf("a"), hashOf("b")
+
+	var manifestWrites int
+	s, err := Open(Config{Dir: dir, Faults: &FaultFS{
+		WriteFile: func(path string) error {
+			if filepath.Base(path) == manifestName {
+				manifestWrites++
+			}
+			return nil
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ha, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(hb, payload); err != nil {
+		t.Fatal(err)
+	}
+	if manifestWrites != 0 {
+		t.Fatalf("manifest flushed after only 2 puts (%d writes)", manifestWrites)
+	}
+	// b was written last, but a is what this workload actually uses.
+	for i := 0; i < manifestFlushEvery; i++ {
+		if _, ok := s.Get(ha); !ok {
+			t.Fatal("Get(a)")
+		}
+	}
+	if manifestWrites == 0 {
+		t.Fatalf("%d Gets flushed no manifest: read touches not counted toward the cadence", manifestFlushEvery)
+	}
+	// kill -9: the store is abandoned, never Closed.
+
+	// The next process has room for one entry; the manifest the Gets
+	// flushed must steer eviction to b, not to the recently-read a.
+	s2 := mustOpen(t, Config{Dir: dir, MaxBytes: entrySize})
+	if _, ok := s2.Get(hb); ok {
+		t.Fatal("reopen kept the cold entry: Get atimes were lost in the crash")
+	}
+	if _, ok := s2.Get(ha); !ok {
+		t.Fatal("reopen evicted the read-hot entry")
+	}
+}
+
+func TestManifestWriteFaultSkipsFlush(t *testing.T) {
+	// A failing manifest write is absorbed: the flush is skipped, the
+	// store keeps serving, and the hints land on the next healthy
+	// cadence point (here: Close).
+	dir := t.TempDir()
+	h := hashOf("f")
+	boom := errors.New("manifest disk full")
+	failing := true
+	s := mustOpen(t, Config{Dir: dir, Faults: &FaultFS{
+		WriteFile: func(path string) error {
+			if failing && filepath.Base(path) == manifestName {
+				return boom
+			}
+			return nil
+		},
+	}})
+	if err := s.Put(h, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*manifestFlushEvery; i++ {
+		if _, ok := s.Get(h); !ok {
+			t.Fatal("Get")
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); !os.IsNotExist(err) {
+		t.Fatal("manifest appeared despite write faults")
+	}
+	failing = false
+	s.Close()
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatalf("Close did not flush the manifest once writes recovered: %v", err)
+	}
+}
+
 func TestGarbageManifestIgnored(t *testing.T) {
 	dir := t.TempDir()
 	h := hashOf("g")

@@ -1,0 +1,249 @@
+#!/bin/sh
+# cluster-e2e: distributed-execution end-to-end for the coordinator /
+# worker split (internal/dispatch).
+#
+# Phase 1 — fallback: a coordinator with no registered workers must run
+# multi-shard jobs in-process (byte-identical to plain serving), with
+# zero shards leased.
+#
+# Phase 2 — worker death mid-sweep: submit a swept+replicated spec to a
+# coordinator with one worker, kill -9 that worker while it holds a
+# shard lease, start a replacement, and require: the dead worker's
+# shard is requeued after lease expiry (midas_shard_requeues_total
+# {reason="expired"} >= 1), the job completes, accepted completions
+# equal the spec's shard count exactly — the "zero duplicate engine-run
+# side effects" guarantee — and the merged result is byte-identical to
+# `midas-sim -spec` run single-process on the same spec (modulo the
+# meta tool line, exactly like serve-smoke).
+#
+# Environment knobs:
+#   CLUSTER_E2E_FULL  non-empty = full scale (nightly); default is the
+#                     short CI mode (make cluster-e2e)
+#   CLUSTER_E2E_OUT   directory to copy reports/artifacts into (optional)
+#
+# Requires: curl. Run from the repository root.
+set -eu
+
+# Shard wall time is ~0.3ms per topology at parallelism 1; the victim
+# worker runs parallelism 1 so its shard comfortably outlives the
+# moment we observe its lease and kill it. The lease TTL must exceed a
+# shard's wall time (at any worker's parallelism), or healthy workers'
+# completions would arrive after their own leases expired.
+if [ -n "${CLUSTER_E2E_FULL:-}" ]; then
+    topos=16384 sweep='[70001, 70002, 70003]' reps=2 shards=6 lease_ttl=20s
+else
+    topos=6144 sweep='[70001, 70002]' reps=2 shards=4 lease_ttl=6s
+fi
+
+tmp=$(mktemp -d)
+serve_pid=""
+worker_a_pid=""
+worker_b_pid=""
+cleanup() {
+    status=$?
+    for pid in "$serve_pid" "$worker_a_pid" "$worker_b_pid"; do
+        if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+            kill -9 "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$tmp"
+    exit $status
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "cluster-e2e: FAIL: $*" >&2
+    for log in serve.log worker-a.log worker-b.log; do
+        [ -f "$tmp/$log" ] && tail -n 15 "$tmp/$log" | sed "s/^/cluster-e2e: $log: /" >&2
+    done
+    exit 1
+}
+
+# json_field FILE KEY -> first string value of KEY.
+json_field() {
+    sed -n 's/^ *"'"$2"'": "\([^"]*\)".*/\1/p' "$1" | head -n 1
+}
+
+# prom_value SERIES -> value of one exposition sample from the last
+# /metrics scrape in $tmp/metrics.prom ("" if the series is absent).
+prom_value() {
+    awk -v series="$1" '$1 == series { print $2; exit }' "$tmp/metrics.prom"
+}
+
+scrape() {
+    curl -fsS "http://$addr/metrics" > "$tmp/metrics.prom" || fail "metrics scrape"
+}
+
+# submit FILE OUT -> POST a spec file, record the response.
+submit() {
+    curl -fsS -X POST --data-binary @"$1" "http://$addr/v1/jobs" > "$2" \
+        || fail "submission of $1 rejected"
+}
+
+# wait_done JOB TIMEOUT_TICKS -> poll a job to done (0.1s ticks).
+wait_done() {
+    jid=$1
+    i=0
+    while :; do
+        curl -fsS "http://$addr/v1/jobs/$jid" > "$tmp/poll.json" || fail "poll $jid"
+        state=$(json_field "$tmp/poll.json" state)
+        [ "$state" = "done" ] && return 0
+        case "$state" in failed|cancelled) fail "job $jid ended $state: $(cat "$tmp/poll.json")" ;; esac
+        [ $i -lt "$2" ] || fail "job $jid still $state after $2 ticks"
+        sleep 0.1
+        i=$((i + 1))
+    done
+}
+
+echo "cluster-e2e: building binaries"
+go build -o "$tmp/midas-serve" ./cmd/midas-serve
+go build -o "$tmp/midas-worker" ./cmd/midas-worker
+go build -o "$tmp/midas-sim" ./cmd/midas-sim
+
+# The swept + replicated spec the cluster executes: $shards shards.
+cat > "$tmp/spec.json" <<EOF
+{
+  "scenario": "fig12-spatial-reuse",
+  "topologies": $topos,
+  "seed": 70000,
+  "replicates": $reps,
+  "sweep": {"seed": $sweep}
+}
+EOF
+# A small sibling for the fallback phase (distinct seed: distinct hash).
+cat > "$tmp/fallback-spec.json" <<EOF
+{
+  "scenario": "fig12-spatial-reuse",
+  "topologies": 8,
+  "seed": 71000,
+  "replicates": 2,
+  "sweep": {"seed": [71001, 71002]}
+}
+EOF
+
+"$tmp/midas-serve" -addr 127.0.0.1:0 -dispatch-listen 127.0.0.1:0 \
+    -lease-ttl "$lease_ttl" -log off > "$tmp/serve.log" 2>&1 &
+serve_pid=$!
+addr=""
+dispatch_addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's#^midas-serve listening on http://##p' "$tmp/serve.log" | head -n 1)
+    dispatch_addr=$(sed -n 's#^midas-serve dispatch listening on http://##p' "$tmp/serve.log" | head -n 1)
+    [ -n "$addr" ] && [ -n "$dispatch_addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || fail "server exited during startup"
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$addr" ] || fail "server never printed its listen address"
+[ -n "$dispatch_addr" ] || fail "server never printed its dispatch address"
+echo "cluster-e2e: coordinator at $addr (dispatch $dispatch_addr)"
+
+# ---------------------------------------------------------------------
+echo "cluster-e2e: phase 1: no workers -> in-process fallback"
+submit "$tmp/fallback-spec.json" "$tmp/fb-submit.json"
+wait_done "$(json_field "$tmp/fb-submit.json" id)" 600
+scrape
+leased=$(prom_value 'midas_shards_leased_total')
+[ "${leased:-0}" = "0" ] || fail "fallback run leased $leased shards, want 0"
+curl -fsS "http://$addr/v1/jobs/$(json_field "$tmp/fb-submit.json" id)/result" > "$tmp/fb-served.json" \
+    || fail "fallback result fetch"
+"$tmp/midas-sim" -spec "$tmp/fallback-spec.json" -format json -out "$tmp/fb-direct.json" \
+    || fail "midas-sim on the fallback spec"
+grep -v '"tool":' "$tmp/fb-served.json" > "$tmp/fb-served.stripped"
+grep -v '"tool":' "$tmp/fb-direct.json" > "$tmp/fb-direct.stripped"
+diff -u "$tmp/fb-direct.stripped" "$tmp/fb-served.stripped" > /dev/null \
+    || fail "fallback result differs from midas-sim"
+echo "cluster-e2e: fallback served byte-identical with zero leases"
+
+# ---------------------------------------------------------------------
+echo "cluster-e2e: phase 2: kill -9 a worker mid-sweep"
+
+# The single-process golden the distributed run must byte-match.
+"$tmp/midas-sim" -spec "$tmp/spec.json" -format json -out "$tmp/golden.json" \
+    || fail "midas-sim golden run"
+
+# Worker A: the victim. Parallelism 1 and one shard per poll, so it is
+# mid-shard for seconds at a time.
+"$tmp/midas-worker" -coordinator "http://$dispatch_addr" -id victim \
+    -parallelism 1 -max-batch 1 -poll 50ms > "$tmp/worker-a.log" 2>&1 &
+worker_a_pid=$!
+
+# The coordinator must see the worker before the job is submitted, or
+# the job falls back in-process and nothing is distributed.
+i=0
+while :; do
+    scrape
+    live=$(prom_value 'midas_workers_live')
+    [ "${live:-0}" = "1" ] && break
+    [ $i -lt 100 ] || fail "worker never registered (midas_workers_live=$live)"
+    sleep 0.1
+    i=$((i + 1))
+done
+echo "cluster-e2e: victim worker registered"
+
+submit "$tmp/spec.json" "$tmp/submit.json"
+job=$(json_field "$tmp/submit.json" id)
+echo "cluster-e2e: submitted $job ($shards shards)"
+
+# Kill the victim the moment it holds a lease — mid-shard, given the
+# shard's multi-second wall time against this tight poll.
+i=0
+while :; do
+    scrape
+    leased=$(prom_value 'midas_shards_leased_total')
+    [ -n "$leased" ] && [ "$leased" != "0" ] && break
+    [ $i -lt 400 ] || fail "victim never leased a shard"
+    sleep 0.05
+    i=$((i + 1))
+done
+kill -9 "$worker_a_pid"
+wait "$worker_a_pid" 2>/dev/null || true
+worker_a_pid=""
+echo "cluster-e2e: victim killed with SIGKILL holding a lease"
+
+# The replacement fleet finishes the sweep — including the dead
+# worker's shard once its lease expires.
+"$tmp/midas-worker" -coordinator "http://$dispatch_addr" -id survivor \
+    -poll 50ms > "$tmp/worker-b.log" 2>&1 &
+worker_b_pid=$!
+
+wait_done "$job" 1800
+echo "cluster-e2e: job $job done on the surviving worker"
+
+scrape
+requeued=$(prom_value 'midas_shard_requeues_total{reason="expired"}')
+accepted=$(prom_value 'midas_shards_completed_total{status="accepted"}')
+[ -n "$requeued" ] && [ "$requeued" -ge 1 ] 2>/dev/null \
+    || fail "no expired-lease requeue recorded (got '$requeued')"
+[ "$accepted" = "$shards" ] \
+    || fail "accepted completions = '$accepted', want exactly $shards (duplicate or lost engine-run side effects)"
+echo "cluster-e2e: $requeued shard(s) requeued, accepted completions = $accepted = shard count"
+
+# The distributed, crash-interrupted result must byte-match the
+# single-process golden (modulo the meta tool line).
+curl -fsS "http://$addr/v1/jobs/$job/result" > "$tmp/served.json" || fail "result fetch"
+grep -v '"tool":' "$tmp/served.json" > "$tmp/served.stripped"
+grep -v '"tool":' "$tmp/golden.json" > "$tmp/golden.stripped"
+diff -u "$tmp/golden.stripped" "$tmp/served.stripped" \
+    || fail "distributed result differs from the single-process golden"
+echo "cluster-e2e: merged result byte-identical to single-process run"
+
+# Orderly teardown: worker first, then the coordinator; both clean.
+kill -TERM "$worker_b_pid"
+wait "$worker_b_pid" || fail "surviving worker exited non-zero on SIGTERM"
+worker_b_pid=""
+kill -TERM "$serve_pid"
+wait "$serve_pid" || fail "coordinator exited non-zero on SIGTERM"
+serve_pid=""
+
+if [ -n "${CLUSTER_E2E_OUT:-}" ]; then
+    mkdir -p "$CLUSTER_E2E_OUT"
+    cp "$tmp/metrics.prom" "$tmp/served.json" "$tmp/golden.json" \
+        "$tmp/serve.log" "$tmp/worker-a.log" "$tmp/worker-b.log" \
+        "$CLUSTER_E2E_OUT/" 2>/dev/null || true
+    echo "cluster-e2e: artifacts written to $CLUSTER_E2E_OUT"
+fi
+
+echo "cluster-e2e: PASS"
