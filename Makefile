@@ -37,10 +37,11 @@ test:
 
 # The race detector over the packages that own concurrency: the worker
 # pool, the scenario engine dispatching expanded runs through it, the
-# experiment drivers, the serving layer's job pool + cache, and the
-# dispatch coordinator's lease/requeue state machine.
+# experiment drivers, the serving layer's job pool + cache, the
+# dispatch coordinator's lease/requeue state machine, and the job
+# journal it checkpoints through.
 test-race:
-	$(GO) test -race ./internal/scenario ./internal/runner ./internal/sim ./internal/service ./internal/store ./internal/telemetry ./internal/dispatch
+	$(GO) test -race ./internal/scenario ./internal/runner ./internal/sim ./internal/service ./internal/store ./internal/telemetry ./internal/dispatch ./internal/journal
 
 # The golden-figure regression suite: replay every registered
 # scenario's committed spec at parallelism 1 and 8 and require
@@ -104,8 +105,12 @@ drain-e2e-full:
 # protocol, kill -9 a worker holding a lease mid-sweep, and require the
 # shard to requeue on lease expiry, the merged result to byte-match the
 # single-process run, and accepted completions to equal the shard count
-# exactly (no duplicate engine-run side effects). Short mode runs in
-# `make ci`; the nightly workflow runs the full scale with artifacts.
+# exactly (no duplicate engine-run side effects). Also kill -9 the
+# coordinator itself mid-sweep and require the restart to resume the
+# job from the dispatch journal with zero re-execution of shards whose
+# results already reached the store. Short mode runs in `make ci`; the
+# nightly workflow runs the full scale with journal/store listings as
+# artifacts.
 cluster-e2e:
 	./scripts/cluster-e2e.sh
 
@@ -149,12 +154,14 @@ bench-compare:
 # surface only under load), and the durable store (crash-safety bugs
 # surface only on the restart after the crash) must stay >= 80%
 # line-covered, as must the dispatch coordinator (lease-requeue
-# correctness is exactly the kind of logic that rots silently). The
+# correctness is exactly the kind of logic that rots silently) and the
+# job journal (a replay bug only surfaces on the restart after the
+# crash). The
 # per-package totals print either way; a package under its floor fails
 # the target (and `make ci`).
 COVER_FLOOR = 80
 cover:
-	@set -e; for pkg in ./internal/stats ./internal/scenario ./internal/service ./internal/store ./internal/telemetry ./internal/dispatch; do \
+	@set -e; for pkg in ./internal/stats ./internal/scenario ./internal/service ./internal/store ./internal/telemetry ./internal/dispatch ./internal/journal; do \
 		profile=$$(mktemp); \
 		$(GO) test -coverprofile=$$profile $$pkg > /dev/null; \
 		pct=$$($(GO) tool cover -func=$$profile | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \

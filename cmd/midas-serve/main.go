@@ -10,7 +10,7 @@
 //	midas-serve [-addr host:port] [-workers N] [-queue N] [-cache N]
 //	            [-store-dir DIR] [-store-max-bytes N]
 //	            [-dispatch-listen host:port] [-min-workers N]
-//	            [-lease-ttl DUR] [-shard-attempts N]
+//	            [-lease-ttl DUR] [-shard-attempts N] [-resume=false]
 //	            [-log text|json|off] [-pprof]
 //
 //	POST   /v1/jobs             submit a spec (midas-sim -spec schema)
@@ -41,6 +41,17 @@
 // paths share the engine's decomposition. When fewer than -min-workers
 // workers are polling, execution transparently falls back in-process,
 // so a coordinator with no fleet degrades to exactly the PR 5 server.
+//
+// A coordinator with a store additionally journals every dispatched
+// job (spec plus per-shard completion pointers, under
+// <store-dir>/journal) and publishes each accepted shard result into
+// the store by the shard spec's content address. On restart the
+// journal's non-terminal jobs are re-admitted automatically (disable
+// with -resume=false): shards whose results are already on disk are
+// answered from the store without re-execution, so a kill -9 mid-sweep
+// costs at most the shards that were in flight. The same addressing
+// means sweeps sharing sweep points — across jobs, restarts or tenants
+// of one store — compute each shared shard exactly once.
 package main
 
 import (
@@ -58,7 +69,10 @@ import (
 	"syscall"
 	"time"
 
+	"path/filepath"
+
 	"repro/internal/dispatch"
+	"repro/internal/journal"
 	"repro/internal/scenario"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -87,6 +101,8 @@ var (
 		"shard lease deadline; a worker silent this long after taking a shard has it requeued")
 	shardAttempts = flag.Int("shard-attempts", 5,
 		"lease attempts per shard before its job fails (requeues from expiry or worker errors consume the budget)")
+	resume = flag.Bool("resume", true,
+		"replay journaled in-flight sweeps at startup (journaling needs -store-dir and -dispatch-listen)")
 )
 
 // newLogger builds the slog logger the -log flag asks for.
@@ -161,11 +177,28 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		// With a store, the coordinator journals every dispatched job
+		// under the store dir and publishes each accepted shard result by
+		// content address — which is what makes a kill -9 mid-sweep cost
+		// at most the shards in flight.
+		var jn *journal.Journal
+		if st != nil {
+			jn, err = journal.Open(filepath.Join(*storeDir, "journal"), log)
+			if err != nil {
+				return err
+			}
+			// Scripted callers (scripts/cluster-e2e.sh) parse this line to
+			// assert resume; keep the format stable.
+			fmt.Printf("midas-serve journal: %d interrupted job(s) recovered from %s\n",
+				jn.Len(), filepath.Join(*storeDir, "journal"))
+		}
 		coord = dispatch.New(dispatch.Config{
 			LeaseTTL:    *leaseTTL,
 			MaxAttempts: *shardAttempts,
 			Telemetry:   reg,
 			Log:         log,
+			Store:       st,
+			Journal:     jn,
 		})
 		defer coord.Close()
 	} else if *minWorkers != 1 || *leaseTTL != 30*time.Second || *shardAttempts != 5 {
@@ -173,8 +206,17 @@ func run() error {
 	}
 	runFunc := scenario.RunResolved
 	if coord != nil {
+		// Recovered jobs must route through the coordinator even while no
+		// workers are polling yet: the store prefill answers their
+		// journaled-complete shards immediately, and only the missing
+		// shards wait for the fleet. The in-process fallback would instead
+		// re-run the whole sweep.
+		resumeSet := make(map[string]bool)
+		for _, e := range coord.Recovered() {
+			resumeSet[e.SpecHash] = true
+		}
 		runFunc = func(ctx context.Context, sc scenario.Scenario, spec scenario.Spec, opts scenario.RunOptions) (scenario.Result, error) {
-			if spec.ExpandedRuns() > 1 && coord.LiveWorkers() >= *minWorkers {
+			if (spec.ExpandedRuns() > 1 && coord.LiveWorkers() >= *minWorkers) || resumeSet[spec.CanonicalHash()] {
 				return coord.Run(ctx, sc, spec, opts)
 			}
 			return scenario.RunResolved(ctx, sc, spec, opts)
@@ -192,6 +234,23 @@ func run() error {
 		Log:            log,
 		Run:            runFunc,
 	})
+	// Replay journaled half-finished sweeps: each recovered entry is
+	// re-admitted as a fresh job that routes through the coordinator,
+	// where the store prefill answers the already-published shards and
+	// only the missing ones wait for the fleet.
+	if *resume && coord != nil {
+		for _, e := range coord.Recovered() {
+			jst, rerr := svc.Resume(e.Spec)
+			if rerr != nil {
+				log.Warn("journaled job not re-admitted",
+					"spec_hash", e.SpecHash, "scenario", e.Scenario, "error", rerr.Error())
+				continue
+			}
+			log.Info("journaled job re-admitted",
+				"job", jst.ID, "spec_hash", e.SpecHash, "scenario", e.Scenario,
+				"shards", len(e.Shards), "journaled_done", e.DoneCount())
+		}
+	}
 	handler := svc.Handler()
 	if *pprofOn {
 		mux := http.NewServeMux()

@@ -33,14 +33,17 @@ package dispatch
 
 import (
 	"container/heap"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
 	"sync"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 
 	"context"
@@ -77,6 +80,21 @@ type Config struct {
 	Telemetry *telemetry.Registry
 	// Log receives lease/requeue lifecycle lines; nil discards them.
 	Log *slog.Logger
+	// Store, when non-nil, is the durable content-addressed store every
+	// accepted shard result is published to, keyed by the shard spec's
+	// CanonicalHash, and consulted before enqueueing: a shard whose
+	// result already verifies on disk is recovered instead of leased
+	// (midas_shards_recovered_total), so sweep points shared across
+	// jobs, tenants and coordinator restarts execute exactly once.
+	Store *store.Store
+	// Journal, when non-nil, records every dispatched job's resolved
+	// spec plus per-shard completion pointers under the store's
+	// crash-safe write discipline; New loads its surviving entries and
+	// exposes them via Recovered so midas-serve can re-admit
+	// half-finished sweeps after a restart (midas_jobs_resumed_total).
+	// Pair it with Store — the journal names shard results, the store
+	// holds them.
+	Journal *journal.Journal
 }
 
 func (c Config) leaseTTL() time.Duration {
@@ -149,9 +167,12 @@ const (
 
 // shard is one expanded run of a dispatched job.
 type shard struct {
-	job     *dJob
-	index   int
-	spec    scenario.Spec
+	job   *dJob
+	index int
+	spec  scenario.Spec
+	// hash is the shard spec's content address — the store key its
+	// result is published under ("" when the coordinator has no store).
+	hash    string
 	state   shardState
 	readyAt time.Time // earliest next lease (requeue backoff)
 	// attempts counts lease grants; at cfg.maxAttempts() the next
@@ -176,6 +197,7 @@ type dJob struct {
 	id       string
 	scName   string
 	spec     scenario.Spec
+	specHash string // CanonicalHash of spec; "" when neither store nor journal is configured
 	shards   []*shard
 	results  []scenario.Result
 	opts     scenario.RunOptions
@@ -220,9 +242,15 @@ type Coordinator struct {
 	tel   *instruments
 	log   *slog.Logger
 	nonce string // distinguishes this coordinator's lease ids across restarts
+	// recovered snapshots the journal entries that survived the previous
+	// incarnation, loaded once at New and immutable after (Recovered).
+	recovered []journal.Entry
 
-	mu        sync.Mutex
-	jobs      map[string]*dJob
+	mu   sync.Mutex
+	jobs map[string]*dJob
+	// resumable tracks which recovered spec hashes have not yet been
+	// re-dispatched; the first Run of each counts midas_jobs_resumed_total.
+	resumable map[string]bool
 	pending   pendingHeap
 	leases    map[string]*lease
 	retired   map[string]string // recently dead lease ids -> why (completion classification)
@@ -251,19 +279,39 @@ func New(cfg Config) *Coordinator {
 		reg = telemetry.NewRegistry()
 	}
 	c := &Coordinator{
-		cfg:     cfg,
-		log:     log,
-		nonce:   fmt.Sprintf("%x", time.Now().UnixNano()),
-		jobs:    make(map[string]*dJob),
-		leases:  make(map[string]*lease),
-		retired: make(map[string]string),
-		workers: make(map[string]time.Time),
-		stop:    make(chan struct{}),
+		cfg:       cfg,
+		log:       log,
+		nonce:     fmt.Sprintf("%x", time.Now().UnixNano()),
+		jobs:      make(map[string]*dJob),
+		resumable: make(map[string]bool),
+		leases:    make(map[string]*lease),
+		retired:   make(map[string]string),
+		workers:   make(map[string]time.Time),
+		stop:      make(chan struct{}),
+	}
+	if cfg.Journal != nil {
+		c.recovered = cfg.Journal.Entries()
+		for _, e := range c.recovered {
+			c.resumable[e.SpecHash] = true
+			log.Info("dispatch journal entry recovered",
+				"spec_hash", e.SpecHash, "scenario", e.Scenario,
+				"shards", len(e.Shards), "journaled_done", e.DoneCount())
+		}
 	}
 	c.tel = newInstruments(reg, c)
 	c.stopped.Add(1)
 	go c.sweeper()
 	return c
+}
+
+// Recovered returns the journal entries that survived the previous
+// coordinator incarnation — half-finished sweeps awaiting
+// re-dispatch. midas-serve re-admits each at startup; the snapshot is
+// taken once at New and never changes.
+func (c *Coordinator) Recovered() []journal.Entry {
+	out := make([]journal.Entry, len(c.recovered))
+	copy(out, c.recovered)
+	return out
 }
 
 // Close stops the sweeper and fails every in-flight job. Idempotent.
@@ -299,31 +347,127 @@ func (c *Coordinator) Run(ctx context.Context, sc scenario.Scenario, spec scenar
 	}
 	shardSpecs := spec.Shards()
 
+	// The store/journal prefill does disk I/O, so it runs before the
+	// coordinator lock; a cheap closed pre-check keeps a shutting-down
+	// coordinator from journaling jobs it will never run.
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return scenario.Result{}, ErrClosed
+	}
+
+	// Content-address every shard and consult the store: a shard whose
+	// result already verifies on disk — published by a previous job, a
+	// previous coordinator incarnation, or another tenant of the same
+	// store — is born done instead of leased.
+	var specHash string
+	var hashes []string
+	var prefilled []*scenario.Result
+	nRecovered := 0
+	if c.cfg.Store != nil || c.cfg.Journal != nil {
+		specHash = spec.CanonicalHash()
+		hashes = make([]string, len(shardSpecs))
+		for i, ts := range shardSpecs {
+			hashes[i] = ts.CanonicalHash()
+		}
+	}
+	if c.cfg.Store != nil {
+		prefilled = make([]*scenario.Result, len(shardSpecs))
+		for i, h := range hashes {
+			payload, ok := c.cfg.Store.Get(h)
+			if !ok {
+				continue
+			}
+			res, derr := decodeShardResult(payload)
+			if derr != nil {
+				// Verified bytes that don't decode as a result were
+				// persisted by a buggy or future version: quarantine and
+				// recompute, never assemble them.
+				c.log.Warn("stored shard result undecodable, quarantined",
+					"shard_hash", h, "error", derr.Error())
+				c.cfg.Store.Quarantine(h)
+				continue
+			}
+			prefilled[i] = &res
+			nRecovered++
+		}
+	}
+	if c.cfg.Journal != nil {
+		done := make([]bool, len(shardSpecs))
+		for i := range done {
+			done[i] = prefilled != nil && prefilled[i] != nil
+		}
+		if jerr := c.cfg.Journal.Record(journal.Entry{
+			SpecHash: specHash,
+			Scenario: sc.Name(),
+			Spec:     spec,
+			Shards:   hashes,
+			Done:     done,
+		}); jerr != nil {
+			// The journal is a resume hint, not a correctness dependency:
+			// losing it costs recomputation after a crash, nothing else.
+			c.log.Warn("dispatch journal write failed", "spec_hash", specHash, "error", jerr.Error())
+		}
+	}
+
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		if c.cfg.Journal != nil {
+			// The job was journaled but never enqueued; don't leave a
+			// stray entry that a future restart would resurrect.
+			_ = c.cfg.Journal.Remove(specHash)
+		}
 		return scenario.Result{}, ErrClosed
 	}
 	c.nextJob++
 	j := &dJob{
-		id:      fmt.Sprintf("d%06d", c.nextJob),
-		scName:  sc.Name(),
-		spec:    spec,
-		results: make([]scenario.Result, len(shardSpecs)),
-		opts:    opts,
-		total:   len(shardSpecs),
-		done:    make(chan struct{}),
+		id:       fmt.Sprintf("d%06d", c.nextJob),
+		scName:   sc.Name(),
+		spec:     spec,
+		specHash: specHash,
+		results:  make([]scenario.Result, len(shardSpecs)),
+		opts:     opts,
+		total:    len(shardSpecs),
+		done:     make(chan struct{}),
+	}
+	resumed := c.resumable[specHash]
+	if resumed {
+		delete(c.resumable, specHash)
 	}
 	now := time.Now()
 	j.shards = make([]*shard, len(shardSpecs))
 	for i, ts := range shardSpecs {
 		sh := &shard{job: j, index: i, spec: ts, readyAt: now, heapIdx: -1}
+		if hashes != nil {
+			sh.hash = hashes[i]
+		}
 		j.shards[i] = sh
+		if prefilled != nil && prefilled[i] != nil {
+			sh.state = shardDone
+			j.results[i] = *prefilled[i]
+			j.finished++
+			c.tel.recovered.Inc()
+			continue
+		}
 		heap.Push(&c.pending, sh)
+	}
+	if resumed {
+		c.tel.resumed.Inc()
+	}
+	if j.finished == j.total {
+		// Every shard answered from the store: the job is born done.
+		close(j.done)
 	}
 	c.jobs[j.id] = j
 	c.mu.Unlock()
-	c.log.Info("dispatch job enqueued", "dispatch_job", j.id, "scenario", j.scName, "shards", j.total)
+	c.log.Info("dispatch job enqueued",
+		"dispatch_job", j.id, "scenario", j.scName, "shards", j.total,
+		"recovered_shards", nRecovered, "resumed", resumed)
+	if nRecovered > 0 && opts.OnProgress != nil {
+		opts.OnProgress(nRecovered, len(shardSpecs))
+	}
 
 	select {
 	case <-j.done:
@@ -337,11 +481,37 @@ func (c *Coordinator) Run(ctx context.Context, sc scenario.Scenario, spec scenar
 	err := j.err
 	delete(c.jobs, j.id)
 	c.mu.Unlock()
+	if c.cfg.Journal != nil && !errors.Is(err, ErrClosed) {
+		// Terminal for good — done, failed, or cancelled — so nothing
+		// remains to resume. A coordinator-close failure is the one
+		// exception: that is the restart case the journal exists for, so
+		// its entry stays for the next incarnation.
+		if jerr := c.cfg.Journal.Remove(j.specHash); jerr != nil {
+			c.log.Warn("dispatch journal remove failed", "spec_hash", j.specHash, "error", jerr.Error())
+		}
+	}
 	if err != nil {
 		return scenario.Result{}, err
 	}
 	// All shards accepted; results are no longer written, safe to read.
 	return scenario.Assemble(j.scName, spec, j.results)
+}
+
+// encodeShardResult/decodeShardResult are the store payload codec for
+// shard results — res.MarshalIndent, the same deterministic encoding
+// the serving layer persists job-level results with, so a single-run
+// spec's shard entry and its job entry are byte-identical under one
+// address.
+func encodeShardResult(res scenario.Result) ([]byte, error) {
+	return res.MarshalIndent()
+}
+
+func decodeShardResult(payload []byte) (scenario.Result, error) {
+	var res scenario.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return scenario.Result{}, err
+	}
+	return res, nil
 }
 
 // LiveWorkers counts workers whose last poll is within the worker TTL
@@ -456,11 +626,28 @@ func (c *Coordinator) completeLocked(leaseID, worker string, res *scenario.Resul
 	}
 	opts := j.opts
 	index := sh.index
-	// The progress callbacks run outside c.mu (they take the caller's
-	// locks — midas-serve's job table) but still serialized and
-	// monotonic: completions are applied one at a time under c.mu and
-	// the returned closure is invoked before the handler returns.
+	shardHash := sh.hash
+	specHash := j.specHash
+	// The store publish, journal mark and progress callbacks all run
+	// outside c.mu (the first two do fsync I/O, the callbacks take the
+	// caller's locks — midas-serve's job table) but still serialized
+	// and monotonic: completions are applied one at a time under c.mu
+	// and the returned closure is invoked before the handler returns.
 	after = func() {
+		if c.cfg.Store != nil && shardHash != "" {
+			// Idempotent by content address: a duplicate publish after a
+			// requeue race rewrites the identical bytes.
+			if payload, perr := encodeShardResult(*res); perr != nil {
+				c.log.Warn("shard result encode failed", "shard_hash", shardHash, "error", perr.Error())
+			} else if perr := c.cfg.Store.Put(shardHash, payload); perr != nil {
+				c.log.Warn("shard result publish failed", "shard_hash", shardHash, "error", perr.Error())
+			}
+		}
+		if c.cfg.Journal != nil && specHash != "" {
+			if jerr := c.cfg.Journal.MarkDone(specHash, index); jerr != nil {
+				c.log.Warn("dispatch journal mark failed", "spec_hash", specHash, "shard", index, "error", jerr.Error())
+			}
+		}
 		if opts.OnProgress != nil {
 			opts.OnProgress(finished, total)
 		}

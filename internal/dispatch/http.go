@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -33,8 +34,9 @@ type ShardLease struct {
 	Spec     scenario.Spec `json:"spec"`
 }
 
-// LeaseResponse carries the granted batch (possibly empty) and the
-// coordinator's suggested next-poll delay when it is.
+// LeaseResponse carries the granted batch, possibly empty. An empty
+// grant carries no poll hint: the worker re-polls on its own idle
+// interval, and that polling doubles as its liveness heartbeat.
 type LeaseResponse struct {
 	Leases []ShardLease `json:"leases"`
 }
@@ -73,8 +75,7 @@ func (c *Coordinator) Handler() http.Handler {
 
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req LeaseRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad lease request: %v", err)
+	if err := decodeBody(w, r, &req); err != nil {
 		return
 	}
 	if req.Worker == "" {
@@ -90,8 +91,10 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	c.workers[req.Worker] = now
 	granted := c.grantLocked(req.Worker, req.Max, now)
-	c.mu.Unlock()
-
+	// Snapshot every wire and log field while the lock is held: the
+	// moment it drops, the sweeper may expire a lease, requeue its
+	// shard and re-grant it, mutating sh.attempts (and the rest of the
+	// lease bookkeeping) under a concurrent reader.
 	resp := LeaseResponse{Leases: make([]ShardLease, 0, len(granted))}
 	for _, l := range granted {
 		resp.Leases = append(resp.Leases, ShardLease{
@@ -102,9 +105,13 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 			Deadline: l.deadline,
 			Spec:     l.sh.spec,
 		})
+	}
+	c.mu.Unlock()
+
+	for _, sl := range resp.Leases {
 		c.log.Info("dispatch shard leased",
-			"lease", l.id, "worker", req.Worker,
-			"dispatch_job", l.sh.job.id, "shard", l.sh.index, "attempt", l.sh.attempts)
+			"lease", sl.ID, "worker", req.Worker,
+			"dispatch_job", sl.Job, "shard", sl.Shard, "attempt", sl.Attempt)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -112,8 +119,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	leaseID := r.PathValue("id")
 	var req CompleteRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad completion: %v", err)
+	if err := decodeBody(w, r, &req); err != nil {
 		return
 	}
 	now := time.Now()
@@ -133,6 +139,30 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, c.StatusSnapshot())
+}
+
+// maxBodyBytes caps dispatch POST bodies, mirroring the public API's
+// 1MiB spec cap: a shard result is a bounded summary (series, metrics,
+// quantile sketches — never raw samples), so anything larger is a bug
+// or abuse, not data.
+const maxBodyBytes = 1 << 20
+
+// decodeBody decodes a capped JSON request body into v, writing the
+// error response (413 for an oversized body, 400 otherwise) itself;
+// a non-nil return means the handler should stop.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	err := json.NewDecoder(body).Decode(v)
+	if err == nil {
+		return nil
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		return err
+	}
+	httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	return err
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -12,6 +12,12 @@ type instruments struct {
 	leased      *telemetry.Counter    // midas_shards_leased_total
 	requeues    *telemetry.CounterVec // midas_shard_requeues_total{reason}
 	completions *telemetry.CounterVec // midas_shards_completed_total{status}
+	// recovered counts shards answered from the durable store without
+	// leasing — journal resume after a restart or sweep-point reuse
+	// across jobs; cluster-e2e's restart phase asserts recovered +
+	// accepted = shard count, the "zero re-execution" proof.
+	recovered *telemetry.Counter // midas_shards_recovered_total
+	resumed   *telemetry.Counter // midas_jobs_resumed_total
 	// leaseLatency observes grant -> accepted completion: the remote
 	// run + both HTTP hops, the distribution that sizes LeaseTTL.
 	leaseLatency *telemetry.Histogram
@@ -29,6 +35,10 @@ func newInstruments(reg *telemetry.Registry, c *Coordinator) *instruments {
 			"Shards returned to the queue, by reason (expired, failed).", "reason"),
 		completions: reg.NewCounterVec("midas_shards_completed_total",
 			"Shard completion reports, by status (accepted, requeued, duplicate, stale).", "status"),
+		recovered: reg.NewCounter("midas_shards_recovered_total",
+			"Shards answered from the durable store without leasing (journal resume or cross-job sweep-point reuse)."),
+		resumed: reg.NewCounter("midas_jobs_resumed_total",
+			"Journaled half-finished jobs re-dispatched after a coordinator restart."),
 		leaseLatency: reg.NewHistogram("midas_shard_lease_seconds",
 			"Time from lease grant to accepted completion.", leaseBuckets),
 	}

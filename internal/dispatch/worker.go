@@ -126,7 +126,15 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 			}
 			continue
 		}
-		for _, l := range resp.Leases {
+		for li, l := range resp.Leases {
+			if ctx.Err() != nil {
+				// Shutdown mid-batch: abandon the remaining leases — their
+				// TTLs expire and the shards requeue to live workers —
+				// instead of computing a whole batch nobody is waiting for.
+				log.Info("worker abandoning remaining leases on shutdown",
+					"worker", cfg.ID, "abandoned", len(resp.Leases)-li)
+				return nil
+			}
 			spec := l.Spec
 			if cfg.Parallelism > 0 {
 				spec.Parallelism = cfg.Parallelism
@@ -142,9 +150,11 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 			} else {
 				req.Result = &res
 			}
-			// Publish with the background context: an in-flight result at
-			// shutdown is worth the one extra round-trip, and completion is
-			// idempotent if the lease already moved on.
+			// Publish detached from ctx: an in-flight result at shutdown is
+			// worth the one extra round-trip, and completion is idempotent
+			// if the lease already moved on. The detached context carries
+			// its own short deadline so shutdown latency stays bounded even
+			// against a hung coordinator.
 			status, pubErr := completeWithRetry(client, cfg.Coordinator, l.ID, req)
 			if pubErr != nil {
 				log.Warn("worker completion failed",
@@ -166,9 +176,18 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	}
 }
 
+// completePublishTimeout bounds each attempt of the final completion
+// publish. The publish deliberately ignores the worker's run context
+// (an in-flight result at shutdown must still be reported), so this
+// deadline is the only thing standing between a hung coordinator and
+// an unbounded shutdown. A var so the shutdown-latency test can
+// tighten it.
+var completePublishTimeout = 5 * time.Second
+
 // completeWithRetry publishes one completion with a short retry on
-// transport failure. Safe to repeat: a re-delivered completion lands
-// as "duplicate" or "stale" and is discarded.
+// transport failure, each attempt under its own detached
+// completePublishTimeout deadline. Safe to repeat: a re-delivered
+// completion lands as "duplicate" or "stale" and is discarded.
 func completeWithRetry(client *http.Client, base, leaseID string, req CompleteRequest) (string, error) {
 	var resp CompleteResponse
 	var err error
@@ -176,7 +195,9 @@ func completeWithRetry(client *http.Client, base, leaseID string, req CompleteRe
 		if attempt > 0 {
 			time.Sleep(wait)
 		}
-		err = postJSON(context.Background(), client, base+"/v1/shards/"+leaseID+"/complete", req, &resp)
+		pctx, cancel := context.WithTimeout(context.Background(), completePublishTimeout)
+		err = postJSON(pctx, client, base+"/v1/shards/"+leaseID+"/complete", req, &resp)
+		cancel()
 		if err == nil {
 			return resp.Status, nil
 		}

@@ -1,0 +1,289 @@
+// Package journal persists the dispatch coordinator's in-flight job
+// state so a restarted coordinator can resume half-finished sweeps
+// instead of discarding them. One entry per dispatched job, keyed by
+// the resolved spec's content address (scenario.Spec.CanonicalHash):
+// the resolved spec itself, the content address of every shard, and a
+// per-shard completed flag. The entry is written when the job is
+// dispatched, rewritten as shard results reach the durable store, and
+// removed when the job ends for good (done, failed, or cancelled) —
+// but kept when the coordinator shuts down with the job still open,
+// which is exactly the state a restart wants to see.
+//
+// Layout under the journal directory (midas-serve puts it inside the
+// store dir, where the store's warm scan ignores it):
+//
+//	<dir>/<spec-hash>.json   one entry per open dispatched job
+//	<dir>/tmp/               in-flight writes (swept at Open)
+//
+// Writes follow the store's write-temp→fsync→rename discipline, so a
+// crash at any instant leaves either the previous entry or the new one
+// — never a torn file reachable under its final name.
+//
+// The Done flags are advisory: recovery consults the durable store
+// itself for each shard address (a publish that landed after the last
+// journal write is still honored), so a stale journal can only cost
+// recomputation, never correctness.
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/scenario"
+	"repro/internal/store"
+)
+
+// Entry is one journaled dispatched job.
+type Entry struct {
+	// SpecHash is the resolved spec's content address — the entry's
+	// identity and its file name.
+	SpecHash string `json:"spec_hash"`
+	// Scenario is the registered scenario name, for re-admission.
+	Scenario string `json:"scenario"`
+	// Spec is the resolved spec, verbatim, so a restarted process can
+	// re-dispatch the job without the original submission.
+	Spec scenario.Spec `json:"spec"`
+	// Shards lists each shard spec's content address — the durable-store
+	// key its result is published under — in shard order. Empty when the
+	// coordinator ran without a store (nothing to recover from).
+	Shards []string `json:"shards,omitempty"`
+	// Done[i] records that shard i's result had reached the store when
+	// the journal was last rewritten (advisory; see the package comment).
+	Done []bool `json:"done,omitempty"`
+}
+
+func (e Entry) clone() Entry {
+	cp := e
+	cp.Shards = append([]string(nil), e.Shards...)
+	cp.Done = append([]bool(nil), e.Done...)
+	return cp
+}
+
+// DoneCount counts the shards recorded complete.
+func (e Entry) DoneCount() int {
+	n := 0
+	for _, d := range e.Done {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// Journal is a crash-safe on-disk journal of open dispatched jobs. All
+// methods are safe for concurrent use.
+type Journal struct {
+	dir string
+	log *slog.Logger
+
+	mu      sync.Mutex
+	entries map[string]*Entry
+}
+
+// Open creates the journal directory if absent, sweeps interrupted
+// writes, and loads every readable entry. A file that does not parse
+// as a consistent entry is discarded with a warning — the shard
+// results it pointed at are still in the store, only the resume hint
+// is lost.
+func Open(dir string, log *slog.Logger) (*Journal, error) {
+	if dir == "" {
+		return nil, errors.New("journal: dir is required")
+	}
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	j := &Journal{dir: dir, log: log, entries: make(map[string]*Entry)}
+	if err := os.MkdirAll(j.tmpDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	tmps, err := os.ReadDir(j.tmpDir())
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	for _, de := range tmps {
+		_ = os.Remove(filepath.Join(j.tmpDir(), de.Name()))
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		hash := strings.TrimSuffix(name, ".json")
+		if !store.ValidHash(hash) {
+			j.discard(path, "file name is not a content address")
+			continue
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			j.discard(path, rerr.Error())
+			continue
+		}
+		var e Entry
+		if derr := json.Unmarshal(data, &e); derr != nil {
+			j.discard(path, derr.Error())
+			continue
+		}
+		if verr := e.validate(); verr != nil {
+			j.discard(path, verr.Error())
+			continue
+		}
+		if e.SpecHash != hash {
+			j.discard(path, "entry hash does not match its file name")
+			continue
+		}
+		j.entries[hash] = &e
+	}
+	return j, nil
+}
+
+func (e Entry) validate() error {
+	if !store.ValidHash(e.SpecHash) {
+		return fmt.Errorf("journal: entry spec hash %q is not a content address", e.SpecHash)
+	}
+	if e.Scenario == "" {
+		return errors.New("journal: entry names no scenario")
+	}
+	if len(e.Done) != len(e.Shards) {
+		return fmt.Errorf("journal: entry has %d done flags for %d shards", len(e.Done), len(e.Shards))
+	}
+	return nil
+}
+
+func (j *Journal) tmpDir() string          { return filepath.Join(j.dir, "tmp") }
+func (j *Journal) path(hash string) string { return filepath.Join(j.dir, hash+".json") }
+
+func (j *Journal) discard(path, why string) {
+	j.log.Warn("journal entry discarded", "path", path, "reason", why)
+	_ = os.Remove(path)
+}
+
+// Record writes (or overwrites) the entry for e.SpecHash. Called when
+// a job is dispatched; re-recording an already-journaled spec replaces
+// its entry with the fresh shard/done view.
+func (j *Journal) Record(e Entry) error {
+	if err := e.validate(); err != nil {
+		return err
+	}
+	cp := e.clone()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.writeLocked(&cp); err != nil {
+		return err
+	}
+	j.entries[cp.SpecHash] = &cp
+	return nil
+}
+
+// MarkDone records that shard's result reached the store. A missing
+// entry is a no-op, not an error: the job may have already finished
+// and been removed by the time a late publish lands.
+func (j *Journal) MarkDone(specHash string, shard int) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.entries[specHash]
+	if !ok {
+		return nil
+	}
+	if shard < 0 || shard >= len(e.Done) {
+		return fmt.Errorf("journal: shard %d out of range for %s (%d shards)", shard, specHash, len(e.Done))
+	}
+	if e.Done[shard] {
+		return nil
+	}
+	e.Done[shard] = true
+	return j.writeLocked(e)
+}
+
+// Remove deletes the entry for specHash — the job is terminal for good
+// and nothing remains to resume. Removing an absent entry is a no-op.
+func (j *Journal) Remove(specHash string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.entries[specHash]; !ok {
+		return nil
+	}
+	delete(j.entries, specHash)
+	if err := os.Remove(j.path(specHash)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return syncDir(j.dir)
+}
+
+// Entries snapshots the open entries, sorted by spec hash.
+func (j *Journal) Entries() []Entry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Entry, 0, len(j.entries))
+	for _, e := range j.entries {
+		out = append(out, e.clone())
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].SpecHash < out[b].SpecHash })
+	return out
+}
+
+// Len reports how many jobs are journaled open.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// writeLocked persists e with the store's crash-safe discipline:
+// temp file in tmp/, fsync, rename into place, sync the directory.
+func (j *Journal) writeLocked(e *Entry) error {
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	f, err := os.CreateTemp(j.tmpDir(), e.SpecHash+".*")
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	tmpName := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := os.Rename(tmpName, j.path(e.SpecHash)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("journal: %w", err)
+	}
+	return syncDir(j.dir)
+}
+
+// syncDir fsyncs a directory so a rename or remove inside it is
+// durable before the caller proceeds.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}

@@ -42,6 +42,24 @@ func (s Spec) Shards() []Spec {
 	return tasks
 }
 
+// ShardHashes returns the content address (CanonicalHash) of every
+// shard of a resolved spec, in shard order — the keys a dispatch
+// coordinator publishes shard results under in the durable store and
+// consults before enqueueing. Because Parallelism never enters a hash
+// and a shard spec is fully resolved (no sweep, one replicate, its own
+// derived seed), two jobs whose sweeps share a point address the same
+// shard result regardless of pool widths or which process computed it;
+// a single-run spec's one shard even shares its address with the
+// spec's own job-level entry.
+func (s Spec) ShardHashes() []string {
+	shards := s.Shards()
+	hashes := make([]string, len(shards))
+	for i, ts := range shards {
+		hashes[i] = ts.CanonicalHash()
+	}
+	return hashes
+}
+
 // Assemble inverts Shards: the ordered per-shard results of a resolved
 // spec fold into the exact Result a single-process RunResolved returns
 // — replicate groups merged into {mean, stddev, ci95, n} summaries and

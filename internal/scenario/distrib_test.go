@@ -77,6 +77,78 @@ func TestShardsAssembleMatchesRunResolved(t *testing.T) {
 	}
 }
 
+// TestShardHashesAddressSharedSweepPoints pins the properties the
+// dispatch layer's shard-level store caching rests on: shard addresses
+// are pairwise distinct within a job, identical across jobs at shared
+// sweep points, independent of the job's parallelism, and — for a
+// single sweep point — identical to the address of submitting that
+// point directly as its own spec.
+func TestShardHashesAddressSharedSweepPoints(t *testing.T) {
+	sc, err := Find("fig12-spatial-reuse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolve := func(o Spec) Spec {
+		t.Helper()
+		spec, err := Resolve(sc, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spec
+	}
+	a := resolve(Spec{Topologies: 2, Seed: 9, Replicates: 2, Sweep: map[string][]float64{"seed": {51, 52}}})
+	hashesA := a.ShardHashes()
+	if want := a.ExpandedRuns(); len(hashesA) != want {
+		t.Fatalf("ShardHashes returned %d hashes, ExpandedRuns says %d", len(hashesA), want)
+	}
+	seen := map[string]bool{}
+	for i, h := range hashesA {
+		if seen[h] {
+			t.Fatalf("shard %d repeats address %s", i, h)
+		}
+		seen[h] = true
+	}
+
+	// A job at another parallelism addresses the same shards.
+	wide := a
+	wide.Parallelism = 7
+	for i, h := range wide.ShardHashes() {
+		if h != hashesA[i] {
+			t.Fatalf("parallelism changed shard %d address: %s vs %s", i, h, hashesA[i])
+		}
+	}
+
+	// A different sweep sharing the seed-52 point shares exactly that
+	// point's replicate shards (shard order: sweep values in listed
+	// order, replicates innermost).
+	b := resolve(Spec{Topologies: 2, Seed: 9, Replicates: 2, Sweep: map[string][]float64{"seed": {52, 53}}})
+	hashesB := b.ShardHashes()
+	if hashesB[0] != hashesA[2] || hashesB[1] != hashesA[3] {
+		t.Fatalf("shared sweep point not shared: B[0:2]=%v, A[2:4]=%v", hashesB[:2], hashesA[2:4])
+	}
+	if seen[hashesB[2]] || seen[hashesB[3]] {
+		t.Fatal("unshared sweep point collided with job A's shards")
+	}
+
+	// A single-run spec is its own one shard: publishing that shard is
+	// publishing the job-level result.
+	single := resolve(Spec{Topologies: 2, Seed: 9})
+	if hs := single.ShardHashes(); len(hs) != 1 || hs[0] != single.CanonicalHash() {
+		t.Fatalf("single-run spec shard hashes %v, want exactly its own hash %s", hs, single.CanonicalHash())
+	}
+
+	// And the sweep point submitted directly addresses the same result
+	// as the swept job's replicate-0 shard for that point.
+	direct := resolve(Spec{Topologies: 2, Seed: 51})
+	shardSpecs := a.Shards()
+	if shardSpecs[0].Seed != direct.Seed {
+		t.Fatalf("shard 0 seed %d, direct spec seed %d", shardSpecs[0].Seed, direct.Seed)
+	}
+	if hashesA[0] != direct.CanonicalHash() {
+		t.Fatalf("replicate-0 shard address %s differs from the direct spec's %s", hashesA[0], direct.CanonicalHash())
+	}
+}
+
 // TestAssembleRejectsWrongShardCount: a distributed run that lost (or
 // duplicated) a shard must fail loudly, never assemble a partial
 // result.

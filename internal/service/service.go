@@ -321,6 +321,19 @@ func (s *Service) Telemetry() *telemetry.Registry { return s.tel.reg }
 // marked Cached — or enqueues it for the worker pool. The returned
 // snapshot carries the job id to poll.
 func (s *Service) Submit(overrides scenario.Spec) (JobStatus, error) {
+	return s.submitLogged(overrides, "job submitted")
+}
+
+// Resume re-admits a half-finished sweep recovered from the dispatch
+// journal at startup. It is Submit with provenance: the spec arrives
+// already resolved (Resolve is idempotent on a resolved spec, so the
+// shared core applies unchanged) and the admission log line says
+// "resumed" so an operator can tell a replay from client traffic.
+func (s *Service) Resume(spec scenario.Spec) (JobStatus, error) {
+	return s.submitLogged(spec, "job resumed")
+}
+
+func (s *Service) submitLogged(overrides scenario.Spec, event string) (JobStatus, error) {
 	start := time.Now()
 	st, err := s.submit(overrides)
 	lat := time.Since(start).Seconds()
@@ -345,7 +358,7 @@ func (s *Service) Submit(overrides scenario.Spec) (JobStatus, error) {
 		s.tel.cacheMissLat.Observe(lat)
 	}
 	if err == nil {
-		s.log.Info("job submitted",
+		s.log.Info(event,
 			"job", st.ID, "scenario", st.Scenario, "spec_hash", st.SpecHash,
 			"state", string(st.State), "cached", st.Cached, "coalesced", st.Coalesced)
 	}

@@ -938,3 +938,51 @@ func TestObserveRunTimeEWMA(t *testing.T) {
 		t.Fatalf("EWMA after 10,20 = %v, want 13", got)
 	}
 }
+
+// TestResumeReadmitsResolvedSpec: Resume is Submit for a journal
+// entry's already-resolved spec — it admits, runs and caches exactly
+// like a client submission, so a sweep replayed at startup is
+// indistinguishable from one a client asked for.
+func TestResumeReadmitsResolvedSpec(t *testing.T) {
+	run, calls := countingRun()
+	s := New(Config{Workers: 1, Run: run})
+	defer mustShutdown(t, s)
+
+	sc, err := scenario.Find("fig12-spatial-reuse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	overrides := scenario.Spec{
+		Scenario: "fig12-spatial-reuse", Topologies: 2, Seed: 41, Replicates: 2,
+		Sweep: map[string][]float64{"seed": {1, 2}},
+	}
+	resolved, err := scenario.Resolve(sc, overrides)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := s.Resume(resolved)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if st.Cached {
+		t.Fatal("resumed job served from cache in a fresh service")
+	}
+	done := waitDone(t, s, st.ID)
+	if done.State != StateDone {
+		t.Fatalf("resumed job ended %s (%s)", done.State, done.Error)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("engine ran %d times for one resume, want 1", n)
+	}
+
+	// A client resubmitting the same sweep lands on the resumed job's
+	// cache entry: same hash, born done.
+	again, err := s.Submit(overrides)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.SpecHash != st.SpecHash {
+		t.Fatalf("resubmission after resume not cached: %+v (resumed hash %s)", again, st.SpecHash)
+	}
+}

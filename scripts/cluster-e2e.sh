@@ -16,6 +16,18 @@
 # `midas-sim -spec` run single-process on the same spec (modulo the
 # meta tool line, exactly like serve-smoke).
 #
+# Phase 3 — kill -9 the coordinator mid-sweep: boot a coordinator with
+# a store (which turns on the dispatch journal under <store>/journal),
+# submit a sweep, SIGKILL the whole server process once at least one
+# shard result is durably published, and restart it over the same
+# store dir. The restart must replay the journaled job
+# (midas_jobs_resumed_total = 1), answer every already-published shard
+# from the store without re-execution (post-restart accepted
+# completions = shards - midas_shards_recovered_total), byte-match the
+# single-process golden, and then serve a second sweep sharing a sweep
+# point with the first via store hits. The journal must be empty after
+# both jobs finish.
+#
 # Environment knobs:
 #   CLUSTER_E2E_FULL  non-empty = full scale (nightly); default is the
 #                     short CI mode (make cluster-e2e)
@@ -30,9 +42,9 @@ set -eu
 # shard's wall time (at any worker's parallelism), or healthy workers'
 # completions would arrive after their own leases expired.
 if [ -n "${CLUSTER_E2E_FULL:-}" ]; then
-    topos=16384 sweep='[70001, 70002, 70003]' reps=2 shards=6 lease_ttl=20s
+    topos=16384 sweep='[70001, 70002, 70003]' sweep3='[80001, 80002, 80003]' reps=2 shards=6 lease_ttl=20s
 else
-    topos=6144 sweep='[70001, 70002]' reps=2 shards=4 lease_ttl=6s
+    topos=6144 sweep='[70001, 70002]' sweep3='[80001, 80002]' reps=2 shards=4 lease_ttl=6s
 fi
 
 tmp=$(mktemp -d)
@@ -54,7 +66,8 @@ trap cleanup EXIT INT TERM
 
 fail() {
     echo "cluster-e2e: FAIL: $*" >&2
-    for log in serve.log worker-a.log worker-b.log; do
+    for log in serve.log serve-journal.log serve-restart.log \
+        worker-a.log worker-b.log worker-c.log worker-d.log; do
         [ -f "$tmp/$log" ] && tail -n 15 "$tmp/$log" | sed "s/^/cluster-e2e: $log: /" >&2
     done
     exit 1
@@ -79,6 +92,23 @@ scrape() {
 submit() {
     curl -fsS -X POST --data-binary @"$1" "http://$addr/v1/jobs" > "$2" \
         || fail "submission of $1 rejected"
+}
+
+# discover LOG PID -> parse the serve/dispatch discovery lines from a
+# freshly started midas-serve, setting addr and dispatch_addr.
+discover() {
+    addr=""
+    dispatch_addr=""
+    i=0
+    while [ $i -lt 100 ]; do
+        addr=$(sed -n 's#^midas-serve listening on http://##p' "$1" | head -n 1)
+        dispatch_addr=$(sed -n 's#^midas-serve dispatch listening on http://##p' "$1" | head -n 1)
+        [ -n "$addr" ] && [ -n "$dispatch_addr" ] && return 0
+        kill -0 "$2" 2>/dev/null || fail "server exited during startup ($1)"
+        sleep 0.1
+        i=$((i + 1))
+    done
+    fail "server never printed its listen addresses ($1)"
 }
 
 # wait_done JOB TIMEOUT_TICKS -> poll a job to done (0.1s ticks).
@@ -125,19 +155,7 @@ EOF
 "$tmp/midas-serve" -addr 127.0.0.1:0 -dispatch-listen 127.0.0.1:0 \
     -lease-ttl "$lease_ttl" -log off > "$tmp/serve.log" 2>&1 &
 serve_pid=$!
-addr=""
-dispatch_addr=""
-i=0
-while [ $i -lt 100 ]; do
-    addr=$(sed -n 's#^midas-serve listening on http://##p' "$tmp/serve.log" | head -n 1)
-    dispatch_addr=$(sed -n 's#^midas-serve dispatch listening on http://##p' "$tmp/serve.log" | head -n 1)
-    [ -n "$addr" ] && [ -n "$dispatch_addr" ] && break
-    kill -0 "$serve_pid" 2>/dev/null || fail "server exited during startup"
-    sleep 0.1
-    i=$((i + 1))
-done
-[ -n "$addr" ] || fail "server never printed its listen address"
-[ -n "$dispatch_addr" ] || fail "server never printed its dispatch address"
+discover "$tmp/serve.log" "$serve_pid"
 echo "cluster-e2e: coordinator at $addr (dispatch $dispatch_addr)"
 
 # ---------------------------------------------------------------------
@@ -238,10 +256,160 @@ kill -TERM "$serve_pid"
 wait "$serve_pid" || fail "coordinator exited non-zero on SIGTERM"
 serve_pid=""
 
+# ---------------------------------------------------------------------
+echo "cluster-e2e: phase 3: kill -9 the coordinator mid-sweep, resume from journal"
+
+store_dir="$tmp/store"
+cat > "$tmp/journal-spec.json" <<EOF
+{
+  "scenario": "fig12-spatial-reuse",
+  "topologies": $topos,
+  "seed": 80000,
+  "replicates": $reps,
+  "sweep": {"seed": $sweep3}
+}
+EOF
+# A second sweep sharing the seed-80002 point with journal-spec: its
+# $reps shared shards must come from the store, not from execution.
+cat > "$tmp/overlap-spec.json" <<EOF
+{
+  "scenario": "fig12-spatial-reuse",
+  "topologies": $topos,
+  "seed": 80000,
+  "replicates": $reps,
+  "sweep": {"seed": [80002, 80009]}
+}
+EOF
+"$tmp/midas-sim" -spec "$tmp/journal-spec.json" -format json -out "$tmp/journal-golden.json" \
+    || fail "midas-sim golden for the journal spec"
+
+"$tmp/midas-serve" -addr 127.0.0.1:0 -dispatch-listen 127.0.0.1:0 \
+    -store-dir "$store_dir" -lease-ttl "$lease_ttl" -log off > "$tmp/serve-journal.log" 2>&1 &
+serve_pid=$!
+discover "$tmp/serve-journal.log" "$serve_pid"
+echo "cluster-e2e: journaling coordinator at $addr (dispatch $dispatch_addr)"
+
+# The victim worker pattern again — parallelism 1, one shard per poll —
+# so the coordinator dies while most of the sweep is unfinished.
+"$tmp/midas-worker" -coordinator "http://$dispatch_addr" -id victim2 \
+    -parallelism 1 -max-batch 1 -poll 50ms > "$tmp/worker-c.log" 2>&1 &
+worker_a_pid=$!
+i=0
+while :; do
+    scrape
+    live=$(prom_value 'midas_workers_live')
+    [ "${live:-0}" = "1" ] && break
+    [ $i -lt 100 ] || fail "victim2 never registered (midas_workers_live=$live)"
+    sleep 0.1
+    i=$((i + 1))
+done
+
+submit "$tmp/journal-spec.json" "$tmp/journal-submit.json"
+echo "cluster-e2e: submitted $(json_field "$tmp/journal-submit.json" id) ($shards shards, journaled)"
+
+# Kill -9 the whole server process the moment at least one shard result
+# is durably published (accepted completions publish to the store
+# before the completion response).
+i=0
+while :; do
+    scrape
+    pre_accepted=$(prom_value 'midas_shards_completed_total{status="accepted"}')
+    [ -n "$pre_accepted" ] && [ "$pre_accepted" -ge 1 ] 2>/dev/null && break
+    [ $i -lt 1200 ] || fail "no shard completed before the coordinator kill"
+    sleep 0.05
+    i=$((i + 1))
+done
+kill -9 "$serve_pid" "$worker_a_pid"
+wait "$serve_pid" 2>/dev/null || true
+wait "$worker_a_pid" 2>/dev/null || true
+serve_pid="" worker_a_pid=""
+find "$store_dir/journal" -name '*.json' 2>/dev/null | sort > "$tmp/journal-precrash.txt"
+[ -s "$tmp/journal-precrash.txt" ] || fail "no journal entry survived the coordinator kill"
+echo "cluster-e2e: coordinator killed with SIGKILL after $pre_accepted accepted shard(s)"
+
+# Restart over the same store dir: the journal must replay the job.
+"$tmp/midas-serve" -addr 127.0.0.1:0 -dispatch-listen 127.0.0.1:0 \
+    -store-dir "$store_dir" -lease-ttl "$lease_ttl" -log off > "$tmp/serve-restart.log" 2>&1 &
+serve_pid=$!
+discover "$tmp/serve-restart.log" "$serve_pid"
+recovered_jobs=$(sed -n 's/^midas-serve journal: \([0-9]*\) interrupted job(s) recovered from.*/\1/p' "$tmp/serve-restart.log" | head -n 1)
+[ "$recovered_jobs" = "1" ] || fail "restart recovered '$recovered_jobs' journaled job(s), want 1"
+
+i=0
+while :; do
+    scrape
+    resumed=$(prom_value 'midas_jobs_resumed_total')
+    [ "${resumed:-0}" = "1" ] && break
+    [ $i -lt 100 ] || fail "journaled job never re-dispatched (midas_jobs_resumed_total=$resumed)"
+    sleep 0.1
+    i=$((i + 1))
+done
+recovered=$(prom_value 'midas_shards_recovered_total')
+[ -n "$recovered" ] && [ "$recovered" -ge "$pre_accepted" ] 2>/dev/null \
+    || fail "recovered '$recovered' shard(s) from the store, want >= $pre_accepted"
+echo "cluster-e2e: restart resumed the job, $recovered shard(s) answered from the store"
+
+# Resubmitting the same spec coalesces onto the resumed in-flight job —
+# which is how the script gets a pollable job id in the new process.
+submit "$tmp/journal-spec.json" "$tmp/journal-resubmit.json"
+job3=$(json_field "$tmp/journal-resubmit.json" id)
+
+# A fresh worker supplies only the missing shards.
+"$tmp/midas-worker" -coordinator "http://$dispatch_addr" -id survivor2 \
+    -poll 50ms > "$tmp/worker-d.log" 2>&1 &
+worker_b_pid=$!
+wait_done "$job3" 1800
+
+scrape
+accepted=$(prom_value 'midas_shards_completed_total{status="accepted"}')
+[ "$accepted" = "$((shards - recovered))" ] \
+    || fail "post-restart accepted completions = '$accepted', want $((shards - recovered)) (journaled-complete shards were re-executed)"
+echo "cluster-e2e: zero re-execution: $accepted executed + $recovered recovered = $shards shards"
+
+curl -fsS "http://$addr/v1/jobs/$job3/result" > "$tmp/journal-served.json" || fail "resumed result fetch"
+grep -v '"tool":' "$tmp/journal-served.json" > "$tmp/journal-served.stripped"
+grep -v '"tool":' "$tmp/journal-golden.json" > "$tmp/journal-golden.stripped"
+diff -u "$tmp/journal-golden.stripped" "$tmp/journal-served.stripped" \
+    || fail "resumed result differs from the single-process golden"
+echo "cluster-e2e: resumed result byte-identical to single-process run"
+
+# Sweep-point reuse across jobs: the overlap sweep's shared shards are
+# store hits, only its new point executes.
+"$tmp/midas-sim" -spec "$tmp/overlap-spec.json" -format json -out "$tmp/overlap-golden.json" \
+    || fail "midas-sim golden for the overlap spec"
+submit "$tmp/overlap-spec.json" "$tmp/overlap-submit.json"
+job4=$(json_field "$tmp/overlap-submit.json" id)
+wait_done "$job4" 1800
+scrape
+recovered2=$(prom_value 'midas_shards_recovered_total')
+[ "$recovered2" = "$((recovered + reps))" ] \
+    || fail "overlap sweep brought recovered to '$recovered2', want $((recovered + reps)) (store hits for the shared point)"
+curl -fsS "http://$addr/v1/jobs/$job4/result" > "$tmp/overlap-served.json" || fail "overlap result fetch"
+grep -v '"tool":' "$tmp/overlap-served.json" > "$tmp/overlap-served.stripped"
+grep -v '"tool":' "$tmp/overlap-golden.json" > "$tmp/overlap-golden.stripped"
+diff -u "$tmp/overlap-golden.stripped" "$tmp/overlap-served.stripped" \
+    || fail "overlap result differs from the single-process golden"
+echo "cluster-e2e: shared sweep point served from the store ($reps shard(s) skipped)"
+
+# Orderly teardown; with every job terminal the journal must be empty.
+kill -TERM "$worker_b_pid"
+wait "$worker_b_pid" || fail "survivor2 exited non-zero on SIGTERM"
+worker_b_pid=""
+kill -TERM "$serve_pid"
+wait "$serve_pid" || fail "journaling coordinator exited non-zero on SIGTERM"
+serve_pid=""
+leftover=$(find "$store_dir/journal" -name '*.json' 2>/dev/null | wc -l | tr -d ' ')
+[ "$leftover" = "0" ] || fail "journal still holds $leftover entrie(s) after all jobs finished"
+find "$store_dir" -type f | sort > "$tmp/store-listing.txt"
+echo "cluster-e2e: journal empty after completion; store holds $(wc -l < "$tmp/store-listing.txt" | tr -d ' ') file(s)"
+
 if [ -n "${CLUSTER_E2E_OUT:-}" ]; then
     mkdir -p "$CLUSTER_E2E_OUT"
     cp "$tmp/metrics.prom" "$tmp/served.json" "$tmp/golden.json" \
-        "$tmp/serve.log" "$tmp/worker-a.log" "$tmp/worker-b.log" \
+        "$tmp/journal-served.json" "$tmp/journal-golden.json" \
+        "$tmp/journal-precrash.txt" "$tmp/store-listing.txt" \
+        "$tmp/serve.log" "$tmp/serve-journal.log" "$tmp/serve-restart.log" \
+        "$tmp/worker-a.log" "$tmp/worker-b.log" "$tmp/worker-c.log" "$tmp/worker-d.log" \
         "$CLUSTER_E2E_OUT/" 2>/dev/null || true
     echo "cluster-e2e: artifacts written to $CLUSTER_E2E_OUT"
 fi
