@@ -41,7 +41,7 @@ test:
 # dispatch coordinator's lease/requeue state machine, and the job
 # journal it checkpoints through.
 test-race:
-	$(GO) test -race ./internal/scenario ./internal/runner ./internal/sim ./internal/service ./internal/store ./internal/telemetry ./internal/dispatch ./internal/journal
+	$(GO) test -race ./internal/scenario ./internal/runner ./internal/sim ./internal/service ./internal/store ./internal/telemetry ./internal/dispatch ./internal/journal ./internal/api
 
 # The golden-figure regression suite: replay every registered
 # scenario's committed spec at parallelism 1 and 8 and require
@@ -108,9 +108,13 @@ drain-e2e-full:
 # exactly (no duplicate engine-run side effects). Also kill -9 the
 # coordinator itself mid-sweep and require the restart to resume the
 # job from the dispatch journal with zero re-execution of shards whose
-# results already reached the store. Short mode runs in `make ci`; the
-# nightly workflow runs the full scale with journal/store listings as
-# artifacts.
+# results already reached the store. Finally, run two coordinators and
+# a direct-publishing worker over one shared store directory: kill -9
+# the worker between its store publish and its completion POST and
+# require the coordinator to recover the shard from the store, then
+# require the sibling coordinator to serve the sweep byte-identically
+# as a store hit. Short mode runs in `make ci`; the nightly workflow
+# runs the full scale with journal/store listings as artifacts.
 cluster-e2e:
 	./scripts/cluster-e2e.sh
 
@@ -161,7 +165,7 @@ bench-compare:
 # the target (and `make ci`).
 COVER_FLOOR = 80
 cover:
-	@set -e; for pkg in ./internal/stats ./internal/scenario ./internal/service ./internal/store ./internal/telemetry ./internal/dispatch ./internal/journal; do \
+	@set -e; for pkg in ./internal/stats ./internal/scenario ./internal/service ./internal/store ./internal/telemetry ./internal/dispatch ./internal/journal ./internal/api; do \
 		profile=$$(mktemp); \
 		$(GO) test -coverprofile=$$profile $$pkg > /dev/null; \
 		pct=$$($(GO) tool cover -func=$$profile | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \

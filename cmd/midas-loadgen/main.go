@@ -69,6 +69,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/api"
 )
 
 var (
@@ -462,6 +464,14 @@ func (d *driver) doTransient(ctx context.Context, method, url string, reqBody []
 			resp.Body.Close()
 			if code != http.StatusServiceUnavailable {
 				return code, body, attempt, true
+			}
+			// The v1 error envelope mirrors the hint in-band
+			// (retry_after_seconds); prefer it over the header so the hint
+			// survives header-stripping proxies. Plain-text bodies from a
+			// pre-envelope server parse with no hint and fall back to the
+			// header value above.
+			if e := api.Parse(body); e.RetryAfterSeconds > 0 {
+				serverWait = time.Duration(e.RetryAfterSeconds) * time.Second
 			}
 		}
 		if attempt >= *retries || ctx.Err() != nil {

@@ -10,7 +10,27 @@
 //
 //	midas-worker -coordinator http://host:port [-id NAME]
 //	             [-parallelism N] [-max-batch N] [-max-shards N]
-//	             [-poll DUR] [-log text|json|off]
+//	             [-poll DUR] [-store-dir DIR] [-store-shared]
+//	             [-log text|json|off]
+//
+// With -store-dir the worker is a first-class store citizen: each
+// completed shard's result envelope is written directly into the
+// durable store under the shard spec's canonical hash, and the
+// completion POST shrinks to a hash-plus-digest acknowledgement the
+// coordinator verifies against its own view of the store — the shard
+// payload never transits the dispatch HTTP body. That only helps when
+// coordinator and worker actually share the store (same directory, or
+// a shared mount with -store-shared on both sides); a worker whose
+// store the coordinator cannot see just gets asked to resend inline,
+// costing one extra round trip per shard. Without -store-dir the
+// worker posts results inline exactly as before.
+//
+// MIDAS_WORKER_HOLD_AFTER_PUBLISH, when set to a Go duration, makes
+// the worker pause that long between the store publish and the
+// completion POST, printing "midas-worker <id> holding after publish"
+// first — the acknowledgement window scripts/cluster-e2e.sh widens to
+// prove a kill -9 inside it loses nothing (the coordinator recovers
+// the published result from the store at lease expiry).
 //
 // SIGINT/SIGTERM exit gracefully: the shard in flight finishes and is
 // published (completion is idempotent), then the loop returns. A
@@ -30,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/dispatch"
+	"repro/internal/store"
 )
 
 var (
@@ -39,7 +60,11 @@ var (
 	maxBatch    = flag.Int("max-batch", 1, "shards to request per poll (coordinator may cap)")
 	maxShards   = flag.Int("max-shards", 0, "exit after completing N shards (0 = run until signalled)")
 	poll        = flag.Duration("poll", 200*time.Millisecond, "idle re-poll interval when no work is available")
-	logFmt      = flag.String("log", "text", "structured log handler on stderr: text, json or off")
+	storeDir    = flag.String("store-dir", "",
+		"durable result store directory shared with the coordinator: shard results are published here directly and acknowledged by hash (empty = post results inline)")
+	storeShared = flag.Bool("store-shared", false,
+		"treat -store-dir as a shared filesystem written by multiple processes (must match the coordinator's flag)")
+	logFmt = flag.String("log", "text", "structured log handler on stderr: text, json or off")
 )
 
 func main() {
@@ -78,19 +103,62 @@ func run() error {
 		par = runtime.GOMAXPROCS(0)
 	}
 
+	var st *store.Store
+	if *storeDir != "" {
+		var be store.Backend
+		var berr error
+		if *storeShared {
+			be, berr = store.OpenSharedDir(*storeDir, nil)
+		} else {
+			be, berr = store.OpenDir(*storeDir, nil)
+		}
+		if berr != nil {
+			return berr
+		}
+		st, berr = store.Open(store.Config{Backend: be, Log: log})
+		if berr != nil {
+			return berr
+		}
+		defer st.Close()
+		stats := st.Stats()
+		fmt.Printf("midas-worker %s store: %d entries warm from %s\n",
+			wid, stats.Entries, *storeDir)
+	} else if *storeShared {
+		return fmt.Errorf("-store-shared needs -store-dir")
+	}
+
+	// The acknowledgement-window hook: pause between the store publish
+	// and the completion POST so crash tests can kill -9 a worker whose
+	// result is already durable but not yet acknowledged.
+	var hold func()
+	if v := os.Getenv("MIDAS_WORKER_HOLD_AFTER_PUBLISH"); v != "" {
+		d, derr := time.ParseDuration(v)
+		if derr != nil {
+			return fmt.Errorf("MIDAS_WORKER_HOLD_AFTER_PUBLISH: %w", derr)
+		}
+		hold = func() {
+			// The discovery line scripts/cluster-e2e.sh waits for before
+			// delivering the kill; keep the format stable.
+			fmt.Printf("midas-worker %s holding after publish\n", wid)
+			time.Sleep(d)
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	// The discovery line scripted callers parse; keep the format stable.
 	fmt.Printf("midas-worker %s polling %s\n", wid, *coordinator)
 	err := dispatch.RunWorker(ctx, dispatch.WorkerConfig{
-		Coordinator: *coordinator,
-		ID:          wid,
-		Parallelism: par,
-		MaxBatch:    *maxBatch,
-		MaxShards:   *maxShards,
-		Poll:        *poll,
-		Log:         log,
+		Coordinator:      *coordinator,
+		ID:               wid,
+		Parallelism:      par,
+		MaxBatch:         *maxBatch,
+		MaxShards:        *maxShards,
+		Poll:             *poll,
+		Store:            st,
+		HoldAfterPublish: hold,
+		Log:              log,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,83 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWriteAndParseRoundTrip(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Write(rec, 404, "unknown_job", "service: unknown job")
+	if rec.Code != 404 {
+		t.Fatalf("status = %d, want 404", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	e := Parse(rec.Body.Bytes())
+	if e.Message != "service: unknown job" || e.Code != "unknown_job" || e.RetryAfterSeconds != 0 {
+		t.Fatalf("Parse = %+v", e)
+	}
+	if got := e.Error(); got != "service: unknown job (unknown_job)" {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestWriteRetrySetsHeaderAndBody(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteRetry(rec, 503, "queue_full", "service: job queue full", 7)
+	if got := rec.Header().Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After = %q, want 7", got)
+	}
+	e := Parse(rec.Body.Bytes())
+	if e.RetryAfterSeconds != 7 || e.Code != "queue_full" {
+		t.Fatalf("Parse = %+v", e)
+	}
+	// The envelope must be the documented shape, key for key.
+	var raw map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatalf("body not JSON: %v", err)
+	}
+	for _, key := range []string{"error", "code", "retry_after_seconds"} {
+		if _, ok := raw[key]; !ok {
+			t.Fatalf("envelope missing %q: %v", key, raw)
+		}
+	}
+}
+
+func TestWriteRetryZeroOmitsHeader(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteRetry(rec, 503, "draining", "service: shutting down", 0)
+	if got := rec.Header().Get("Retry-After"); got != "" {
+		t.Fatalf("Retry-After = %q, want unset", got)
+	}
+}
+
+func TestParsePlainTextFallback(t *testing.T) {
+	e := Parse([]byte("  something broke\n"))
+	if e.Message != "something broke" || e.Code != "" {
+		t.Fatalf("Parse plain text = %+v", e)
+	}
+	if got := e.Error(); got != "something broke" {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestParseEmptyBody(t *testing.T) {
+	e := Parse(nil)
+	if e == nil || e.Message == "" {
+		t.Fatalf("Parse(nil) = %+v, want non-empty message", e)
+	}
+}
+
+func TestParseNonEnvelopeJSON(t *testing.T) {
+	// JSON that is not the envelope (no "error" key) falls back to the
+	// raw body as message, so nothing is silently swallowed.
+	body := `{"status": "broken"}`
+	e := Parse([]byte(body))
+	if e.Code != "" || !strings.Contains(e.Message, "broken") {
+		t.Fatalf("Parse = %+v", e)
+	}
+}

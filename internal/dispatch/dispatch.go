@@ -33,7 +33,6 @@ package dispatch
 
 import (
 	"container/heap"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -379,7 +378,7 @@ func (c *Coordinator) Run(ctx context.Context, sc scenario.Scenario, spec scenar
 			if !ok {
 				continue
 			}
-			res, derr := decodeShardResult(payload)
+			res, derr := decodeShardResultFor(h, payload)
 			if derr != nil {
 				// Verified bytes that don't decode as a result were
 				// persisted by a buggy or future version: quarantine and
@@ -498,20 +497,37 @@ func (c *Coordinator) Run(ctx context.Context, sc scenario.Scenario, spec scenar
 }
 
 // encodeShardResult/decodeShardResult are the store payload codec for
-// shard results — res.MarshalIndent, the same deterministic encoding
-// the serving layer persists job-level results with, so a single-run
-// spec's shard entry and its job entry are byte-identical under one
-// address.
-func encodeShardResult(res scenario.Result) ([]byte, error) {
-	return res.MarshalIndent()
+// shard results — scenario.ResultEnvelope, the same self-contained
+// spec+result encoding the serving layer persists job-level results
+// with, so a single-run spec's shard entry and its job entry are
+// byte-identical under one address, and any process (a sibling
+// coordinator, the /v1/results/{hash} endpoint) can render the entry
+// without the original submission.
+func encodeShardResult(spec scenario.Spec, res scenario.Result) ([]byte, error) {
+	return scenario.EncodeResultEnvelope(spec, res)
 }
 
 func decodeShardResult(payload []byte) (scenario.Result, error) {
-	var res scenario.Result
-	if err := json.Unmarshal(payload, &res); err != nil {
+	env, err := scenario.DecodeResultEnvelope(payload)
+	if err != nil {
 		return scenario.Result{}, err
 	}
-	return res, nil
+	return env.Result, nil
+}
+
+// decodeShardResultFor additionally pins the envelope to its content
+// address: the embedded spec must hash to the address the payload was
+// stored under, so a blob misfiled (or maliciously republished) under
+// the wrong hash can never be assembled into another spec's result.
+func decodeShardResultFor(hash string, payload []byte) (scenario.Result, error) {
+	env, err := scenario.DecodeResultEnvelope(payload)
+	if err != nil {
+		return scenario.Result{}, err
+	}
+	if got := env.Spec.CanonicalHash(); got != hash {
+		return scenario.Result{}, fmt.Errorf("dispatch: envelope spec hashes to %s, stored under %s", got, hash)
+	}
+	return env.Result, nil
 }
 
 // LiveWorkers counts workers whose last poll is within the worker TTL
@@ -573,9 +589,12 @@ func (c *Coordinator) grantLocked(worker string, max int, now time.Time) []*leas
 // completeLocked applies one completion report to the lease table,
 // returning the protocol status ("accepted", "requeued", "duplicate"
 // or "stale") and, when a job just finished or progressed, the
-// callbacks to invoke after the lock is released. Called with c.mu
-// held.
-func (c *Coordinator) completeLocked(leaseID, worker string, res *scenario.Result, workerErr string, now time.Time) (status string, after func()) {
+// callbacks to invoke after the lock is released. direct marks a
+// result that already reached the durable store via a worker's direct
+// publish (and was verified there by the handler): the coordinator
+// then skips its own redundant store publish — the shard payload never
+// transits the dispatch HTTP body on that path. Called with c.mu held.
+func (c *Coordinator) completeLocked(leaseID, worker string, res *scenario.Result, workerErr string, direct bool, now time.Time) (status string, after func()) {
 	l, ok := c.leases[leaseID]
 	if !ok {
 		// The lease is gone: it expired and was requeued (the classic
@@ -627,6 +646,7 @@ func (c *Coordinator) completeLocked(leaseID, worker string, res *scenario.Resul
 	opts := j.opts
 	index := sh.index
 	shardHash := sh.hash
+	shardSpec := sh.spec
 	specHash := j.specHash
 	// The store publish, journal mark and progress callbacks all run
 	// outside c.mu (the first two do fsync I/O, the callbacks take the
@@ -634,10 +654,12 @@ func (c *Coordinator) completeLocked(leaseID, worker string, res *scenario.Resul
 	// and monotonic: completions are applied one at a time under c.mu
 	// and the returned closure is invoked before the handler returns.
 	after = func() {
-		if c.cfg.Store != nil && shardHash != "" {
+		if c.cfg.Store != nil && shardHash != "" && !direct {
 			// Idempotent by content address: a duplicate publish after a
-			// requeue race rewrites the identical bytes.
-			if payload, perr := encodeShardResult(*res); perr != nil {
+			// requeue race rewrites the identical bytes. A direct publish
+			// skips this — the worker already wrote the blob and the
+			// handler verified it (read-through indexed it in passing).
+			if payload, perr := encodeShardResult(shardSpec, *res); perr != nil {
 				c.log.Warn("shard result encode failed", "shard_hash", shardHash, "error", perr.Error())
 			} else if perr := c.cfg.Store.Put(shardHash, payload); perr != nil {
 				c.log.Warn("shard result publish failed", "shard_hash", shardHash, "error", perr.Error())
@@ -745,10 +767,14 @@ func (c *Coordinator) sweeper() {
 	}
 }
 
-// expire requeues every lease whose deadline has passed.
+// expire requeues every lease whose deadline has passed, then checks
+// the durable store for each requeued shard: a worker that direct-
+// published its result and died before the completion POST (kill -9 in
+// the acknowledgement window) left the result safely in the store —
+// recover it instead of re-executing the shard.
 func (c *Coordinator) expire(now time.Time) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	var orphaned []*shard
 	for _, l := range c.leases {
 		if now.After(l.deadline) {
 			c.retireLeaseLocked(l, "expired")
@@ -757,8 +783,67 @@ func (c *Coordinator) expire(now time.Time) {
 					"lease", l.id, "worker", l.worker,
 					"dispatch_job", l.sh.job.id, "shard", l.sh.index)
 				c.requeueLocked(l.sh, "expired", now)
+				if c.cfg.Store != nil && l.sh.hash != "" && l.sh.state == shardPending {
+					orphaned = append(orphaned, l.sh)
+				}
 			}
 		}
+	}
+	c.mu.Unlock()
+	for _, sh := range orphaned {
+		c.recoverFromStore(sh)
+	}
+}
+
+// recoverFromStore completes a requeued shard from the durable store
+// if its result landed there — the orphaned-direct-publish case. The
+// store read (disk or shared-mount I/O) happens outside c.mu; the
+// shard may be leased again or its job may turn terminal in that
+// window, in which case the recovery quietly stands down (the work is
+// deterministic; whoever wins writes the same result).
+func (c *Coordinator) recoverFromStore(sh *shard) {
+	payload, ok := c.cfg.Store.Get(sh.hash)
+	if !ok {
+		return
+	}
+	res, derr := decodeShardResultFor(sh.hash, payload)
+	if derr != nil {
+		c.log.Warn("stored shard result undecodable, quarantined",
+			"shard_hash", sh.hash, "error", derr.Error())
+		c.cfg.Store.Quarantine(sh.hash)
+		return
+	}
+
+	c.mu.Lock()
+	j := sh.job
+	if j.terminal() || sh.state != shardPending {
+		c.mu.Unlock()
+		return
+	}
+	if sh.heapIdx >= 0 {
+		heap.Remove(&c.pending, sh.heapIdx)
+	}
+	sh.state = shardDone
+	j.results[sh.index] = res
+	j.finished++
+	c.tel.recovered.Inc()
+	finished, total, index := j.finished, j.total, sh.index
+	opts := j.opts
+	specHash := j.specHash
+	if finished == total {
+		close(j.done)
+	}
+	c.mu.Unlock()
+
+	c.log.Info("dispatch shard recovered from store after lease expiry",
+		"dispatch_job", j.id, "shard", index, "shard_hash", sh.hash)
+	if c.cfg.Journal != nil && specHash != "" {
+		if jerr := c.cfg.Journal.MarkDone(specHash, index); jerr != nil {
+			c.log.Warn("dispatch journal mark failed", "spec_hash", specHash, "shard", index, "error", jerr.Error())
+		}
+	}
+	if opts.OnProgress != nil {
+		opts.OnProgress(finished, total)
 	}
 }
 

@@ -1,14 +1,27 @@
 package dispatch
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/scenario"
 )
+
+// ProtoVersion is the dispatch wire protocol this coordinator speaks.
+// Version 1 added the "proto" field itself plus worker direct-publish
+// (ShardLease.Hash, CompleteRequest.StoredHash/Digest). Requests that
+// omit "proto" (version 0, the pre-versioning wire format) are
+// accepted for one release; requests claiming a HIGHER version than
+// the coordinator speaks are rejected with code "proto_unsupported" —
+// a newer worker must not silently degrade against an older
+// coordinator.
+const ProtoVersion = 1
 
 // Wire types of the lease protocol. Specs and results ride as their
 // canonical JSON forms — the same encoding the serving API and the
@@ -19,6 +32,7 @@ import (
 // Polling is also the worker's liveness heartbeat: an empty grant
 // still refreshes its TTL in the live set.
 type LeaseRequest struct {
+	Proto  int    `json:"proto,omitempty"`
 	Worker string `json:"worker"`
 	Max    int    `json:"max,omitempty"`
 }
@@ -32,29 +46,58 @@ type ShardLease struct {
 	Attempt  int           `json:"attempt"`
 	Deadline time.Time     `json:"deadline"`
 	Spec     scenario.Spec `json:"spec"`
+	// Hash is the shard spec's content address — the durable-store key
+	// the result will live under. A worker sharing the coordinator's
+	// store publishes its result there directly and completes with a
+	// hash-plus-digest acknowledgement instead of inline bytes. Empty
+	// when the coordinator runs without a store.
+	Hash string `json:"hash,omitempty"`
 }
 
 // LeaseResponse carries the granted batch, possibly empty. An empty
 // grant carries no poll hint: the worker re-polls on its own idle
 // interval, and that polling doubles as its liveness heartbeat.
 type LeaseResponse struct {
+	Proto  int          `json:"proto"`
 	Leases []ShardLease `json:"leases"`
 }
 
-// CompleteRequest reports one lease's outcome: a result, or an error
-// string when the shard itself failed on the worker.
+// CompleteRequest reports one lease's outcome — exactly one of:
+//
+//   - Result: the shard result inline (the storeless path).
+//   - StoredHash (+ Digest): the worker direct-published the result to
+//     the shared store under the lease's Hash; Digest is the sha256 of
+//     the stored envelope payload, which the coordinator checks after
+//     reading the blob back. The shard payload never transits this
+//     request.
+//   - Error: the shard itself failed on the worker.
 type CompleteRequest struct {
+	Proto  int              `json:"proto,omitempty"`
 	Worker string           `json:"worker"`
 	Result *scenario.Result `json:"result,omitempty"`
-	Error  string           `json:"error,omitempty"`
+	// StoredHash acknowledges a direct publish: the content address the
+	// worker wrote the result envelope under (must equal the lease's
+	// Hash).
+	StoredHash string `json:"stored_hash,omitempty"`
+	// Digest is the sha256 (hex) of the envelope payload the worker
+	// stored — the coordinator verifies the blob it reads back against
+	// it, so a half-landed or foreign blob can never be accepted on the
+	// worker's say-so.
+	Digest string `json:"digest,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
-// CompleteResponse tells the worker how the report landed. Every
-// status is terminal for the lease — "duplicate" and "stale" mean the
-// work was already accounted elsewhere and the payload was discarded,
-// which the deterministic engine makes harmless.
+// CompleteResponse tells the worker how the report landed. "accepted",
+// "requeued", "duplicate" and "stale" are terminal for the lease —
+// duplicate/stale mean the work was already accounted elsewhere and
+// the payload was discarded, which the deterministic engine makes
+// harmless. "resend" is NOT terminal: the coordinator could not verify
+// a direct-publish acknowledgement against the store (blob missing,
+// digest mismatch, undecodable) and the worker should re-POST the same
+// lease with the result inline.
 type CompleteResponse struct {
-	Status string `json:"status"` // accepted | requeued | duplicate | stale
+	Proto  int    `json:"proto"`
+	Status string `json:"status"` // accepted | requeued | duplicate | stale | resend
 }
 
 // Handler serves the lease protocol plus a status endpoint:
@@ -65,6 +108,7 @@ type CompleteResponse struct {
 //
 // midas-serve mounts this on its -dispatch-listen address (kept off
 // the public API listener so workers can live on a private network).
+// Errors are the unified api.Error envelope.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/shards/lease", c.handleLease)
@@ -73,20 +117,35 @@ func (c *Coordinator) Handler() http.Handler {
 	return mux
 }
 
+// checkProto rejects requests from a future protocol major. Version 0
+// (the field omitted — a pre-versioning peer) is accepted for one
+// release.
+func checkProto(w http.ResponseWriter, proto int) bool {
+	if proto > ProtoVersion {
+		api.Write(w, http.StatusBadRequest, "proto_unsupported",
+			fmt.Sprintf("dispatch: protocol version %d not supported (max %d)", proto, ProtoVersion))
+		return false
+	}
+	return true
+}
+
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req LeaseRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		return
 	}
+	if !checkProto(w, req.Proto) {
+		return
+	}
 	if req.Worker == "" {
-		httpError(w, http.StatusBadRequest, "lease request needs a worker id")
+		api.Write(w, http.StatusBadRequest, "bad_request", "lease request needs a worker id")
 		return
 	}
 	now := time.Now()
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "coordinator closed")
+		api.Write(w, http.StatusServiceUnavailable, "closed", "coordinator closed")
 		return
 	}
 	c.workers[req.Worker] = now
@@ -95,7 +154,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	// moment it drops, the sweeper may expire a lease, requeue its
 	// shard and re-grant it, mutating sh.attempts (and the rest of the
 	// lease bookkeeping) under a concurrent reader.
-	resp := LeaseResponse{Leases: make([]ShardLease, 0, len(granted))}
+	resp := LeaseResponse{Proto: ProtoVersion, Leases: make([]ShardLease, 0, len(granted))}
 	for _, l := range granted {
 		resp.Leases = append(resp.Leases, ShardLease{
 			ID:       l.id,
@@ -104,6 +163,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 			Attempt:  l.sh.attempts,
 			Deadline: l.deadline,
 			Spec:     l.sh.spec,
+			Hash:     l.sh.hash,
 		})
 	}
 	c.mu.Unlock()
@@ -122,19 +182,96 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if err := decodeBody(w, r, &req); err != nil {
 		return
 	}
-	now := time.Now()
-	c.mu.Lock()
-	if req.Worker != "" {
-		c.workers[req.Worker] = now
+	if !checkProto(w, req.Proto) {
+		return
 	}
-	status, after := c.completeLocked(leaseID, req.Worker, req.Result, req.Error, now)
-	c.mu.Unlock()
+	now := time.Now()
+
+	var status string
+	var after func()
+	if req.StoredHash != "" && req.Error == "" && req.Result == nil {
+		status, after = c.completeDirect(leaseID, req, now)
+	} else {
+		c.mu.Lock()
+		if req.Worker != "" {
+			c.workers[req.Worker] = now
+		}
+		status, after = c.completeLocked(leaseID, req.Worker, req.Result, req.Error, false, now)
+		c.mu.Unlock()
+	}
 	if after != nil {
 		after()
 	}
 	c.log.Info("dispatch shard completion",
 		"lease", leaseID, "worker", req.Worker, "status", status)
-	writeJSON(w, http.StatusOK, CompleteResponse{Status: status})
+	writeJSON(w, http.StatusOK, CompleteResponse{Proto: ProtoVersion, Status: status})
+}
+
+// completeDirect verifies a direct-publish acknowledgement: the worker
+// claims the result envelope is in the shared store under StoredHash.
+// The coordinator trusts nothing it cannot read back — the blob must
+// exist, match the worker's digest, decode as an envelope and hash to
+// the lease's own expected address. Verification does the store read
+// outside c.mu; on any failure the lease stays live and the worker is
+// told "resend" (it re-POSTs the result inline — one extra round trip,
+// never a lost shard).
+func (c *Coordinator) completeDirect(leaseID string, req CompleteRequest, now time.Time) (string, func()) {
+	c.mu.Lock()
+	if req.Worker != "" {
+		c.workers[req.Worker] = now
+	}
+	l, ok := c.leases[leaseID]
+	if !ok {
+		// Dead lease: classify exactly like an inline completion would.
+		status, after := c.completeLocked(leaseID, req.Worker, nil, "", false, now)
+		c.mu.Unlock()
+		return status, after
+	}
+	expected := l.sh.hash
+	c.mu.Unlock()
+
+	resend := func(why string) (string, func()) {
+		c.tel.direct.With("resend").Inc()
+		c.tel.completions.With("resend").Inc()
+		c.log.Warn("dispatch direct publish unverified, asking for inline resend",
+			"lease", leaseID, "worker", req.Worker, "stored_hash", req.StoredHash, "reason", why)
+		return "resend", nil
+	}
+
+	// A journal-only coordinator hashes its shards without having a
+	// store to verify against, so check both.
+	if expected == "" || c.cfg.Store == nil {
+		return resend("coordinator has no store")
+	}
+	if req.StoredHash != expected {
+		return resend("acknowledged hash does not match the lease")
+	}
+	payload, found := c.cfg.Store.Get(expected)
+	if !found {
+		return resend("blob not found in store")
+	}
+	if req.Digest != "" {
+		sum := sha256.Sum256(payload)
+		if hex.EncodeToString(sum[:]) != req.Digest {
+			return resend("stored payload does not match worker digest")
+		}
+	}
+	res, derr := decodeShardResultFor(expected, payload)
+	if derr != nil {
+		c.cfg.Store.Quarantine(expected)
+		return resend("stored payload undecodable: " + derr.Error())
+	}
+
+	// The lease may have expired (and the shard been recovered or
+	// re-granted) while we were reading the store; completeLocked
+	// classifies that as duplicate/stale, same as any late completion.
+	c.mu.Lock()
+	status, after := c.completeLocked(leaseID, req.Worker, &res, "", true, now)
+	c.mu.Unlock()
+	if status == "accepted" {
+		c.tel.direct.With("verified").Inc()
+	}
+	return status, after
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -158,10 +295,11 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	}
 	var tooBig *http.MaxBytesError
 	if errors.As(err, &tooBig) {
-		httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		api.Write(w, http.StatusRequestEntityTooLarge, "body_too_large",
+			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 		return err
 	}
-	httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+	api.Write(w, http.StatusBadRequest, "bad_request", "bad request body: "+err.Error())
 	return err
 }
 
@@ -171,10 +309,4 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }

@@ -18,6 +18,11 @@ type instruments struct {
 	// accepted = shard count, the "zero re-execution" proof.
 	recovered *telemetry.Counter // midas_shards_recovered_total
 	resumed   *telemetry.Counter // midas_jobs_resumed_total
+	// direct counts worker direct-publish acknowledgements by outcome:
+	// "verified" (the coordinator found and verified the blob in the
+	// shared store) or "resend" (it could not, and asked the worker to
+	// re-send the result inline).
+	direct *telemetry.CounterVec // midas_shards_direct_total{outcome}
 	// leaseLatency observes grant -> accepted completion: the remote
 	// run + both HTTP hops, the distribution that sizes LeaseTTL.
 	leaseLatency *telemetry.Histogram
@@ -39,6 +44,8 @@ func newInstruments(reg *telemetry.Registry, c *Coordinator) *instruments {
 			"Shards answered from the durable store without leasing (journal resume or cross-job sweep-point reuse)."),
 		resumed: reg.NewCounter("midas_jobs_resumed_total",
 			"Journaled half-finished jobs re-dispatched after a coordinator restart."),
+		direct: reg.NewCounterVec("midas_shards_direct_total",
+			"Worker direct-publish acknowledgements, by outcome (verified, resend).", "outcome"),
 		leaseLatency: reg.NewHistogram("midas_shard_lease_seconds",
 			"Time from lease grant to accepted completion.", leaseBuckets),
 	}
@@ -47,8 +54,11 @@ func newInstruments(reg *telemetry.Registry, c *Coordinator) *instruments {
 	for _, r := range []string{"expired", "failed"} {
 		in.requeues.With(r)
 	}
-	for _, s := range []string{"accepted", "requeued", "duplicate", "stale"} {
+	for _, s := range []string{"accepted", "requeued", "duplicate", "stale", "resend"} {
 		in.completions.With(s)
+	}
+	for _, o := range []string{"verified", "resend"} {
+		in.direct.With(o)
 	}
 	reg.NewGaugeFunc("midas_workers_live",
 		"Workers that polled for a lease within the worker TTL.",

@@ -3,6 +3,8 @@ package dispatch
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,8 +13,10 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/rng"
 	"repro/internal/scenario"
+	"repro/internal/store"
 )
 
 // WorkerConfig configures one RunWorker loop.
@@ -47,6 +51,20 @@ type WorkerConfig struct {
 	// scenario by spec.Scenario and run it with the spec's derived
 	// seed, exactly like one task inside scenario.RunResolved.
 	Run func(ctx context.Context, spec scenario.Spec) (scenario.Result, error)
+	// Store, when non-nil, makes this worker a first-class store
+	// citizen: each completed shard's result envelope is published to
+	// the store under the lease's Hash, and the completion POST carries
+	// a hash-plus-digest acknowledgement instead of the result bytes.
+	// The store must be the same one the coordinator reads (a shared
+	// mount — see store.OpenSharedDir). A publish failure, or a
+	// coordinator "resend" verdict, falls back to the inline path.
+	Store *store.Store
+	// HoldAfterPublish, when non-nil, runs between a successful store
+	// publish and the completion POST — the acknowledgement window. The
+	// crash tests (and cluster-e2e's kill -9 phase) park the worker
+	// here to prove the coordinator recovers the published result from
+	// the store with zero re-execution.
+	HoldAfterPublish func()
 }
 
 func (cfg WorkerConfig) poll() time.Duration {
@@ -96,6 +114,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	}
 
 	completed := 0
+	protoLogged := false
 	// Transport-failure backoff, reset by any successful exchange.
 	const idleBackoffMax = 5 * time.Second
 	backoff := cfg.poll()
@@ -105,7 +124,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		}
 		var resp LeaseResponse
 		err := postJSON(ctx, client, cfg.Coordinator+"/v1/shards/lease",
-			LeaseRequest{Worker: cfg.ID, Max: cfg.MaxBatch}, &resp)
+			LeaseRequest{Proto: ProtoVersion, Worker: cfg.ID, Max: cfg.MaxBatch}, &resp)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil
@@ -118,6 +137,18 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 				backoff = idleBackoffMax
 			}
 			continue
+		}
+		if !protoLogged {
+			// Negotiated = min(ours, theirs); a proto-0 response is a
+			// pre-versioning coordinator (field absent).
+			negotiated := resp.Proto
+			if negotiated > ProtoVersion {
+				negotiated = ProtoVersion
+			}
+			log.Info("worker negotiated dispatch protocol",
+				"worker", cfg.ID, "proto", negotiated,
+				"coordinator_proto", resp.Proto, "direct_publish", cfg.Store != nil)
+			protoLogged = true
 		}
 		backoff = cfg.poll()
 		if len(resp.Leases) == 0 {
@@ -144,18 +175,12 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 				"shard", l.Shard, "attempt", l.Attempt, "scenario", spec.Scenario)
 			start := time.Now()
 			res, runErr := run(ctx, spec)
-			req := CompleteRequest{Worker: cfg.ID}
-			if runErr != nil {
-				req.Error = runErr.Error()
-			} else {
-				req.Result = &res
-			}
 			// Publish detached from ctx: an in-flight result at shutdown is
 			// worth the one extra round-trip, and completion is idempotent
 			// if the lease already moved on. The detached context carries
 			// its own short deadline so shutdown latency stays bounded even
 			// against a hung coordinator.
-			status, pubErr := completeWithRetry(client, cfg.Coordinator, l.ID, req)
+			status, pubErr := reportShard(client, cfg, log, l, res, runErr)
 			if pubErr != nil {
 				log.Warn("worker completion failed",
 					"worker", cfg.ID, "lease", l.ID, "error", pubErr.Error())
@@ -174,6 +199,65 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 			}
 		}
 	}
+}
+
+// reportShard reports one lease's outcome, choosing the wire shape:
+//
+//   - Failure, or no store, or a lease with no Hash: the classic
+//     inline CompleteRequest (result or error in the body).
+//   - Store + lease Hash: direct publish. The worker encodes the
+//     result envelope FROM THE LEASE'S ORIGINAL SPEC (the canonical
+//     bytes every publisher of this address produces), writes it to
+//     the store under the lease Hash, then completes with the hash
+//     and the payload's sha256 digest — the result bytes never
+//     transit the dispatch HTTP body. A store failure falls back to
+//     inline; a coordinator "resend" verdict (it could not verify the
+//     blob on its side of the mount) re-POSTs inline once.
+func reportShard(client *http.Client, cfg WorkerConfig, log *slog.Logger, l ShardLease, res scenario.Result, runErr error) (string, error) {
+	inline := func() (string, error) {
+		req := CompleteRequest{Proto: ProtoVersion, Worker: cfg.ID}
+		if runErr != nil {
+			req.Error = runErr.Error()
+		} else {
+			req.Result = &res
+		}
+		return completeWithRetry(client, cfg.Coordinator, l.ID, req)
+	}
+	if runErr != nil || cfg.Store == nil || l.Hash == "" {
+		return inline()
+	}
+	payload, err := scenario.EncodeResultEnvelope(l.Spec, res)
+	if err != nil {
+		log.Warn("worker envelope encode failed, sending inline",
+			"worker", cfg.ID, "lease", l.ID, "error", err.Error())
+		return inline()
+	}
+	if err := cfg.Store.Put(l.Hash, payload); err != nil {
+		log.Warn("worker direct publish failed, sending inline",
+			"worker", cfg.ID, "lease", l.ID, "shard_hash", l.Hash, "error", err.Error())
+		return inline()
+	}
+	log.Info("worker direct-published shard result",
+		"worker", cfg.ID, "lease", l.ID, "shard_hash", l.Hash, "bytes", len(payload))
+	if cfg.HoldAfterPublish != nil {
+		cfg.HoldAfterPublish()
+	}
+	sum := sha256.Sum256(payload)
+	status, err := completeWithRetry(client, cfg.Coordinator, l.ID, CompleteRequest{
+		Proto:      ProtoVersion,
+		Worker:     cfg.ID,
+		StoredHash: l.Hash,
+		Digest:     hex.EncodeToString(sum[:]),
+	})
+	if err != nil {
+		return status, err
+	}
+	if status == "resend" {
+		log.Warn("coordinator could not verify direct publish, resending inline",
+			"worker", cfg.ID, "lease", l.ID, "shard_hash", l.Hash)
+		return inline()
+	}
+	return status, nil
 }
 
 // completePublishTimeout bounds each attempt of the final completion
@@ -223,8 +307,11 @@ func postJSON(ctx context.Context, client *http.Client, url string, body, out an
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
+		// Parse the unified error envelope rather than sniffing status
+		// text; a plain-text body from a pre-envelope coordinator still
+		// surfaces via api.Parse's fallback.
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+		return fmt.Errorf("%s: %s: %w", url, resp.Status, api.Parse(msg))
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }

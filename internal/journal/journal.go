@@ -9,29 +9,34 @@
 // but kept when the coordinator shuts down with the job still open,
 // which is exactly the state a restart wants to see.
 //
-// Layout under the journal directory (midas-serve puts it inside the
-// store dir, where the store's warm scan ignores it):
+// The journal stores its entries through the same Backend seam as the
+// result store (store.Backend), rooted at its own directory —
+// midas-serve puts it inside the store dir, where the store's warm
+// scan ignores it:
 //
 //	<dir>/<spec-hash>.json   one entry per open dispatched job
-//	<dir>/tmp/               in-flight writes (swept at Open)
+//	<dir>/tmp/               in-flight writes (swept by the backend)
 //
-// Writes follow the store's write-temp→fsync→rename discipline, so a
+// Backend.Write carries the write-temp→fsync→rename discipline, so a
 // crash at any instant leaves either the previous entry or the new one
 // — never a torn file reachable under its final name.
 //
 // The Done flags are advisory: recovery consults the durable store
 // itself for each shard address (a publish that landed after the last
 // journal write is still honored), so a stale journal can only cost
-// recomputation, never correctness.
+// recomputation, never correctness. The same property is what makes a
+// SHARED journal backend safe: two coordinators on one shared store
+// dir may clobber each other's entry for a spec they both dispatched,
+// or remove it when either finishes — the loser of such a race loses a
+// resume hint, never a result.
 package journal
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"log/slog"
-	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -77,70 +82,72 @@ func (e Entry) DoneCount() int {
 	return n
 }
 
-// Journal is a crash-safe on-disk journal of open dispatched jobs. All
-// methods are safe for concurrent use.
+// Journal is a crash-safe journal of open dispatched jobs. All methods
+// are safe for concurrent use.
 type Journal struct {
-	dir string
+	be  store.Backend
 	log *slog.Logger
 
 	mu      sync.Mutex
 	entries map[string]*Entry
 }
 
-// Open creates the journal directory if absent, sweeps interrupted
-// writes, and loads every readable entry. A file that does not parse
-// as a consistent entry is discarded with a warning — the shard
-// results it pointed at are still in the store, only the resume hint
-// is lost.
+// Open opens a journal over a single-process directory backend rooted
+// at dir (created if absent) — the common case. See OpenBackend.
 func Open(dir string, log *slog.Logger) (*Journal, error) {
 	if dir == "" {
 		return nil, errors.New("journal: dir is required")
 	}
+	be, err := store.OpenDir(dir, nil)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return OpenBackend(be, log)
+}
+
+// OpenBackend opens a journal over an existing backend (the backend's
+// own open already swept interrupted writes) and loads every readable
+// entry. A blob that does not parse as a consistent entry is discarded
+// with a warning — the shard results it pointed at are still in the
+// store, only the resume hint is lost.
+func OpenBackend(be store.Backend, log *slog.Logger) (*Journal, error) {
+	if be == nil {
+		return nil, errors.New("journal: backend is required")
+	}
 	if log == nil {
 		log = slog.New(slog.DiscardHandler)
 	}
-	j := &Journal{dir: dir, log: log, entries: make(map[string]*Entry)}
-	if err := os.MkdirAll(j.tmpDir(), 0o755); err != nil {
-		return nil, fmt.Errorf("journal: %w", err)
-	}
-	tmps, err := os.ReadDir(j.tmpDir())
+	j := &Journal{be: be, log: log, entries: make(map[string]*Entry)}
+	infos, err := be.List()
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	for _, de := range tmps {
-		_ = os.Remove(filepath.Join(j.tmpDir(), de.Name()))
-	}
-	des, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("journal: %w", err)
-	}
-	for _, de := range des {
-		name := de.Name()
-		if de.IsDir() || !strings.HasSuffix(name, ".json") {
+	for _, in := range infos {
+		name := in.Name
+		if strings.Contains(name, "/") || !strings.HasSuffix(name, ".json") {
 			continue
 		}
-		path := filepath.Join(dir, name)
 		hash := strings.TrimSuffix(name, ".json")
 		if !store.ValidHash(hash) {
-			j.discard(path, "file name is not a content address")
+			j.discard(name, "file name is not a content address")
 			continue
 		}
-		data, rerr := os.ReadFile(path)
+		data, rerr := be.Read(name)
 		if rerr != nil {
-			j.discard(path, rerr.Error())
+			j.discard(name, rerr.Error())
 			continue
 		}
 		var e Entry
 		if derr := json.Unmarshal(data, &e); derr != nil {
-			j.discard(path, derr.Error())
+			j.discard(name, derr.Error())
 			continue
 		}
 		if verr := e.validate(); verr != nil {
-			j.discard(path, verr.Error())
+			j.discard(name, verr.Error())
 			continue
 		}
 		if e.SpecHash != hash {
-			j.discard(path, "entry hash does not match its file name")
+			j.discard(name, "entry hash does not match its file name")
 			continue
 		}
 		j.entries[hash] = &e
@@ -161,12 +168,11 @@ func (e Entry) validate() error {
 	return nil
 }
 
-func (j *Journal) tmpDir() string          { return filepath.Join(j.dir, "tmp") }
-func (j *Journal) path(hash string) string { return filepath.Join(j.dir, hash+".json") }
+func blobName(hash string) string { return hash + ".json" }
 
-func (j *Journal) discard(path, why string) {
-	j.log.Warn("journal entry discarded", "path", path, "reason", why)
-	_ = os.Remove(path)
+func (j *Journal) discard(name, why string) {
+	j.log.Warn("journal entry discarded", "name", name, "reason", why)
+	_ = j.be.Remove(name)
 }
 
 // Record writes (or overwrites) the entry for e.SpecHash. Called when
@@ -215,10 +221,10 @@ func (j *Journal) Remove(specHash string) error {
 		return nil
 	}
 	delete(j.entries, specHash)
-	if err := os.Remove(j.path(specHash)); err != nil && !os.IsNotExist(err) {
+	if err := j.be.Remove(blobName(specHash)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("journal: %w", err)
 	}
-	return syncDir(j.dir)
+	return nil
 }
 
 // Entries snapshots the open entries, sorted by spec hash.
@@ -240,49 +246,13 @@ func (j *Journal) Len() int {
 	return len(j.entries)
 }
 
-// writeLocked persists e with the store's crash-safe discipline:
-// temp file in tmp/, fsync, rename into place, sync the directory.
+// writeLocked persists e through the backend's atomic durable write.
 func (j *Journal) writeLocked(e *Entry) error {
 	data, err := json.MarshalIndent(e, "", "  ")
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
-	f, err := os.CreateTemp(j.tmpDir(), e.SpecHash+".*")
-	if err != nil {
-		return fmt.Errorf("journal: %w", err)
-	}
-	tmpName := f.Name()
-	cleanup := func(err error) error {
-		f.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("journal: %w", err)
-	}
-	if _, err := f.Write(append(data, '\n')); err != nil {
-		return cleanup(err)
-	}
-	if err := f.Sync(); err != nil {
-		return cleanup(err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("journal: %w", err)
-	}
-	if err := os.Rename(tmpName, j.path(e.SpecHash)); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("journal: %w", err)
-	}
-	return syncDir(j.dir)
-}
-
-// syncDir fsyncs a directory so a rename or remove inside it is
-// durable before the caller proceeds.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("journal: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+	if err := j.be.Write(blobName(e.SpecHash), append(data, '\n')); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
 	return nil

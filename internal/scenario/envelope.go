@@ -1,0 +1,57 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// ResultEnvelope is the store-tier wire format for a completed result:
+// the resolved spec that produced it plus the result itself. Storing
+// the spec next to the result is what makes a content-addressed entry
+// self-contained — a process that never saw the original submission
+// (a restarted server, a sibling coordinator on a shared backend, the
+// GET /v1/results/{hash} endpoint) can render the full response body,
+// meta block included, from the entry alone.
+type ResultEnvelope struct {
+	Spec   Spec   `json:"spec"`
+	Result Result `json:"result"`
+}
+
+// Encode renders the canonical envelope bytes for one (spec, result)
+// pair. The encoding is deterministic AND parallelism-independent:
+// Spec.Parallelism is canonicalized to 0 before marshalling, because
+// CanonicalHash deliberately excludes it (results never depend on it) —
+// so every writer of a given content address produces identical bytes,
+// no matter what pool width it ran at. That is what makes concurrent
+// same-hash publishes on a shared backend idempotent byte-for-byte,
+// and what lets the coordinator verify a worker's direct publish by
+// digest.
+func EncodeResultEnvelope(spec Spec, res Result) ([]byte, error) {
+	spec.Parallelism = 0
+	b, err := json.MarshalIndent(ResultEnvelope{Spec: spec, Result: res}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeResultEnvelope inverts EncodeResultEnvelope, rejecting
+// payloads that are not a consistent envelope — including pre-envelope
+// entries that held a bare Result (the caller quarantines those and
+// recomputes; store entries are a cache, so the migration costs one
+// re-run per legacy entry, never correctness).
+func DecodeResultEnvelope(payload []byte) (ResultEnvelope, error) {
+	var env ResultEnvelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return ResultEnvelope{}, err
+	}
+	if env.Spec.Scenario == "" || env.Result.Scenario == "" {
+		return ResultEnvelope{}, errors.New("scenario: payload is not a result envelope (missing spec or result)")
+	}
+	if env.Spec.Scenario != env.Result.Scenario {
+		return ResultEnvelope{}, fmt.Errorf("scenario: envelope spec is %q but result is %q",
+			env.Spec.Scenario, env.Result.Scenario)
+	}
+	return env, nil
+}

@@ -2,7 +2,7 @@ package service
 
 import (
 	"container/list"
-	"encoding/json"
+	"fmt"
 
 	"repro/internal/scenario"
 )
@@ -34,9 +34,13 @@ type resultCache struct {
 	misses  uint64
 }
 
-// cacheEntry is one ll element's payload.
+// cacheEntry is one ll element's payload. The resolved spec rides next
+// to the result so a hash-addressed lookup (GET /v1/results/{hash})
+// can render the full body — meta block included — without a job
+// record for the spec.
 type cacheEntry struct {
 	hash   string
+	spec   scenario.Spec
 	result scenario.Result
 }
 
@@ -50,23 +54,25 @@ func newResultCache(max int) *resultCache {
 	}
 }
 
-// lookup returns the cached result for hash, refreshing its recency.
-// It does not touch the hit/miss counters — the admission path owns
-// those (see the type comment).
-func (c *resultCache) lookup(hash string) (scenario.Result, bool) {
+// lookup returns the cached result and resolved spec for hash,
+// refreshing its recency. It does not touch the hit/miss counters —
+// the admission path owns those (see the type comment).
+func (c *resultCache) lookup(hash string) (scenario.Result, scenario.Spec, bool) {
 	el, ok := c.entries[hash]
 	if !ok {
-		return scenario.Result{}, false
+		return scenario.Result{}, scenario.Spec{}, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).result, true
+	e := el.Value.(*cacheEntry)
+	return e.result, e.spec, true
 }
 
-// Put stores a completed result under its spec hash, evicting the
-// least-recently-used entry when the bound is exceeded. Re-putting an
-// existing hash refreshes recency (the result is identical by
-// construction — same hash, deterministic engine).
-func (c *resultCache) Put(hash string, res scenario.Result) {
+// Put stores a completed result (and the resolved spec that produced
+// it) under its spec hash, evicting the least-recently-used entry when
+// the bound is exceeded. Re-putting an existing hash refreshes recency
+// (the result is identical by construction — same hash, deterministic
+// engine).
+func (c *resultCache) Put(hash string, spec scenario.Spec, res scenario.Result) {
 	if c.max < 1 {
 		return
 	}
@@ -74,7 +80,7 @@ func (c *resultCache) Put(hash string, res scenario.Result) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.entries[hash] = c.ll.PushFront(&cacheEntry{hash: hash, result: res})
+	c.entries[hash] = c.ll.PushFront(&cacheEntry{hash: hash, spec: spec, result: res})
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -85,20 +91,30 @@ func (c *resultCache) Put(hash string, res scenario.Result) {
 // Len returns the current entry count.
 func (c *resultCache) Len() int { return c.ll.Len() }
 
-// encodeResult is the store-tier wire format: the result's own
-// deterministic indented JSON (the golden-file format), so the bytes
-// on disk are human-inspectable and decode back to a Result that
-// renders byte-identically to the run that produced it (Go's float
-// round trip is exact at this precision).
-func encodeResult(res scenario.Result) ([]byte, error) {
-	return res.MarshalIndent()
+// encodeResult is the store-tier wire format: the self-contained
+// scenario.ResultEnvelope (resolved spec + result, deterministic
+// indented JSON), so the bytes on disk are human-inspectable, decode
+// back to a Result that renders byte-identically to the run that
+// produced it, and carry enough context for a process that never saw
+// the submission — a restarted server, a sibling coordinator, the
+// /v1/results/{hash} endpoint — to render the full response body.
+func encodeResult(spec scenario.Spec, res scenario.Result) ([]byte, error) {
+	return scenario.EncodeResultEnvelope(spec, res)
 }
 
-// decodeResult inverts encodeResult.
-func decodeResult(payload []byte) (scenario.Result, error) {
-	var res scenario.Result
-	if err := json.Unmarshal(payload, &res); err != nil {
-		return scenario.Result{}, err
+// decodeResult inverts encodeResult and pins the envelope to its
+// content address: the embedded spec must hash to the address the
+// payload was stored under. Pre-envelope entries (a bare Result) fail
+// here; the caller quarantines them and recomputes — the documented
+// migration cost, one re-run per legacy entry.
+func decodeResult(hash string, payload []byte) (scenario.Spec, scenario.Result, error) {
+	env, err := scenario.DecodeResultEnvelope(payload)
+	if err != nil {
+		return scenario.Spec{}, scenario.Result{}, err
 	}
-	return res, nil
+	if got := env.Spec.CanonicalHash(); got != hash {
+		return scenario.Spec{}, scenario.Result{}, fmt.Errorf(
+			"service: envelope spec hashes to %s, stored under %s", got, hash)
+	}
+	return env.Spec, env.Result, nil
 }

@@ -4,11 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
-	"strconv"
 	"strings"
 
+	"repro/internal/api"
 	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/store"
 )
 
 // This file is the HTTP face of the Service — the API cmd/midas-serve
@@ -17,6 +18,7 @@ import (
 //	POST   /v1/jobs             submit a spec (midas-sim -spec schema)
 //	GET    /v1/jobs/{id}        job status + progress
 //	GET    /v1/jobs/{id}/result rendered result snapshot (JSON sink)
+//	GET    /v1/results/{hash}   content-addressed result snapshot
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /v1/scenarios        registry listing with default specs
 //	GET    /v1/metrics.json     JSON metrics snapshot (jobs by state, cache hit rate, queue depth)
@@ -27,11 +29,9 @@ import (
 // as midas-sim -format json, so an HTTP-served snapshot differs from
 // the CLI's for the same spec only in the meta tool name — the
 // property `make serve-smoke` pins end to end.
-
-// httpError is the JSON error envelope every non-2xx response carries.
-type httpError struct {
-	Error string `json:"error"`
-}
+//
+// Every non-2xx response carries the unified api.Error envelope:
+// {"error": ..., "code": ..., "retry_after_seconds": N}.
 
 // scenarioInfo is one row of GET /v1/scenarios.
 type scenarioInfo struct {
@@ -48,6 +48,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/results/{hash}", s.handleResultByHash)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /v1/metrics.json", s.handleMetricsJSON)
@@ -64,8 +65,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) // nothing to do about a broken client connection
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, httpError{Error: err.Error()})
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	api.Write(w, status, code, err.Error())
 }
 
 // maxSpecBytes bounds a submitted spec body. A valid spec is a few
@@ -83,10 +84,10 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, err)
+			writeError(w, http.StatusRequestEntityTooLarge, "spec_too_large", err)
 			return
 		}
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	st, err := s.Submit(spec)
@@ -96,17 +97,19 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// draining, where this process will never accept the job. The
 		// hint tracks how long the queue actually takes to drain
 		// (observed run time × depth / workers), so honoring clients
-		// come back when a slot is plausible instead of hammering.
-		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterHint()))
-		writeError(w, http.StatusServiceUnavailable, err)
+		// come back when a slot is plausible instead of hammering. The
+		// hint rides both the Retry-After header and the envelope's
+		// retry_after_seconds (api.WriteRetry), so clients behind
+		// header-stripping proxies still see it.
+		api.WriteRetry(w, http.StatusServiceUnavailable, "queue_full", err.Error(), s.RetryAfterHint())
 		return
 	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, http.StatusServiceUnavailable, "draining", err)
 		return
 	case err != nil:
 		// Unknown scenario, ignored-knob override, validation failure:
 		// the request itself is wrong.
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	setLogJob(r, st.ID)
@@ -121,7 +124,7 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 	setLogJob(r, r.PathValue("id"))
 	st, err := s.Job(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, "unknown_job", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -141,16 +144,50 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	res, spec, err := s.Result(id)
 	switch {
 	case errors.Is(err, ErrUnknownJob):
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, "unknown_job", err)
 		return
 	case errors.Is(err, ErrNotFinished):
-		writeError(w, http.StatusConflict, err)
+		writeError(w, http.StatusConflict, "not_finished", err)
 		return
 	case err != nil:
 		// Failed or cancelled: the job is terminal but has no result.
-		writeError(w, http.StatusGone, err)
+		writeError(w, http.StatusGone, "job_failed", err)
 		return
 	}
+	s.writeRenderedResult(w, r, spec, res)
+}
+
+// handleResultByHash serves a completed result by its spec's canonical
+// hash — no job id needed, which is what makes results portable across
+// processes: any server sharing the durable store (or its backend, on
+// a shared mount) serves a result computed by any other. The body is
+// rendered by the identical path as GET /v1/jobs/{id}/result, so for a
+// spec that leaves "parallelism" unset (it is excluded from the hash
+// and canonicalized to the host default at render time) the two
+// endpoints serve byte-identical bodies — same ETag, same
+// If-None-Match revalidation.
+func (s *Service) handleResultByHash(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !store.ValidHash(hash) {
+		api.Write(w, http.StatusBadRequest, "bad_hash",
+			"service: result address must be 64 lowercase hex characters (a spec's canonical sha256)")
+		return
+	}
+	res, spec, err := s.ResultByHash(hash)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "unknown_result", err)
+		return
+	}
+	s.writeRenderedResult(w, r, spec, res)
+}
+
+// writeRenderedResult renders (spec, result) exactly as midas-sim
+// -format json would — meta block plus the JSON sink — with the spec's
+// canonical hash as a strong ETag. The rendering is deterministic, so
+// cached, cold, restarted and sibling-process serves of one spec emit
+// byte-identical bodies, and If-None-Match revalidation works across
+// all of them.
+func (s *Service) writeRenderedResult(w http.ResponseWriter, r *http.Request, spec scenario.Spec, res scenario.Result) {
 	etag := `"` + spec.CanonicalHash() + `"`
 	w.Header().Set("ETag", etag)
 	if etagMatches(r.Header.Get("If-None-Match"), etag) {
@@ -159,7 +196,7 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := runner.RenderJSON(spec.SinkMeta("midas-serve"), res.RunnerResult())
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, "internal", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -190,10 +227,10 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Cancel(r.PathValue("id"))
 	switch {
 	case errors.Is(err, ErrUnknownJob):
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, "unknown_job", err)
 		return
 	case errors.Is(err, ErrFinished):
-		writeError(w, http.StatusConflict, err)
+		writeError(w, http.StatusConflict, "already_finished", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)

@@ -1,0 +1,153 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/store"
+)
+
+// GET /v1/results/{hash}: the content-addressed result endpoint. Its
+// body must be byte-identical to the job-result body for the same spec
+// (same render path, same ETag), it must serve results across the
+// memory and store tiers, and — the portability claim — a process that
+// never saw the submission must serve it from a shared store.
+
+func getWithHeader(t *testing.T, c *http.Client, url, hdr, val string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr != "" {
+		req.Header.Set(hdr, val)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp, b
+}
+
+func TestHTTPResultByHash(t *testing.T) {
+	run, _ := countingRun()
+	s := New(Config{Workers: 1, Run: run})
+	defer mustShutdown(t, s)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := srv.Client()
+
+	code, b := doJSON(t, c, http.MethodPost, srv.URL+"/v1/jobs",
+		`{"scenario": "fig12-spatial-reuse", "topologies": 2, "seed": 31}`)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, b)
+	}
+	st := pollDone(t, c, srv.URL, decodeStatus(t, b).ID)
+
+	// The two endpoints render byte-identical bodies under one ETag
+	// (the spec leaves parallelism unset, so the render canonicalizes
+	// identically on both paths).
+	jobResp, jobBody := getWithHeader(t, c, srv.URL+"/v1/jobs/"+st.ID+"/result", "", "")
+	hashResp, hashBody := getWithHeader(t, c, srv.URL+"/v1/results/"+st.SpecHash, "", "")
+	if hashResp.StatusCode != http.StatusOK {
+		t.Fatalf("result by hash: %d %s", hashResp.StatusCode, hashBody)
+	}
+	if string(jobBody) != string(hashBody) {
+		t.Fatalf("hash-addressed body differs from job body:\njob:  %s\nhash: %s", jobBody, hashBody)
+	}
+	etag := hashResp.Header.Get("ETag")
+	if want := `"` + st.SpecHash + `"`; etag != want {
+		t.Fatalf("hash-endpoint ETag %q, want %q", etag, want)
+	}
+	if jobResp.Header.Get("ETag") != etag {
+		t.Fatalf("job and hash endpoints disagree on ETag: %q vs %q", jobResp.Header.Get("ETag"), etag)
+	}
+
+	// If-None-Match revalidation works here exactly as on the job path.
+	resp, body := getWithHeader(t, c, srv.URL+"/v1/results/"+st.SpecHash, "If-None-Match", etag)
+	if resp.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Errorf("revalidation: got %d with %d body bytes, want body-less 304", resp.StatusCode, len(body))
+	}
+}
+
+func TestHTTPResultByHashErrors(t *testing.T) {
+	run, _ := countingRun()
+	s := New(Config{Workers: 1, Run: run})
+	defer mustShutdown(t, s)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := srv.Client()
+
+	for _, tc := range []struct {
+		name, hash, code string
+		status           int
+	}{
+		{"not hex", "zz" + strings.Repeat("0", 62), "bad_hash", http.StatusBadRequest},
+		{"too short", "abcd", "bad_hash", http.StatusBadRequest},
+		{"uppercase", strings.Repeat("A", 64), "bad_hash", http.StatusBadRequest},
+		{"valid but unknown", strings.Repeat("a", 64), "unknown_result", http.StatusNotFound},
+	} {
+		status, b := doJSON(t, c, http.MethodGet, srv.URL+"/v1/results/"+tc.hash, "")
+		if status != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, status, tc.status, b)
+			continue
+		}
+		var e api.Error
+		if err := json.Unmarshal(b, &e); err != nil {
+			t.Errorf("%s: non-envelope error body %s", tc.name, b)
+			continue
+		}
+		if e.Code != tc.code {
+			t.Errorf("%s: code %q, want %q", tc.name, e.Code, tc.code)
+		}
+	}
+}
+
+// TestHTTPResultByHashAcrossProcesses is the portability proof: a
+// second service process that never saw the submission serves the
+// result by hash from the shared durable store, byte-identical to the
+// original serve — the property that lets any coordinator on a shared
+// mount answer for any other.
+func TestHTTPResultByHashAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+	run, calls := countingRun()
+
+	// Process one computes and persists.
+	s1 := New(Config{Workers: 1, Run: run, Store: openStore(t, store.Config{Dir: dir})})
+	srv1 := httptest.NewServer(s1.Handler())
+	c := srv1.Client()
+	code, b := doJSON(t, c, http.MethodPost, srv1.URL+"/v1/jobs",
+		`{"scenario": "fig12-spatial-reuse", "topologies": 2, "seed": 41}`)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, b)
+	}
+	st := pollDone(t, c, srv1.URL, decodeStatus(t, b).ID)
+	_, original := doJSON(t, c, http.MethodGet, srv1.URL+"/v1/jobs/"+st.ID+"/result", "")
+	srv1.Close()
+	mustShutdown(t, s1)
+
+	// Process two opens the same store directory cold: no jobs, no
+	// memory cache — only the store tier can answer.
+	s2 := New(Config{Workers: 1, Run: run, Store: openStore(t, store.Config{Dir: dir})})
+	defer mustShutdown(t, s2)
+	srv2 := httptest.NewServer(s2.Handler())
+	defer srv2.Close()
+
+	status, served := doJSON(t, srv2.Client(), http.MethodGet, srv2.URL+"/v1/results/"+st.SpecHash, "")
+	if status != http.StatusOK {
+		t.Fatalf("result by hash on sibling process: %d %s", status, served)
+	}
+	if string(served) != string(original) {
+		t.Fatalf("sibling-served body differs:\noriginal: %s\nsibling:  %s", original, served)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("engine ran %d times across both processes, want 1", n)
+	}
+}

@@ -88,6 +88,9 @@ var (
 	ErrNotFinished = errors.New("service: job not finished")
 	// ErrFinished reports a cancel request for an already-terminal job.
 	ErrFinished = errors.New("service: job already finished")
+	// ErrUnknownResult reports a hash-addressed result lookup that no
+	// cache tier could answer.
+	ErrUnknownResult = errors.New("service: no result stored under that hash")
 )
 
 // RunFunc executes one resolved spec — scenario.RunResolved in
@@ -394,11 +397,11 @@ func (s *Service) submit(overrides scenario.Spec) (JobStatus, error) {
 	}
 	var promoted *scenario.Result
 	if payload, ok := s.store.Get(hash); ok {
-		res, derr := decodeResult(payload)
+		_, res, derr := decodeResult(hash, payload)
 		if derr != nil {
 			// The entry verified at the byte level but does not decode
-			// as a result — persisted by a buggy or future version.
-			// Quarantine it and recompute; never serve it.
+			// as a consistent envelope — persisted by a buggy, legacy or
+			// future version. Quarantine it and recompute; never serve it.
 			s.log.Warn("stored result undecodable, quarantined",
 				"spec_hash", hash, "error", derr.Error())
 			s.store.Quarantine(hash)
@@ -424,13 +427,13 @@ func (s *Service) admitLocked(sc scenario.Scenario, spec scenario.Spec, hash str
 	if s.closed {
 		return JobStatus{}, true, ErrDraining
 	}
-	if res, ok := s.cache.lookup(hash); ok {
+	if res, _, ok := s.cache.lookup(hash); ok {
 		s.cache.hits++
 		return s.bornDoneLocked(sc, spec, hash, res, "memory"), true, nil
 	}
 	if stored != nil {
 		s.cache.hits++
-		s.cache.Put(hash, *stored)
+		s.cache.Put(hash, spec, *stored)
 		return s.bornDoneLocked(sc, spec, hash, *stored, "store"), true, nil
 	}
 	// Single-flight coalescing: an identical spec already queued or
@@ -573,7 +576,7 @@ func (s *Service) runJob(j *job) {
 	// result back, even from the next process. A store failure is
 	// logged and absorbed — the job still completes from memory.
 	if err == nil && s.store != nil {
-		s.persistResult(j.hash, res)
+		s.persistResult(j.hash, j.spec, res)
 	}
 
 	s.mu.Lock()
@@ -593,8 +596,8 @@ func (s *Service) runJob(j *job) {
 // persistResult encodes a completed result and writes it to the disk
 // tier. Runs on the worker goroutine with no locks held; never
 // propagates failure (the memory tiers still serve the result).
-func (s *Service) persistResult(hash string, res scenario.Result) {
-	payload, err := encodeResult(res)
+func (s *Service) persistResult(hash string, spec scenario.Spec, res scenario.Result) {
+	payload, err := encodeResult(spec, res)
 	if err == nil {
 		err = s.store.Put(hash, payload)
 	}
@@ -614,7 +617,7 @@ func (s *Service) finishLocked(j *job, res scenario.Result, err error) {
 		j.state = StateDone
 		j.result = res
 		j.progress.Completed = j.progress.Total
-		s.cache.Put(j.hash, res)
+		s.cache.Put(j.hash, j.spec, res)
 	case errors.Is(err, context.Canceled):
 		j.state = StateCancelled
 		j.err = err
@@ -731,6 +734,44 @@ func (s *Service) Result(id string) (scenario.Result, scenario.Spec, error) {
 	default:
 		return scenario.Result{}, scenario.Spec{}, fmt.Errorf("%w: job %s is %s", ErrNotFinished, id, j.state)
 	}
+}
+
+// ResultByHash returns the completed result stored under a spec's
+// content address, with the resolved spec that produced it — the
+// job-less lookup behind GET /v1/results/{hash}. The memory cache
+// answers first; a miss consults the durable store (which on a shared
+// backend reads through to blobs published by sibling processes) and
+// promotes the envelope into memory. ErrUnknownResult when neither
+// tier holds the hash.
+func (s *Service) ResultByHash(hash string) (scenario.Result, scenario.Spec, error) {
+	s.mu.Lock()
+	if res, spec, ok := s.cache.lookup(hash); ok {
+		s.mu.Unlock()
+		// Canonicalize: the envelope codec zeroes Parallelism (the hash
+		// excludes it), so a memory hit must render exactly what a store
+		// hit — here or on any sibling process — would render.
+		spec.Parallelism = 0
+		return res, spec, nil
+	}
+	s.mu.Unlock()
+	if s.store == nil {
+		return scenario.Result{}, scenario.Spec{}, ErrUnknownResult
+	}
+	payload, ok := s.store.Get(hash)
+	if !ok {
+		return scenario.Result{}, scenario.Spec{}, ErrUnknownResult
+	}
+	spec, res, derr := decodeResult(hash, payload)
+	if derr != nil {
+		s.log.Warn("stored result undecodable, quarantined",
+			"spec_hash", hash, "error", derr.Error())
+		s.store.Quarantine(hash)
+		return scenario.Result{}, scenario.Spec{}, ErrUnknownResult
+	}
+	s.mu.Lock()
+	s.cache.Put(hash, spec, res)
+	s.mu.Unlock()
+	return res, spec, nil
 }
 
 // Wait blocks until the job reaches a terminal state or ctx expires,

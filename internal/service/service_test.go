@@ -224,26 +224,26 @@ func TestCacheLRUEviction(t *testing.T) {
 // recency refresh, duplicate puts, and the disabled (max < 1) mode.
 func TestResultCacheUnit(t *testing.T) {
 	c := newResultCache(2)
-	c.Put("a", scenario.Result{Scenario: "a"})
-	c.Put("b", scenario.Result{Scenario: "b"})
-	if _, ok := c.lookup("a"); !ok { // refreshes a's recency
-		t.Fatal("a missing")
+	c.Put("a", scenario.Spec{Scenario: "a"}, scenario.Result{Scenario: "a"})
+	c.Put("b", scenario.Spec{Scenario: "b"}, scenario.Result{Scenario: "b"})
+	if _, spec, ok := c.lookup("a"); !ok || spec.Scenario != "a" { // refreshes a's recency
+		t.Fatal("a missing (or lost its spec)")
 	}
-	c.Put("c", scenario.Result{Scenario: "c"}) // must evict b, not a
-	if _, ok := c.lookup("b"); ok {
+	c.Put("c", scenario.Spec{Scenario: "c"}, scenario.Result{Scenario: "c"}) // must evict b, not a
+	if _, _, ok := c.lookup("b"); ok {
 		t.Fatal("b survived eviction despite being LRU")
 	}
-	if _, ok := c.lookup("a"); !ok {
+	if _, _, ok := c.lookup("a"); !ok {
 		t.Fatal("a evicted despite recent hit")
 	}
-	c.Put("a", scenario.Result{Scenario: "a"}) // duplicate put: no growth
+	c.Put("a", scenario.Spec{Scenario: "a"}, scenario.Result{Scenario: "a"}) // duplicate put: no growth
 	if c.Len() != 2 {
 		t.Fatalf("len %d after duplicate put, want 2", c.Len())
 	}
 
 	off := newResultCache(0)
-	off.Put("x", scenario.Result{})
-	if _, ok := off.lookup("x"); ok || off.Len() != 0 {
+	off.Put("x", scenario.Spec{}, scenario.Result{})
+	if _, _, ok := off.lookup("x"); ok || off.Len() != 0 {
 		t.Fatal("disabled cache stored an entry")
 	}
 }

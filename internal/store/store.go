@@ -1,6 +1,6 @@
 // Package store is the durable tier of the result cache: a crash-safe,
-// content-addressed on-disk store mapping a resolved spec's canonical
-// hash (scenario.Spec.CanonicalHash) to the result JSON it produced.
+// content-addressed store mapping a resolved spec's canonical hash
+// (scenario.Spec.CanonicalHash) to the result payload it produced.
 // The engine is deterministic in the resolved spec, so a result is
 // exactly as content-addressable as the spec that named it — which
 // means it can outlive the process that computed it. midas-serve opens
@@ -8,35 +8,47 @@
 // nothing: any previously completed spec is served from disk without
 // re-running the engine.
 //
-// Layout under the root directory:
+// The Store owns indexing, verification, quarantine and LRU eviction;
+// the bytes live behind the Backend seam (backend.go) — a local
+// directory (DirBackend), a shared filesystem several coordinators and
+// workers mount at once (SharedDirBackend), or a future object store.
+// Blob namespace, regardless of backend:
 //
-//	<root>/<hh>/<hh>/<hash>.json   entries, two-level fan-out by hash prefix
-//	<root>/tmp/                    in-flight writes (swept at Open)
-//	<root>/quarantine/             entries that failed verification
-//	<root>/manifest.json           access-time hints for LRU eviction
+//	<hh>/<hh>/<hash>.json   entries, two-level fan-out by hash prefix
+//	tmp/                    in-flight writes (dir backends; swept at open)
+//	quarantine/             entries that failed verification
+//	manifest.json           access-time hints for LRU eviction
+//	manifest-<nonce>.json   per-process hints on a shared backend
 //
-// An entry file is a one-line header followed by the payload:
+// An entry blob is a one-line header followed by the payload:
 //
 //	midas-store/v1 <sha256-hex-of-payload> <payload-length>\n<payload>
 //
 // The header makes every entry self-verifying: the spec hash in the
-// file name says which computation the bytes claim to be, the header
+// blob name says which computation the bytes claim to be, the header
 // says what the bytes must look like. Truncation, torn tails and bit
 // flips all fail verification, and a failed entry is quarantined and
 // recomputed — never served.
 //
-// Crash safety is the sinks' write-temp-then-fsync-then-rename
-// discipline: a crash before the rename leaves only a file in tmp/
-// (swept at the next Open); a crash after it leaves a fully fsynced
-// entry. There is no state in which a partially written entry is
-// reachable under its final name on a correctly ordered filesystem,
-// and the header verification catches the incorrectly ordered ones.
+// Crash safety is the Backend.Write contract (write-temp → fsync →
+// rename on dir backends): there is no state in which a partially
+// written entry is reachable under its final name on a correctly
+// ordered filesystem, and the header verification catches the
+// incorrectly ordered ones.
 //
 // Eviction is LRU by access time under a byte budget. Access times
-// live in memory and are persisted as hints to manifest.json (at Close
-// and every few dozen writes, atomically but without fsync): losing
-// the manifest — a kill -9 skips Close — only degrades the next
-// process's eviction order to file mtimes, never correctness.
+// live in memory and are persisted as hints (at Close and every few
+// dozen touches): losing the manifest — a kill -9 skips Close — only
+// degrades the next process's eviction order to blob mod-times, never
+// correctness. On a shared backend each process writes its own
+// manifest-<nonce>.json and every opener merges all of them, newest
+// hint per entry, so siblings never clobber each other's hints.
+//
+// On a shared backend the index is a snapshot: entries published by
+// sibling processes after our open are not in it. Get therefore falls
+// through to the backend on an index miss (read-through), verifies,
+// and indexes what it finds — which is how two coordinators on one
+// shared store serve each other's results with zero re-runs.
 package store
 
 import (
@@ -47,10 +59,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"log/slog"
 	"os"
-	"path/filepath"
+	"path"
 	"sort"
 	"strconv"
 	"strings"
@@ -74,9 +85,15 @@ const (
 	manifestFlushEvery = 64
 )
 
-// FaultFS injects filesystem failures into a Store's write path, so
-// tests can prove the crash-recovery behavior without an actual crash.
-// A nil hook (or a nil FaultFS) means the real operation runs
+// sharedManifestMaxAge is how stale a sibling's manifest blob must be
+// before an opener on a shared backend garbage-collects it: well past
+// any live process's flush cadence, so only manifests of processes
+// long dead are removed. A var so tests can shrink it.
+var sharedManifestMaxAge = 24 * time.Hour
+
+// FaultFS injects filesystem failures into a dir backend's write path,
+// so tests can prove the crash-recovery behavior without an actual
+// crash. A nil hook (or a nil FaultFS) means the real operation runs
 // unconditionally; a hook returning an error fails the operation
 // before it touches the disk.
 type FaultFS struct {
@@ -90,19 +107,23 @@ type FaultFS struct {
 	// Failing it models a crash between the temp write and the rename
 	// (the torn-write window): Put returns the error and the temp file
 	// is deliberately left behind, exactly as a real crash would leave
-	// it, for the next Open's sweep to collect.
+	// it, for the next open's sweep to collect.
 	Rename func(oldPath, newPath string) error
 }
 
 // Config configures Open.
 type Config struct {
-	// Dir is the store root; created if absent. Required.
+	// Backend is the blob tier the store indexes; nil derives a
+	// DirBackend from Dir.
+	Backend Backend
+	// Dir is the store root when Backend is nil; created if absent.
 	Dir string
-	// MaxBytes is the byte budget across all entry files (headers
+	// MaxBytes is the byte budget across all entry blobs (headers
 	// included); exceeding it evicts least-recently-used entries.
 	// <= 0 means unbounded.
 	MaxBytes int64
-	// Faults, when non-nil, injects write-path failures (tests only).
+	// Faults, when non-nil and Backend is nil, injects write-path
+	// failures into the derived DirBackend (tests only).
 	Faults *FaultFS
 	// Log receives warm-scan and quarantine warnings; nil discards.
 	Log *slog.Logger
@@ -121,21 +142,24 @@ type Stats struct {
 	Quarantined uint64 `json:"quarantined"`
 }
 
-// entry is one indexed on-disk result.
+// entry is one indexed entry blob.
 type entry struct {
 	hash  string
-	size  int64 // whole file (header + payload): what the byte budget charges
+	size  int64 // whole blob (header + payload): what the byte budget charges
 	atime int64 // unix nanos of last touch, the LRU eviction key
 }
 
-// Store is a crash-safe on-disk result store. All methods are safe for
-// concurrent use; file reads happen outside the index lock, so a Get
-// racing an eviction of the same entry degrades to a miss.
+// Store is a crash-safe content-addressed result store. All methods
+// are safe for concurrent use; blob reads happen outside the index
+// lock, so a Get racing an eviction of the same entry degrades to a
+// miss.
 type Store struct {
-	dir      string
+	be       Backend
+	shared   bool
 	maxBytes int64
-	faults   *FaultFS
 	log      *slog.Logger
+	// nonce names this process's manifest blob on a shared backend.
+	nonce string
 
 	mu      sync.Mutex
 	ll      *list.List               // front = most recently used
@@ -148,117 +172,75 @@ type Store struct {
 	manifestDirty     bool
 }
 
-// Open opens (creating if necessary) the store rooted at cfg.Dir,
-// sweeps torn writes left in tmp/, rebuilds the index by scanning the
-// fan-out directories — quarantining any entry that fails the header
-// check — and enforces the byte budget on what survives.
+// Open opens the store over cfg.Backend (or a DirBackend rooted at
+// cfg.Dir), rebuilds the index from a backend listing — quarantining
+// any entry that fails the header check — and enforces the byte budget
+// on what survives. Dir backends sweep torn writes from tmp/ as part
+// of their own open.
 func Open(cfg Config) (*Store, error) {
-	if cfg.Dir == "" {
-		return nil, errors.New("store: Config.Dir is required")
-	}
 	log := cfg.Log
 	if log == nil {
 		log = slog.New(slog.DiscardHandler)
 	}
+	be := cfg.Backend
+	if be == nil {
+		if cfg.Dir == "" {
+			return nil, errors.New("store: Config.Backend or Config.Dir is required")
+		}
+		db, err := OpenDir(cfg.Dir, cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		be = db
+	}
 	s := &Store{
-		dir:      cfg.Dir,
+		be:       be,
+		shared:   be.Shared(),
 		maxBytes: cfg.MaxBytes,
-		faults:   cfg.Faults,
 		log:      log,
+		nonce:    fmt.Sprintf("%d-%x", os.Getpid(), time.Now().UnixNano()),
 		ll:       list.New(),
 		entries:  make(map[string]*list.Element),
 	}
-	for _, d := range []string{cfg.Dir, s.tmpDir(), s.quarantineDir()} {
-		if err := os.MkdirAll(d, 0o755); err != nil {
-			return nil, fmt.Errorf("store: %w", err)
-		}
-	}
-	if err := s.sweepTmp(); err != nil {
+	infos, err := be.List()
+	if err != nil {
 		return nil, err
 	}
-	if err := s.warmScan(s.loadManifest()); err != nil {
-		return nil, err
-	}
+	s.warmScan(infos, s.loadManifests(infos))
 	s.mu.Lock()
 	s.evictLocked()
 	s.mu.Unlock()
 	return s, nil
 }
 
-func (s *Store) tmpDir() string        { return filepath.Join(s.dir, tmpDirName) }
-func (s *Store) quarantineDir() string { return filepath.Join(s.dir, quarantineDirName) }
-func (s *Store) objectPath(hash string) string {
-	return filepath.Join(s.dir, EntryRel(hash))
-}
-
-// sweepTmp deletes everything in tmp/: a file there is a write that
-// never reached its rename — a crash mid-Put — and was never visible
-// under its final name, so deleting it IS the recovery.
-func (s *Store) sweepTmp() error {
-	des, err := os.ReadDir(s.tmpDir())
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	for _, de := range des {
-		if err := os.RemoveAll(filepath.Join(s.tmpDir(), de.Name())); err != nil {
-			return fmt.Errorf("store: sweeping torn write: %w", err)
-		}
-	}
-	return nil
-}
-
-// warmScan walks the two-level fan-out directories rebuilding the
-// index. Entries that fail the cheap header-vs-size check (truncation)
-// or sit under a name that is not a well-formed content address are
-// quarantined. atimes supplies last-access hints from the manifest;
-// entries it does not cover fall back to file mtime.
-func (s *Store) warmScan(atimes map[string]int64) error {
+// warmScan rebuilds the index from a backend listing. Blobs under a
+// well-formed two-level fan-out path whose name is not a matching
+// content address, or that fail the cheap header-vs-size check
+// (truncation), are quarantined. Everything outside the fan-out tree —
+// manifests, quarantine/, a journal sharing the backend — is ignored.
+// atimes supplies last-access hints from the manifests; entries they
+// do not cover fall back to blob mod-time.
+func (s *Store) warmScan(infos []BlobInfo, atimes map[string]int64) {
 	var found []*entry
-	level1, err := os.ReadDir(s.dir)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	for _, d1 := range level1 {
-		if !d1.IsDir() || !isFanoutName(d1.Name()) {
-			continue // tmp/, quarantine/, manifest.json, strays
+	for _, in := range infos {
+		segs := strings.Split(in.Name, "/")
+		if len(segs) != 3 || !isFanoutName(segs[0]) || !isFanoutName(segs[1]) {
+			continue // manifests, quarantine/, journal/, strays
 		}
-		level2, err := os.ReadDir(filepath.Join(s.dir, d1.Name()))
-		if err != nil {
+		hash, ok := HashFromEntryName(segs[2])
+		if !ok || hash[:2] != segs[0] || hash[2:4] != segs[1] {
+			s.quarantineBlob(in.Name, "name is not a content address")
 			continue
 		}
-		for _, d2 := range level2 {
-			if !d2.IsDir() || !isFanoutName(d2.Name()) {
-				continue
-			}
-			files, err := os.ReadDir(filepath.Join(s.dir, d1.Name(), d2.Name()))
-			if err != nil {
-				continue
-			}
-			for _, f := range files {
-				if f.IsDir() {
-					continue
-				}
-				path := filepath.Join(s.dir, d1.Name(), d2.Name(), f.Name())
-				hash, ok := HashFromEntryName(f.Name())
-				if !ok || hash[:2] != d1.Name() || hash[2:4] != d2.Name() {
-					s.quarantineFile(path, "name is not a content address")
-					continue
-				}
-				info, err := f.Info()
-				if err != nil {
-					continue
-				}
-				if !quickVerify(path, info.Size()) {
-					s.quarantineFile(path, "truncated or malformed entry")
-					continue
-				}
-				at := atimes[hash]
-				if at == 0 {
-					at = info.ModTime().UnixNano()
-				}
-				found = append(found, &entry{hash: hash, size: info.Size(), atime: at})
-			}
+		if !s.quickVerify(in.Name, in.Size) {
+			s.quarantineBlob(in.Name, "truncated or malformed entry")
+			continue
 		}
+		at := atimes[hash]
+		if at == 0 {
+			at = in.ModTime.UnixNano()
+		}
+		found = append(found, &entry{hash: hash, size: in.Size, atime: at})
 	}
 	// Oldest-accessed first, so pushing front leaves the most recently
 	// used entry at the front — the same invariant live Puts maintain.
@@ -267,12 +249,14 @@ func (s *Store) warmScan(atimes map[string]int64) error {
 		s.entries[e.hash] = s.ll.PushFront(e)
 		s.bytes += e.size
 	}
-	return nil
 }
 
 // Get returns the payload stored under hash. A verification failure
 // quarantines the entry and reports a miss, so a corrupted result is
-// recomputed rather than served.
+// recomputed rather than served. On a shared backend an index miss
+// falls through to the backend itself — a sibling process may have
+// published the entry after we opened — and a verified find is indexed
+// as if we had written it.
 func (s *Store) Get(hash string) ([]byte, bool) {
 	if !ValidHash(hash) {
 		return nil, false
@@ -280,8 +264,11 @@ func (s *Store) Get(hash string) ([]byte, bool) {
 	s.mu.Lock()
 	el, ok := s.entries[hash]
 	if !ok {
-		s.stats.Misses++
 		s.mu.Unlock()
+		if s.shared {
+			return s.readThrough(hash)
+		}
+		s.countMiss()
 		return nil, false
 	}
 	e := el.Value.(*entry)
@@ -291,9 +278,9 @@ func (s *Store) Get(hash string) ([]byte, bool) {
 	s.touchLocked()
 	s.mu.Unlock()
 
-	data, err := os.ReadFile(s.objectPath(hash))
+	data, err := s.be.Read(EntryRel(hash))
 	if err != nil {
-		// A concurrent eviction can remove the file between the index
+		// A concurrent eviction can remove the blob between the index
 		// lookup and the read: that is a miss, not corruption. Drop the
 		// index entry if it is somehow still present.
 		s.mu.Lock()
@@ -307,9 +294,7 @@ func (s *Store) Get(hash string) ([]byte, bool) {
 		s.log.Warn("store entry failed verification, quarantined",
 			"hash", hash, "error", err.Error())
 		s.Quarantine(hash)
-		s.mu.Lock()
-		s.stats.Misses++
-		s.mu.Unlock()
+		s.countMiss()
 		return nil, false
 	}
 	s.mu.Lock()
@@ -318,10 +303,51 @@ func (s *Store) Get(hash string) ([]byte, bool) {
 	return payload, true
 }
 
-// Put durably stores payload under hash: temp write, fsync, rename
-// into the fan-out tree, best-effort directory sync. The entry is
-// indexed (and the budget enforced) only after the rename, so a crash
-// at any point leaves either no entry or a complete one.
+// readThrough answers an index miss from the backend directly — the
+// shared-backend path where a sibling's publish post-dates our open.
+// A verified find is indexed (and charged to the byte budget) so later
+// Gets hit memory-index-first like any other entry.
+func (s *Store) readThrough(hash string) ([]byte, bool) {
+	data, err := s.be.Read(EntryRel(hash))
+	if err != nil {
+		s.countMiss()
+		return nil, false
+	}
+	payload, perr := parseEntry(data)
+	if perr != nil {
+		s.log.Warn("store entry failed verification, quarantined",
+			"hash", hash, "error", perr.Error())
+		s.Quarantine(hash)
+		s.countMiss()
+		return nil, false
+	}
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	if _, ok := s.entries[hash]; !ok {
+		s.entries[hash] = s.ll.PushFront(&entry{hash: hash, size: int64(len(data)), atime: now})
+		s.bytes += int64(len(data))
+		s.manifestDirty = true
+		s.evictLocked()
+		s.touchLocked()
+	}
+	s.stats.Hits++
+	s.mu.Unlock()
+	return payload, true
+}
+
+func (s *Store) countMiss() {
+	s.mu.Lock()
+	s.stats.Misses++
+	s.mu.Unlock()
+}
+
+// Put durably stores payload under hash via the backend's atomic
+// write. The entry is indexed (and the budget enforced) only after the
+// write returns, so a crash at any point leaves either no entry or a
+// complete one. On a shared backend a concurrent Put of the same hash
+// by a sibling is harmless: content-addressing means both writers
+// carry identical bytes, so last-rename-wins publishes the same entry
+// either way.
 func (s *Store) Put(hash string, payload []byte) error {
 	if !ValidHash(hash) {
 		return fmt.Errorf("store: invalid hash %q", hash)
@@ -332,29 +358,10 @@ func (s *Store) Put(hash string, payload []byte) error {
 		s.countWriteError()
 		return fmt.Errorf("store: entry %s is %d bytes, over the whole-store budget of %d", hash, size, s.maxBytes)
 	}
-	final := s.objectPath(hash)
-	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
-		s.countWriteError()
-		return fmt.Errorf("store: %w", err)
-	}
-	tmpf, err := os.CreateTemp(s.tmpDir(), hash+".*")
-	if err != nil {
-		s.countWriteError()
-		return fmt.Errorf("store: %w", err)
-	}
-	tmpPath := tmpf.Name()
-	if err := s.writeTemp(tmpf, tmpPath, framed); err != nil {
-		os.Remove(tmpPath)
+	if err := s.be.Write(EntryRel(hash), framed); err != nil {
 		s.countWriteError()
 		return fmt.Errorf("store: writing %s: %w", hash, err)
 	}
-	if err := s.rename(tmpPath, final); err != nil {
-		// Leave the temp file behind, exactly as the crash this path
-		// models would; the next Open sweeps it.
-		s.countWriteError()
-		return fmt.Errorf("store: publishing %s: %w", hash, err)
-	}
-	syncDir(filepath.Dir(final)) // best-effort: the entry is already self-verifying
 
 	now := time.Now().UnixNano()
 	s.mu.Lock()
@@ -387,49 +394,6 @@ func (s *Store) touchLocked() {
 	}
 }
 
-// writeTemp writes and fsyncs the framed entry into the temp file,
-// consulting the write fault hook first. The file is closed either way.
-func (s *Store) writeTemp(f *os.File, path string, data []byte) error {
-	if s.faults != nil && s.faults.WriteFile != nil {
-		if err := s.faults.WriteFile(path); err != nil {
-			f.Close()
-			return err
-		}
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-// rename publishes a temp file under its final name, consulting the
-// rename fault hook first.
-func (s *Store) rename(oldPath, newPath string) error {
-	if s.faults != nil && s.faults.Rename != nil {
-		if err := s.faults.Rename(oldPath, newPath); err != nil {
-			return err
-		}
-	}
-	return os.Rename(oldPath, newPath)
-}
-
-// syncDir fsyncs a directory so the rename that just happened in it is
-// durable. Best-effort: some filesystems reject directory fsync, and
-// the entry's own header verification covers the failure modes.
-func syncDir(dir string) {
-	d, err := os.Open(dir)
-	if err != nil {
-		return
-	}
-	d.Sync()
-	d.Close()
-}
-
 func (s *Store) countWriteError() {
 	s.mu.Lock()
 	s.stats.WriteErrors++
@@ -437,9 +401,9 @@ func (s *Store) countWriteError() {
 }
 
 // evictLocked deletes least-recently-used entries until the byte
-// budget holds. Called with s.mu held; the file removals happen under
+// budget holds. Called with s.mu held; the blob removals happen under
 // the lock too, so an eviction and a Put of the same hash cannot
-// interleave destructively (a reader that already captured the path
+// interleave destructively (a reader that already captured the name
 // simply misses).
 func (s *Store) evictLocked() {
 	if s.maxBytes <= 0 {
@@ -454,13 +418,13 @@ func (s *Store) evictLocked() {
 		s.ll.Remove(el)
 		delete(s.entries, e.hash)
 		s.bytes -= e.size
-		os.Remove(s.objectPath(e.hash))
+		_ = s.be.Remove(EntryRel(e.hash))
 		s.stats.Evictions++
 		s.manifestDirty = true
 	}
 }
 
-// dropLocked removes hash from the index without touching its file.
+// dropLocked removes hash from the index without touching its blob.
 func (s *Store) dropLocked(hash string) {
 	if el, ok := s.entries[hash]; ok {
 		e := el.Value.(*entry)
@@ -471,7 +435,7 @@ func (s *Store) dropLocked(hash string) {
 	}
 }
 
-// Quarantine removes hash from the store and moves its file into
+// Quarantine removes hash from the store and moves its blob into
 // quarantine/ — for entries that verified at the byte level but turned
 // out to be garbage at a higher one (an undecodable result). The entry
 // must never be served again; the bytes are kept for post-mortem
@@ -483,24 +447,28 @@ func (s *Store) Quarantine(hash string) {
 	s.mu.Lock()
 	s.dropLocked(hash)
 	s.stats.Quarantined++
-	src := s.objectPath(hash)
-	dst := filepath.Join(s.quarantineDir(), fmt.Sprintf("%s.%d", hash, time.Now().UnixNano()))
-	if err := os.Rename(src, dst); err != nil {
-		os.Remove(src)
-	}
 	s.mu.Unlock()
+	s.moveAside(EntryRel(hash))
 }
 
-// quarantineFile moves an unindexed file aside during the warm scan.
-func (s *Store) quarantineFile(path, why string) {
-	dst := filepath.Join(s.quarantineDir(), fmt.Sprintf("%s.%d", filepath.Base(path), time.Now().UnixNano()))
-	if err := os.Rename(path, dst); err != nil {
-		os.Remove(path)
-	}
+// quarantineBlob moves an unindexed blob aside during the warm scan.
+func (s *Store) quarantineBlob(name, why string) {
 	s.mu.Lock()
 	s.stats.Quarantined++
 	s.mu.Unlock()
-	s.log.Warn("store quarantined entry on warm scan", "path", path, "reason", why)
+	s.moveAside(name)
+	s.log.Warn("store quarantined entry on warm scan", "name", name, "reason", why)
+}
+
+// moveAside copies a blob's bytes under quarantine/ (best-effort —
+// post-mortem evidence, not data) and removes the original, which is
+// the part that must happen: a quarantined entry is never served again.
+func (s *Store) moveAside(name string) {
+	dst := fmt.Sprintf("%s/%s.%d", quarantineDirName, path.Base(name), time.Now().UnixNano())
+	if data, err := s.be.Read(name); err == nil {
+		_ = s.be.Write(dst, data)
+	}
+	_ = s.be.Remove(name)
 }
 
 // Stats snapshots the store.
@@ -514,8 +482,8 @@ func (s *Store) Stats() Stats {
 }
 
 // Close persists the access-time manifest. The entries themselves are
-// already durable (every Put fsyncs before renaming); skipping Close —
-// a crash — only costs the recency hints.
+// already durable (every Put goes through the backend's atomic write);
+// skipping Close — a crash — only costs the recency hints.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -523,31 +491,72 @@ func (s *Store) Close() error {
 	return nil
 }
 
-// manifest is the persisted access-time hint file.
+// manifest is the persisted access-time hint blob.
 type manifest struct {
 	Version int              `json:"version"`
 	ATimes  map[string]int64 `json:"atimes"`
 }
 
-// loadManifest reads the atime hints; any failure (absent file, torn
-// write, version skew) degrades to an empty map — the hints are not
-// load-bearing.
-func (s *Store) loadManifest() map[string]int64 {
-	data, err := os.ReadFile(filepath.Join(s.dir, manifestName))
-	if err != nil {
-		return nil
+// manifestBlobName is where THIS process flushes its hints: the plain
+// manifest.json on a private backend, a per-process manifest-<nonce>
+// on a shared one — siblings flushing concurrently must not clobber
+// each other's hints.
+func (s *Store) manifestBlobName() string {
+	if s.shared {
+		return fmt.Sprintf("manifest-%s.json", s.nonce)
 	}
-	var m manifest
-	if err := json.Unmarshal(data, &m); err != nil || m.Version != manifestVersion {
-		s.log.Warn("store manifest unreadable, falling back to file mtimes")
-		return nil
-	}
-	return m.ATimes
+	return manifestName
 }
 
-// flushManifestLocked atomically rewrites manifest.json from the live
-// index. No fsync: the manifest is hints, and an occasionally stale
-// one only reorders eviction. Called with s.mu held.
+// isManifestName matches any manifest blob at the namespace root —
+// ours, or a sibling's on a shared backend.
+func isManifestName(name string) bool {
+	if strings.Contains(name, "/") {
+		return false
+	}
+	return name == manifestName ||
+		(strings.HasPrefix(name, "manifest-") && strings.HasSuffix(name, ".json"))
+}
+
+// loadManifests merges the atime hints of every manifest blob in the
+// listing, newest hint per entry — on a shared backend each sibling
+// writes its own, and the truth is their union. Any unreadable blob
+// degrades to no hints (the hints are not load-bearing). Manifests of
+// processes long dead are garbage-collected in passing.
+func (s *Store) loadManifests(infos []BlobInfo) map[string]int64 {
+	at := make(map[string]int64)
+	for _, in := range infos {
+		if !isManifestName(in.Name) {
+			continue
+		}
+		if s.shared && time.Since(in.ModTime) > sharedManifestMaxAge {
+			_ = s.be.Remove(in.Name)
+			continue
+		}
+		data, err := s.be.Read(in.Name)
+		if err != nil {
+			continue
+		}
+		var m manifest
+		if err := json.Unmarshal(data, &m); err != nil || m.Version != manifestVersion {
+			s.log.Warn("store manifest unreadable, falling back to blob mtimes", "name", in.Name)
+			continue
+		}
+		for h, t := range m.ATimes {
+			if t > at[h] {
+				at[h] = t
+			}
+		}
+	}
+	if len(at) == 0 {
+		return nil
+	}
+	return at
+}
+
+// flushManifestLocked rewrites this process's manifest blob from the
+// live index. An occasionally stale manifest only reorders eviction.
+// Called with s.mu held.
 func (s *Store) flushManifestLocked() {
 	s.touchesSinceFlush = 0
 	if !s.manifestDirty {
@@ -562,19 +571,8 @@ func (s *Store) flushManifestLocked() {
 	if err != nil {
 		return
 	}
-	tmp := filepath.Join(s.tmpDir(), manifestName)
-	if s.faults != nil && s.faults.WriteFile != nil {
-		if err := s.faults.WriteFile(tmp); err != nil {
-			s.log.Warn("store manifest write failed", "error", err.Error())
-			return
-		}
-	}
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := s.be.Write(s.manifestBlobName(), data); err != nil {
 		s.log.Warn("store manifest write failed", "error", err.Error())
-		return
-	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
-		s.log.Warn("store manifest publish failed", "error", err.Error())
 		return
 	}
 	s.manifestDirty = false
@@ -586,8 +584,8 @@ func (s *Store) flushManifestLocked() {
 
 // ValidHash reports whether h is a well-formed content address:
 // exactly 64 lowercase hex characters (a sha256). Everything the store
-// derives a path from goes through this check, so path traversal via a
-// hostile "hash" is structurally impossible.
+// derives a blob name from goes through this check, so path traversal
+// via a hostile "hash" is structurally impossible.
 func ValidHash(h string) bool {
 	if len(h) != hashHexLen {
 		return false
@@ -601,12 +599,12 @@ func ValidHash(h string) bool {
 	return true
 }
 
-// EntryRel returns the store-relative path of a hash's entry file:
+// EntryRel returns the backend-relative blob name of a hash's entry:
 // two levels of fan-out by hash prefix, so a million entries spread
 // over 65536 directories instead of one. The caller must have
 // validated the hash.
 func EntryRel(hash string) string {
-	return filepath.Join(hash[:2], hash[2:4], hash+".json")
+	return hash[:2] + "/" + hash[2:4] + "/" + hash + ".json"
 }
 
 // HashFromEntryName inverts EntryRel's file name: "<hash>.json" with a
@@ -667,23 +665,17 @@ func parseEntry(data []byte) ([]byte, error) {
 }
 
 // quickVerify is the warm-scan integrity check: the header must parse
-// and header + declared payload length must equal the file size. One
-// small read per entry, catches truncation (filesystem-level loss of a
-// data tail, out-of-space artifacts, manual tampering); bit flips that
-// preserve length are caught by the full checksum at Get.
-func quickVerify(path string, size int64) bool {
-	f, err := os.Open(path)
+// and header + declared payload length must equal the blob size. One
+// small ranged read per entry, catches truncation (filesystem-level
+// loss of a data tail, out-of-space artifacts, manual tampering); bit
+// flips that preserve length are caught by the full checksum at Get.
+func (s *Store) quickVerify(name string, size int64) bool {
+	// The header is ~95 bytes; 200 covers any legal one.
+	buf, err := s.be.ReadHeader(name, 200)
 	if err != nil {
 		return false
 	}
-	defer f.Close()
-	// The header is ~95 bytes; 200 covers any legal one.
-	buf := make([]byte, 200)
-	n, err := io.ReadFull(f, buf)
-	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
-		return false
-	}
-	nl := bytes.IndexByte(buf[:n], '\n')
+	nl := bytes.IndexByte(buf, '\n')
 	if nl < 0 {
 		return false
 	}

@@ -405,7 +405,8 @@ func TestGetTouchesFlushManifest(t *testing.T) {
 	var manifestWrites int
 	s, err := Open(Config{Dir: dir, Faults: &FaultFS{
 		WriteFile: func(path string) error {
-			if filepath.Base(path) == manifestName {
+			// Manifest writes stage through tmp/ as manifest.json.<rand>.
+			if strings.HasPrefix(filepath.Base(path), manifestName) {
 				manifestWrites++
 			}
 			return nil
@@ -455,7 +456,7 @@ func TestManifestWriteFaultSkipsFlush(t *testing.T) {
 	failing := true
 	s := mustOpen(t, Config{Dir: dir, Faults: &FaultFS{
 		WriteFile: func(path string) error {
-			if failing && filepath.Base(path) == manifestName {
+			if failing && strings.HasPrefix(filepath.Base(path), manifestName) {
 				return boom
 			}
 			return nil

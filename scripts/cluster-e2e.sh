@@ -28,6 +28,18 @@
 # point with the first via store hits. The journal must be empty after
 # both jobs finish.
 #
+# Phase 4 — shared store, sibling coordinators, worker direct publish:
+# coordinator A and a worker share one -store-shared directory; the
+# worker publishes each shard result directly into the store and
+# acknowledges by hash+digest (the payload never transits the dispatch
+# HTTP body). The worker is killed -9 inside the acknowledgement window
+# (MIDAS_WORKER_HOLD_AFTER_PUBLISH) — after its store write, before its
+# completion POST — and the coordinator must recover that shard from
+# the store at lease expiry with zero re-execution. Then coordinator B
+# boots over the same directory and must serve the same spec as a store
+# hit (cached=true, cache_tier=store, zero engine runs), byte-identical
+# to A's body, including via GET /v1/results/{hash}.
+#
 # Environment knobs:
 #   CLUSTER_E2E_FULL  non-empty = full scale (nightly); default is the
 #                     short CI mode (make cluster-e2e)
@@ -42,18 +54,19 @@ set -eu
 # shard's wall time (at any worker's parallelism), or healthy workers'
 # completions would arrive after their own leases expired.
 if [ -n "${CLUSTER_E2E_FULL:-}" ]; then
-    topos=16384 sweep='[70001, 70002, 70003]' sweep3='[80001, 80002, 80003]' reps=2 shards=6 lease_ttl=20s
+    topos=16384 sweep='[70001, 70002, 70003]' sweep3='[80001, 80002, 80003]' sweep4='[90001, 90002, 90003]' reps=2 shards=6 lease_ttl=20s
 else
-    topos=6144 sweep='[70001, 70002]' sweep3='[80001, 80002]' reps=2 shards=4 lease_ttl=6s
+    topos=6144 sweep='[70001, 70002]' sweep3='[80001, 80002]' sweep4='[90001, 90002]' reps=2 shards=4 lease_ttl=6s
 fi
 
 tmp=$(mktemp -d)
 serve_pid=""
+serve_b_pid=""
 worker_a_pid=""
 worker_b_pid=""
 cleanup() {
     status=$?
-    for pid in "$serve_pid" "$worker_a_pid" "$worker_b_pid"; do
+    for pid in "$serve_pid" "$serve_b_pid" "$worker_a_pid" "$worker_b_pid"; do
         if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
             kill -9 "$pid" 2>/dev/null || true
             wait "$pid" 2>/dev/null || true
@@ -67,7 +80,9 @@ trap cleanup EXIT INT TERM
 fail() {
     echo "cluster-e2e: FAIL: $*" >&2
     for log in serve.log serve-journal.log serve-restart.log \
-        worker-a.log worker-b.log worker-c.log worker-d.log; do
+        serve-a4.log serve-b4.log \
+        worker-a.log worker-b.log worker-c.log worker-d.log \
+        worker-e.log worker-f.log; do
         [ -f "$tmp/$log" ] && tail -n 15 "$tmp/$log" | sed "s/^/cluster-e2e: $log: /" >&2
     done
     exit 1
@@ -403,13 +418,162 @@ leftover=$(find "$store_dir/journal" -name '*.json' 2>/dev/null | wc -l | tr -d 
 find "$store_dir" -type f | sort > "$tmp/store-listing.txt"
 echo "cluster-e2e: journal empty after completion; store holds $(wc -l < "$tmp/store-listing.txt" | tr -d ' ') file(s)"
 
+# ---------------------------------------------------------------------
+echo "cluster-e2e: phase 4: shared store, worker direct publish, sibling coordinator"
+
+shared_dir="$tmp/shared-store"
+cat > "$tmp/shared-spec.json" <<EOF
+{
+  "scenario": "fig12-spatial-reuse",
+  "topologies": $topos,
+  "seed": 90000,
+  "replicates": $reps,
+  "sweep": {"seed": $sweep4}
+}
+EOF
+"$tmp/midas-sim" -spec "$tmp/shared-spec.json" -format json -out "$tmp/shared-golden.json" \
+    || fail "midas-sim golden for the shared-store spec"
+
+"$tmp/midas-serve" -addr 127.0.0.1:0 -dispatch-listen 127.0.0.1:0 \
+    -store-dir "$shared_dir" -store-shared -lease-ttl "$lease_ttl" -log off \
+    > "$tmp/serve-a4.log" 2>&1 &
+serve_pid=$!
+discover "$tmp/serve-a4.log" "$serve_pid"
+addr_a=$addr
+echo "cluster-e2e: coordinator A at $addr_a (dispatch $dispatch_addr, shared store)"
+
+# The direct-publishing victim: every shard result goes straight into
+# the shared store; the hold env parks it between the store write and
+# the completion POST — the acknowledgement window we kill it in.
+MIDAS_WORKER_HOLD_AFTER_PUBLISH=300s "$tmp/midas-worker" \
+    -coordinator "http://$dispatch_addr" -id holder \
+    -store-dir "$shared_dir" -store-shared \
+    -parallelism 1 -max-batch 1 -poll 50ms > "$tmp/worker-e.log" 2>&1 &
+worker_a_pid=$!
+i=0
+while :; do
+    scrape
+    live=$(prom_value 'midas_workers_live')
+    [ "${live:-0}" = "1" ] && break
+    [ $i -lt 100 ] || fail "direct worker never registered (midas_workers_live=$live)"
+    sleep 0.1
+    i=$((i + 1))
+done
+
+submit "$tmp/shared-spec.json" "$tmp/shared-submit.json"
+job5=$(json_field "$tmp/shared-submit.json" id)
+echo "cluster-e2e: submitted $job5 ($shards shards, direct publish)"
+
+# Kill -9 the worker the moment it announces the acknowledgement
+# window: its result is in the store, its completion POST never sent.
+i=0
+while :; do
+    grep -q "holding after publish" "$tmp/worker-e.log" && break
+    kill -0 "$worker_a_pid" 2>/dev/null || fail "direct worker exited before reaching the acknowledgement window"
+    [ $i -lt 1200 ] || fail "direct worker never reached the acknowledgement window"
+    sleep 0.05
+    i=$((i + 1))
+done
+kill -9 "$worker_a_pid"
+wait "$worker_a_pid" 2>/dev/null || true
+worker_a_pid=""
+echo "cluster-e2e: direct worker killed with SIGKILL inside the acknowledgement window"
+
+# The published-but-unacknowledged shard must be recovered from the
+# store at lease expiry — before any replacement worker exists, so
+# recovery (not re-execution) is the only way it can complete.
+i=0
+while :; do
+    scrape
+    recovered4=$(prom_value 'midas_shards_recovered_total')
+    [ -n "$recovered4" ] && [ "$recovered4" -ge 1 ] 2>/dev/null && break
+    [ $i -lt 600 ] || fail "published shard never recovered from the store (midas_shards_recovered_total=$recovered4)"
+    sleep 0.1
+    i=$((i + 1))
+done
+[ "$recovered4" = "1" ] || fail "recovered $recovered4 shard(s), want exactly 1"
+echo "cluster-e2e: orphaned publish recovered from the store at lease expiry"
+
+# A replacement direct-publishing worker supplies the remaining shards.
+"$tmp/midas-worker" -coordinator "http://$dispatch_addr" -id finisher \
+    -store-dir "$shared_dir" -store-shared -poll 50ms > "$tmp/worker-f.log" 2>&1 &
+worker_b_pid=$!
+wait_done "$job5" 1800
+
+scrape
+accepted=$(prom_value 'midas_shards_completed_total{status="accepted"}')
+verified=$(prom_value 'midas_shards_direct_total{outcome="verified"}')
+resent=$(prom_value 'midas_shards_direct_total{outcome="resend"}')
+[ "$accepted" = "$((shards - 1))" ] \
+    || fail "accepted completions = '$accepted', want $((shards - 1)) (the held shard must come from recovery, not re-execution)"
+[ "$verified" = "$accepted" ] \
+    || fail "direct-verified completions = '$verified', want $accepted (every accepted shard must have been store-verified, never inline)"
+[ "${resent:-0}" = "0" ] || fail "coordinator asked for $resent inline resend(s) on a shared store"
+echo "cluster-e2e: $verified shard(s) direct-published and verified + 1 recovered = $shards, zero inline payloads"
+
+curl -fsS "http://$addr_a/v1/jobs/$job5/result" > "$tmp/shared-served-a.json" || fail "shared result fetch from A"
+grep -v '"tool":' "$tmp/shared-served-a.json" > "$tmp/shared-served-a.stripped"
+grep -v '"tool":' "$tmp/shared-golden.json" > "$tmp/shared-golden.stripped"
+diff -u "$tmp/shared-golden.stripped" "$tmp/shared-served-a.stripped" \
+    || fail "direct-published result differs from the single-process golden"
+
+# Coordinator B: a second process over the same shared directory. It
+# must serve A's sweep as a store hit — no engine runs, byte-identical
+# bytes — both by job submission and by content address.
+"$tmp/midas-serve" -addr 127.0.0.1:0 -dispatch-listen 127.0.0.1:0 \
+    -store-dir "$shared_dir" -store-shared -lease-ttl "$lease_ttl" -log off \
+    > "$tmp/serve-b4.log" 2>&1 &
+serve_b_pid=$!
+discover "$tmp/serve-b4.log" "$serve_b_pid"
+addr_b=$addr
+warm_entries=$(sed -n 's/^midas-serve store: \([0-9]*\) entries.*/\1/p' "$tmp/serve-b4.log" | head -n 1)
+[ -n "$warm_entries" ] && [ "$warm_entries" -ge "$shards" ] 2>/dev/null \
+    || fail "coordinator B warmed only '$warm_entries' entrie(s) from the shared store, want >= $shards"
+echo "cluster-e2e: coordinator B at $addr_b warmed $warm_entries entries from A's store"
+
+curl -fsS -X POST --data-binary @"$tmp/shared-spec.json" "http://$addr_b/v1/jobs" > "$tmp/shared-submit-b.json" \
+    || fail "submission to coordinator B rejected"
+grep -q '"cached": true' "$tmp/shared-submit-b.json" \
+    || fail "B did not serve A's spec from cache: $(cat "$tmp/shared-submit-b.json")"
+tier=$(json_field "$tmp/shared-submit-b.json" cache_tier)
+[ "$tier" = "store" ] || fail "B's cache tier = '$tier', want store"
+job6=$(json_field "$tmp/shared-submit-b.json" id)
+spec_hash=$(json_field "$tmp/shared-submit-b.json" spec_hash)
+
+curl -fsS "http://$addr_b/v1/jobs/$job6/result" > "$tmp/shared-served-b.json" || fail "shared result fetch from B"
+diff -u "$tmp/shared-served-a.json" "$tmp/shared-served-b.json" \
+    || fail "B's body differs from A's for the same spec (cross-coordinator byte identity broken)"
+curl -fsS "http://$addr_b/v1/results/$spec_hash" > "$tmp/shared-byhash-b.json" \
+    || fail "content-addressed fetch from B"
+diff -u "$tmp/shared-served-b.json" "$tmp/shared-byhash-b.json" \
+    || fail "GET /v1/results/{hash} differs from the job-result body"
+echo "cluster-e2e: B served A's sweep as a store hit, byte-identical, job and hash endpoints agree"
+
+# Orderly teardown of the whole shared-store cluster.
+kill -TERM "$worker_b_pid"
+wait "$worker_b_pid" || fail "finisher worker exited non-zero on SIGTERM"
+worker_b_pid=""
+kill -TERM "$serve_b_pid"
+wait "$serve_b_pid" || fail "coordinator B exited non-zero on SIGTERM"
+serve_b_pid=""
+kill -TERM "$serve_pid"
+wait "$serve_pid" || fail "coordinator A exited non-zero on SIGTERM"
+serve_pid=""
+find "$shared_dir" -type f | sort > "$tmp/shared-store-listing.txt"
+echo "cluster-e2e: shared store holds $(wc -l < "$tmp/shared-store-listing.txt" | tr -d ' ') file(s) after teardown"
+
 if [ -n "${CLUSTER_E2E_OUT:-}" ]; then
     mkdir -p "$CLUSTER_E2E_OUT"
     cp "$tmp/metrics.prom" "$tmp/served.json" "$tmp/golden.json" \
         "$tmp/journal-served.json" "$tmp/journal-golden.json" \
         "$tmp/journal-precrash.txt" "$tmp/store-listing.txt" \
+        "$tmp/shared-served-a.json" "$tmp/shared-served-b.json" \
+        "$tmp/shared-byhash-b.json" "$tmp/shared-golden.json" \
+        "$tmp/shared-store-listing.txt" \
         "$tmp/serve.log" "$tmp/serve-journal.log" "$tmp/serve-restart.log" \
+        "$tmp/serve-a4.log" "$tmp/serve-b4.log" \
         "$tmp/worker-a.log" "$tmp/worker-b.log" "$tmp/worker-c.log" "$tmp/worker-d.log" \
+        "$tmp/worker-e.log" "$tmp/worker-f.log" \
         "$CLUSTER_E2E_OUT/" 2>/dev/null || true
     echo "cluster-e2e: artifacts written to $CLUSTER_E2E_OUT"
 fi
